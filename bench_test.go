@@ -1,0 +1,301 @@
+// Benchmark harness: one benchmark per figure/table of the paper's
+// evaluation (see DESIGN.md §4 and EXPERIMENTS.md). The simulation
+// benches report the paper-relevant quantity (virtual MB/s or ns) via
+// b.ReportMetric — ns/op for those measures the cost of running the
+// simulator, not the modeled hardware. The Live* benches exercise the
+// real-goroutine backend and measure actual wall-clock throughput.
+//
+//	go test -bench=. -benchmem
+package tccluster_test
+
+import (
+	"sync"
+	"testing"
+
+	tccluster "repro"
+	"repro/internal/experiments"
+)
+
+// --- E1 / Figure 6: bandwidth --------------------------------------------
+
+func benchFig6(b *testing.B, sizes []int, series int, x float64) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig6Bandwidth(sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, ok := fig.Series[series].YAt(x)
+		if !ok {
+			b.Fatal("missing point")
+		}
+		last = v
+	}
+	b.ReportMetric(last, "virtualMB/s")
+}
+
+func BenchmarkFig6BandwidthWeak64B(b *testing.B)  { benchFig6(b, []int{64}, 0, 64) }
+func BenchmarkFig6BandwidthWeak64KB(b *testing.B) { benchFig6(b, []int{64 << 10}, 0, 64<<10) }
+func BenchmarkFig6BandwidthOrdered64B(b *testing.B) {
+	benchFig6(b, []int{64}, 1, 64)
+}
+
+// --- E2 / Figure 7: latency ----------------------------------------------
+
+func benchFig7(b *testing.B, size int) {
+	b.Helper()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Fig7Latency([]int{size})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last, _ = fig.Series[0].YAt(float64(size))
+	}
+	b.ReportMetric(last, "virtual-ns-halfRTT")
+}
+
+func BenchmarkFig7Latency64B(b *testing.B) { benchFig7(b, 64) }
+func BenchmarkFig7Latency1KB(b *testing.B) { benchFig7(b, 1024) }
+
+// --- E3: multi-hop latency -----------------------------------------------
+
+func BenchmarkHopLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.HopLatency(4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E4: baseline comparison ---------------------------------------------
+
+func BenchmarkBaselineComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BaselineComparison(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E5: coherency scaling -----------------------------------------------
+
+func BenchmarkCoherencyProbes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.CoherencyScaling([]int{2, 8, 32, 64}, 227)
+	}
+}
+
+// --- E6: boot sequence -----------------------------------------------------
+
+func BenchmarkBootSequence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.BootTrace(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7: endpoint scaling --------------------------------------------------
+
+func BenchmarkEndpointScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.EndpointScaling([]int{64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E8: write-combining ablation ------------------------------------------
+
+func BenchmarkWCAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WCAblation(16 << 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E9: link-speed sweep ---------------------------------------------------
+
+func BenchmarkLinkSpeed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LinkSpeedSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E10: address-map scaling ----------------------------------------------
+
+func BenchmarkAddressMapScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AddressMapScaling()
+	}
+}
+
+// --- E11: middleware ---------------------------------------------------------
+
+func BenchmarkMPICollectives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MPICollectives([]int{2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPGASPrimitives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PGASLatencies(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E12: cable fault tolerance ----------------------------------------------
+
+func BenchmarkFaultTolerance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FaultTolerance(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E13: mesh traffic patterns ----------------------------------------------
+
+func BenchmarkMeshTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MeshTraffic(8 << 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E14: polling jitter -------------------------------------------------------
+
+func BenchmarkPollJitter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.PollJitter(30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Live backend: real goroutines, real memory, wall-clock time -------------
+
+func BenchmarkLivePingPong64B(b *testing.B) {
+	s1, r1, err := tccluster.NewLiveChannel(tccluster.DefaultLiveParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s2, r2, err := tccluster.NewLiveChannel(tccluster.DefaultLiveParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, s1.MaxMessage())
+		for {
+			n, err := r1.Recv(buf)
+			if err != nil {
+				return
+			}
+			if buf[0] == 0xFF {
+				return
+			}
+			_ = s2.Send(buf[:n])
+		}
+	}()
+	payload := make([]byte, 64)
+	buf := make([]byte, s1.MaxMessage())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s1.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r2.Recv(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	payload[0] = 0xFF
+	_ = s1.Send(payload)
+	close(stop)
+	wg.Wait()
+}
+
+func benchLiveStream(b *testing.B, size int) {
+	b.Helper()
+	s, r, err := tccluster.NewLiveChannel(tccluster.DefaultLiveParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, s.MaxMessage())
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Recv(buf); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	payload := make([]byte, size)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wg.Wait()
+}
+
+func BenchmarkLiveStream64B(b *testing.B)  { benchLiveStream(b, 64) }
+func BenchmarkLiveStream512B(b *testing.B) { benchLiveStream(b, 512) }
+func BenchmarkLiveStream2KB(b *testing.B)  { benchLiveStream(b, 2048) }
+
+// --- E15: allreduce algorithm ablation ----------------------------------------
+
+func BenchmarkAllreduceAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AllreduceAblation(4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E16: WC buffer count ------------------------------------------------------
+
+func BenchmarkWCBufferCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WCBufferCount(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E17/E18: latency breakdown and supernode transit -------------------------
+
+func BenchmarkLatencyBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LatencyBreakdown(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSupernodeTransit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SupernodeTransit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Command tcctrace renders TCCluster fabric activity chronologically:
+// it boots a chain, runs a small ping-pong through the message library,
+// and prints every packet's serialization and delivery with virtual
+// timestamps — a waveform view of the NodeID-0 routed, write-only
+// network.
+//
+// Usage:
+//
+//	tcctrace [-nodes N] [-rounds R] [-size B]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	tccluster "repro"
+	"repro/internal/ht"
+)
+
+type event struct {
+	at    tccluster.Time
+	order int
+	line  string
+}
+
+func main() {
+	nodes := flag.Int("nodes", 3, "chain length")
+	rounds := flag.Int("rounds", 2, "ping-pong rounds between the end nodes")
+	size := flag.Int("size", 48, "payload bytes")
+	flag.Parse()
+
+	topo, err := tccluster.Chain(*nodes)
+	check(err)
+	c, err := tccluster.New(topo, tccluster.DefaultConfig())
+	check(err)
+
+	var events []event
+	order := 0
+	for i, l := range c.ExternalLinks() {
+		name := fmt.Sprintf("link%d[n%d-n%d]", i, i, i+1)
+		l := l
+		l.SetTrace(func(ev, side string, pkt *ht.Packet) {
+			order++
+			events = append(events, event{
+				at:    c.Now(),
+				order: order,
+				line: fmt.Sprintf("%-16s %-2s %-2s %v",
+					name, side, ev, pkt),
+			})
+		})
+		_ = l
+	}
+
+	// Ping-pong between the two ends of the chain: every packet transits
+	// the middle nodes, visible on each link in turn.
+	last := *nodes - 1
+	sAB, rAB, err := c.OpenChannel(0, last, tccluster.DefaultMsgParams())
+	check(err)
+	sBA, rBA, err := c.OpenChannel(last, 0, tccluster.DefaultMsgParams())
+	check(err)
+
+	var serve func()
+	serve = func() {
+		rAB.Recv(func(d []byte, err error) {
+			if err != nil {
+				return
+			}
+			sBA.Send(d, func(error) {})
+			serve()
+		})
+	}
+	serve()
+	done := 0
+	var round func(i int)
+	round = func(i int) {
+		if i >= *rounds {
+			return
+		}
+		rBA.Recv(func(_ []byte, err error) {
+			if err != nil {
+				return
+			}
+			done++
+			round(i + 1)
+		})
+		sAB.Send(make([]byte, *size), func(error) {})
+	}
+	round(0)
+	c.RunFor(tccluster.Millisecond)
+	rAB.Stop()
+	rBA.Stop()
+	c.Run()
+
+	if done != *rounds {
+		check(fmt.Errorf("only %d of %d rounds completed", done, *rounds))
+	}
+
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].order < events[j].order
+	})
+	fmt.Printf("fabric trace: %d-node chain, %d rounds of %dB ping-pong (%d events)\n\n",
+		*nodes, *rounds, *size, len(events))
+	for _, e := range events {
+		fmt.Printf("[%12v] %s\n", e.at, e.line)
+	}
+
+	fmt.Println("\nper-link totals:")
+	for i, l := range c.ExternalLinks() {
+		a, b := l.A().Stats(), l.B().Stats()
+		fmt.Printf("  link%d: A sent %d pkts/%dB, B sent %d pkts/%dB\n",
+			i, a.PktsSent, a.BytesSent, b.PktsSent, b.BytesSent)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcctrace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,109 @@
+// The cluster the paper wanted to build: a 4x4 TCCluster mesh of
+// dual-socket supernodes — 16 boards, 32 Opterons, 48 TCCluster links,
+// no NIC anywhere. Boots the whole fabric, runs MPI collectives across
+// all 16 ranks, drives the classic traffic patterns, and prints the
+// per-link accounting.
+//
+//	go run ./examples/cluster16
+package main
+
+import (
+	"fmt"
+	"os"
+
+	tccluster "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	topo, err := tccluster.Mesh(4, 4)
+	check(err)
+	cfg := tccluster.DefaultConfig()
+	cfg.SocketsPerNode = 2 // interior mesh nodes need 4 external links
+	c, err := tccluster.New(topo, cfg)
+	check(err)
+
+	sockets := 0
+	for _, n := range c.Nodes() {
+		sockets += n.Sockets()
+	}
+	fmt.Printf("booted %s: %d supernodes, %d sockets, %d TCCluster links\n",
+		topo.Name(), c.N(), sockets, len(c.ExternalLinks()))
+	fmt.Printf("topology: diameter %d hops, avg %.2f, max %d address intervals/node\n\n",
+		topo.Diameter(), topo.AvgHops(), topo.MaxIntervals())
+
+	// MPI across all 16 ranks.
+	w, err := c.NewWorld(tccluster.DefaultMPIConfig())
+	check(err)
+	timeAll := func(name string, op func(rank int, done func(error))) {
+		start := c.Now()
+		pending := c.N()
+		var finish tccluster.Time
+		for r := 0; r < c.N(); r++ {
+			op(r, func(err error) {
+				check(err)
+				pending--
+				if pending == 0 {
+					finish = c.Now()
+				}
+			})
+		}
+		c.Run()
+		if pending != 0 {
+			check(fmt.Errorf("%s never completed", name))
+		}
+		fmt.Printf("%-24s %8.2f us\n", name, (finish - start).Micros())
+	}
+	timeAll("barrier (16 ranks)", func(r int, done func(error)) {
+		w.Rank(r).Barrier(done)
+	})
+	vec := make([]float64, 256)
+	timeAll("allreduce 256 doubles", func(r int, done func(error)) {
+		w.Rank(r).Allreduce(vec, tccluster.Sum, func(_ []float64, err error) { done(err) })
+	})
+	timeAll("ring allreduce 256", func(r int, done func(error)) {
+		w.Rank(r).AllreduceRing(vec, tccluster.Sum, func(_ []float64, err error) { done(err) })
+	})
+	payload := make([]byte, 1024)
+	timeAll("bcast 1KB", func(r int, done func(error)) {
+		var in []byte
+		if r == 0 {
+			in = payload
+		}
+		w.Rank(r).Bcast(0, in, func(_ []byte, err error) { done(err) })
+	})
+
+	// Traffic patterns over the same fabric.
+	fmt.Println()
+	for _, pat := range []workload.Pattern{
+		workload.NearestNeighbor{},
+		workload.Transpose{Width: 4},
+		workload.HotSpot{Target: 5},
+	} {
+		res, err := workload.Run(c.Cluster, pat, 1, 16<<10)
+		check(err)
+		fmt.Println(res)
+	}
+
+	// Fabric accounting.
+	var pkts, bytes, retries uint64
+	for _, l := range c.ExternalLinks() {
+		a, b := l.A().Stats(), l.B().Stats()
+		pkts += a.PktsSent + b.PktsSent
+		bytes += a.BytesSent + b.BytesSent
+		retries += a.Retries + b.Retries
+	}
+	fmt.Printf("\nfabric totals: %d packets, %d KB on the wire, %d retries\n",
+		pkts, bytes>>10, retries)
+	if err := c.CheckQuiescent(); err != nil {
+		check(fmt.Errorf("fabric not quiescent after the run: %w", err))
+	}
+	fmt.Println("fabric quiescent: all credits returned, no orphans, no leaks")
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluster16:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,158 @@
+// A guided tour of the failure modes TCCluster's design rules exist to
+// prevent — each one demonstrated live against the simulated hardware:
+//
+//  1. Reads cannot cross the network: the response strands at the
+//     remote node's matching table (§IV.A), so the fabric is write-only.
+//
+//  2. A write-back-mapped receive buffer polls stale cache lines
+//     forever, because remote stores generate no invalidations (§VI).
+//
+//  3. A stock kernel's SMC broadcasts leak across TCCluster links into
+//     the neighbor machine (§VI) — the reason for the custom kernel.
+//
+//  4. A lossy HTX cable still delivers everything, but link-level
+//     retries eat the bandwidth — why the prototype backed its link
+//     down to HT800 (§VI).
+//
+//     go run ./examples/failures
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	tccluster "repro"
+)
+
+func main() {
+	fmt.Println("== 1. the write-only network ==")
+	writeOnly()
+	fmt.Println("\n== 2. the stale write-back receive buffer ==")
+	staleCache()
+	fmt.Println("\n== 3. the leaking stock kernel ==")
+	smcLeak()
+	fmt.Println("\n== 4. the lossy cable ==")
+	lossyCable()
+}
+
+func cluster(kopt tccluster.KernelOptions, cfg tccluster.Config) *tccluster.Cluster {
+	topo, err := tccluster.Chain(2)
+	check(err)
+	c, err := tccluster.NewWithKernel(topo, cfg, kopt)
+	check(err)
+	return c
+}
+
+func writeOnly() {
+	c := cluster(tccluster.KernelOptions{SMCDisabled: true}, tccluster.DefaultConfig())
+	// A store to the remote window works...
+	okStore := false
+	c.Node(0).Core().StoreBlock(c.Node(1).MemBase()+8<<20, make([]byte, 64), func(err error) {
+		okStore = err == nil
+	})
+	c.Run()
+	fmt.Printf("remote posted store: delivered=%v\n", okStore)
+
+	// ...but a driver window refuses reads, and if you force a read at
+	// the hardware level the response orphans at the peer.
+	w, err := c.Kernel(0).MapRemote(1, 0, 4096)
+	check(err)
+	w.Read(0, 8, func(_ []byte, err error) {
+		fmt.Printf("driver-level remote read: %v\n", err)
+	})
+	answered := false
+	c.Node(0).Machine().Procs[0].NB.CPURead(c.Node(1).MemBase()+0x40, 64,
+		func([]byte, error) { answered = true })
+	c.Run()
+	fmt.Printf("hardware-level remote read: answered=%v, peer orphaned responses=%d\n",
+		answered, c.Node(1).Machine().Procs[0].NB.Counters().OrphanResponses)
+}
+
+func staleCache() {
+	c := cluster(tccluster.KernelOptions{SMCDisabled: true}, tccluster.DefaultConfig())
+	coreA := c.Node(0).Core()
+	flag := c.Node(0).MemBase() + 8<<20 // WB-mapped DRAM (outside the UC window)
+
+	// Node 0 polls once: the line is now cached.
+	coreA.Load(flag, 8, func([]byte, error) {})
+	c.Run()
+	// Node 1 remote-stores the flag.
+	c.Node(1).Core().StoreBlock(flag, []byte{0xFF, 0, 0, 0, 0, 0, 0, 0}, func(error) {
+		c.Node(1).Core().Sfence(func() {})
+	})
+	c.Run()
+	inDRAM, err := c.Node(0).PeekMem(8<<20, 1)
+	check(err)
+	var polled byte
+	coreA.Load(flag, 8, func(d []byte, err error) {
+		check(err)
+		polled = d[0]
+	})
+	c.Run()
+	fmt.Printf("DRAM holds %#x, but the WB-mapped poll reads %#x — stale forever\n",
+		inDRAM[0], polled)
+
+	// The driver refuses to create such a mapping in the first place.
+	_, err = c.Kernel(0).MapLocal(8<<20, 4096)
+	if err == nil {
+		check(errors.New("driver accepted a cachable receive buffer"))
+	}
+	fmt.Printf("driver's answer: %v\n", err)
+}
+
+func smcLeak() {
+	// Stock kernel on node 0, custom kernel on node 1.
+	topo, err := tccluster.Chain(2)
+	check(err)
+	c, err := tccluster.NewWithKernel(topo, tccluster.DefaultConfig(),
+		tccluster.KernelOptions{SMCDisabled: false})
+	check(err)
+	before := c.Kernel(1).Interrupts()
+	c.Kernel(0).RaiseSMC(0xFEE0_0000)
+	c.Run()
+	fmt.Printf("stock kernel SMC: peer interrupts %d -> %d (leaked across the cluster)\n",
+		before, c.Kernel(1).Interrupts())
+
+	c2 := cluster(tccluster.KernelOptions{SMCDisabled: true}, tccluster.DefaultConfig())
+	before = c2.Kernel(1).Interrupts()
+	c2.Kernel(0).RaiseSMC(0xFEE0_0000)
+	c2.Run()
+	fmt.Printf("custom kernel SMC: peer interrupts %d -> %d (suppressed at the source, %d swallowed)\n",
+		before, c2.Kernel(1).Interrupts(), c2.Kernel(0).SuppressedSMCs())
+}
+
+func lossyCable() {
+	measure := func(rate float64) (mbps float64, retries uint64) {
+		cfg := tccluster.DefaultConfig()
+		cfg.CableErrorRate = rate
+		c := cluster(tccluster.KernelOptions{SMCDisabled: true}, cfg)
+		const total = 64 << 10
+		start := c.Now()
+		var finish tccluster.Time
+		c.Node(0).Core().StoreBlock(c.Node(1).MemBase()+8<<20, make([]byte, total), func(err error) {
+			check(err)
+			c.Node(0).Core().Sfence(func() { finish = c.Now() })
+		})
+		c.Run()
+		got, err := c.Node(1).PeekMem(8<<20, total)
+		check(err)
+		for _, b := range got[:64] {
+			_ = b
+		}
+		st := c.ExternalLinks()[0].A().Stats()
+		return float64(total) / float64(finish-start) * 1e12 / 1e6, st.Retries
+	}
+	for _, rate := range []float64{0, 0.01, 0.05, 0.20} {
+		mbps, retries := measure(rate)
+		fmt.Printf("error rate %4.0f%%: %6.0f MB/s, %3d link-level retries (all data delivered)\n",
+			rate*100, mbps, retries)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "failures:", err)
+		os.Exit(1)
+	}
+}

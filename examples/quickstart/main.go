@@ -1,0 +1,86 @@
+// Quickstart: boot the paper's two-board prototype, open a message
+// channel, and measure a ping-pong — the 60-second tour of TCCluster.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	tccluster "repro"
+)
+
+func main() {
+	// The prototype: two single-socket boards joined by an HTX cable,
+	// link forced non-coherent at HT800 x16 by the firmware sequence.
+	topo, err := tccluster.Chain(2)
+	check(err)
+	c, err := tccluster.New(topo, tccluster.DefaultConfig())
+	check(err)
+
+	fmt.Printf("booted %d nodes; TCCluster link is %v at %v x%d\n",
+		c.N(),
+		c.ExternalLinks()[0].Type(),
+		c.ExternalLinks()[0].Speed(),
+		c.ExternalLinks()[0].Width())
+
+	// A unidirectional channel node0 -> node1: a 4 KB ring in node1's
+	// uncachable memory, written by remote posted stores, read by
+	// polling.
+	s, r, err := c.OpenChannel(0, 1, tccluster.DefaultMsgParams())
+	check(err)
+	back, ack, err := c.OpenChannel(1, 0, tccluster.DefaultMsgParams())
+	check(err)
+
+	// Node 1 echoes everything.
+	var serve func()
+	serve = func() {
+		r.Recv(func(data []byte, err error) {
+			if err != nil {
+				return
+			}
+			back.Send(data, func(error) {})
+			serve()
+		})
+	}
+	serve()
+
+	// Node 0 sends a message and waits for the echo.
+	const rounds = 8
+	done := 0
+	var round func(i int)
+	round = func(i int) {
+		if i >= rounds {
+			return
+		}
+		start := c.Now()
+		ack.Recv(func(data []byte, err error) {
+			check(err)
+			fmt.Printf("round %d: %q echoed in %v (half RTT %v)\n",
+				i, data, c.Now()-start, (c.Now()-start)/2)
+			done++
+			round(i + 1)
+		})
+		s.Send([]byte(fmt.Sprintf("ping %d over the host interface", i)), func(err error) {
+			check(err)
+		})
+	}
+	round(0)
+
+	c.RunFor(tccluster.Millisecond)
+	r.Stop()
+	ack.Stop()
+	c.Run()
+	if done != rounds {
+		check(fmt.Errorf("only %d of %d rounds completed", done, rounds))
+	}
+	fmt.Printf("\nvirtual time elapsed: %v; sender stats: %+v\n", c.Now(), s.Stats())
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/firmware"
+	"repro/internal/ht"
+	"repro/internal/nb"
+	"repro/internal/sim"
+	"repro/internal/southbridge"
+	"repro/internal/topology"
+)
+
+// Cluster is a booted TCCluster: supernodes wired per a topology, with
+// firmware-programmed address maps and trained non-coherent links.
+type Cluster struct {
+	eng      *sim.Engine
+	cfg      Config
+	topo     *topology.Topology
+	machines []*firmware.Machine
+	nodes    []*Node
+	extLinks []*ht.Link
+}
+
+// Node is the software-visible handle of one supernode.
+type Node struct {
+	idx     int
+	cluster *Cluster
+	machine *firmware.Machine
+}
+
+// New builds and boots a cluster over the given topology. It returns an
+// error if the topology violates any architectural constraint: routing
+// loops, too many address intervals for the northbridge's MMIO register
+// file, or more external ports than the sockets can supply.
+func New(topo *topology.Topology, cfg Config) (*Cluster, error) {
+	if cfg.MemPerNode == 0 {
+		cfg = fillDefaults(cfg)
+	}
+	if cfg.SocketsPerNode < 1 || cfg.SocketsPerNode > nb.MaxNodes {
+		return nil, fmt.Errorf("core: %d sockets per node out of range 1..%d", cfg.SocketsPerNode, nb.MaxNodes)
+	}
+	if cfg.CoresPerSocket < 1 || cfg.CoresPerSocket > 8 {
+		return nil, fmt.Errorf("core: %d cores per socket out of range 1..8", cfg.CoresPerSocket)
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := topo.CheckIntervalRoutable(nb.NumMMIORanges - 1); err != nil {
+		return nil, err
+	}
+	if uint64(topo.N())*cfg.MemPerNode > 1<<nb.PhysAddrBits {
+		return nil, fmt.Errorf("core: %d nodes x %#x bytes exceeds the 48-bit physical space (256 TB, §IV.D)",
+			topo.N(), cfg.MemPerNode)
+	}
+
+	c := &Cluster{eng: sim.NewEngine(), cfg: cfg, topo: topo}
+
+	type slot struct{ socket, link int }
+	extSlots := make([]map[int]slot, topo.N()) // node -> topology port -> (socket, link)
+	free := make([][][]int, topo.N())          // node -> socket -> free link indices
+
+	// Build machines: sockets, cores, southbridge, internal chain.
+	memPerSocket := cfg.MemPerNode / uint64(cfg.SocketsPerNode)
+	for i := 0; i < topo.N(); i++ {
+		m := firmware.NewMachine(c.eng, fmt.Sprintf("node%d", i))
+		free[i] = make([][]int, cfg.SocketsPerNode)
+		for s := 0; s < cfg.SocketsPerNode; s++ {
+			n := nb.New(c.eng, fmt.Sprintf("node%d.s%d", i, s), memPerSocket, cfg.NBParams)
+			cores := make([]*cpu.Core, cfg.CoresPerSocket)
+			for ci := range cores {
+				cores[ci] = cpu.NewCore(c.eng, n, cfg.CPUParams)
+			}
+			m.AddProcessor(firmware.Processor{NB: n, Cores: cores})
+			free[i][s] = []int{0, 1, 2, 3}
+		}
+		take := func(s int) (int, error) {
+			if len(free[i][s]) == 0 {
+				return 0, fmt.Errorf("core: node %d socket %d out of HT links", i, s)
+			}
+			l := free[i][s][0]
+			free[i][s] = free[i][s][1:]
+			return l, nil
+		}
+
+		// Southbridge on the BSP.
+		sbl, err := take(0)
+		if err != nil {
+			return nil, err
+		}
+		sb := ht.NewLink(c.eng, ht.DefaultLinkConfig(ht.ClassProcessor, ht.ClassIODevice))
+		if err := m.Procs[0].NB.AttachLink(sbl, sb.A()); err != nil {
+			return nil, err
+		}
+		m.SetSouthbridge(sbl, sb)
+		// The flash device behind the southbridge holds a deterministic
+		// "firmware image" the CAR phase fetches at flash speed.
+		image := make([]byte, 4096)
+		for b := range image {
+			image[b] = byte(b*31 + 7)
+		}
+		flash, err := southbridge.New(c.eng, image, southbridge.DefaultParams())
+		if err != nil {
+			return nil, err
+		}
+		flash.AttachTo(sb.B())
+		m.SetFlashDevice(flash)
+		sb.ColdReset()
+
+		// Internal coherent chain socket s <-> s+1.
+		for s := 0; s+1 < cfg.SocketsPerNode; s++ {
+			la, err := take(s)
+			if err != nil {
+				return nil, err
+			}
+			lb, err := take(s + 1)
+			if err != nil {
+				return nil, err
+			}
+			il := ht.NewLink(c.eng, ht.DefaultLinkConfig(ht.ClassProcessor, ht.ClassProcessor))
+			if err := m.Procs[s].NB.AttachLink(la, il.A()); err != nil {
+				return nil, err
+			}
+			if err := m.Procs[s+1].NB.AttachLink(lb, il.B()); err != nil {
+				return nil, err
+			}
+			m.AddInternalLink(s, la, s+1, lb, il)
+			il.ColdReset()
+		}
+
+		// Pre-assign external topology ports to sockets, spreading them
+		// round-robin so no socket runs dry before another.
+		extSlots[i] = make(map[int]slot)
+		ports := topo.Neighbors(i)
+		s := cfg.SocketsPerNode - 1 // start at the far socket: BSP is busiest
+		for _, p := range ports {
+			tried := 0
+			for len(free[i][s]) == 0 {
+				s = (s + 1) % cfg.SocketsPerNode
+				tried++
+				if tried > cfg.SocketsPerNode {
+					return nil, fmt.Errorf("core: node %d needs %d external links, sockets exhausted",
+						i, len(ports))
+				}
+			}
+			l, err := take(s)
+			if err != nil {
+				return nil, err
+			}
+			extSlots[i][p.Port] = slot{socket: s, link: l}
+			s = (s + 1) % cfg.SocketsPerNode
+		}
+		c.machines = append(c.machines, m)
+	}
+
+	// Wire external TCCluster links. A LinkWidth of 32 models the first
+	// prototype's aggregated dual link (§V: two HT links "aggregated to
+	// a dual link").
+	cable := ht.DefaultLinkConfig(ht.ClassProcessor, ht.ClassProcessor)
+	cable.Flight = cfg.CableFlight
+	cable.ErrorRate = cfg.CableErrorRate
+	if cfg.LinkWidth > cable.MaxWidth {
+		cable.MaxWidth = cfg.LinkWidth
+	}
+	for a := 0; a < topo.N(); a++ {
+		for _, nbr := range topo.Neighbors(a) {
+			b := nbr.Peer
+			if b < a {
+				continue // wire each undirected link once
+			}
+			pb := topo.NextHop(b, a) // b's port back toward a (direct neighbor)
+			sa, sb := extSlots[a][nbr.Port], extSlots[b][pb]
+			cable.ErrorSeed = uint64(len(c.extLinks) + 1) // distinct fault streams per cable
+			l := ht.NewLink(c.eng, cable)
+			if err := c.machines[a].Procs[sa.socket].NB.AttachLink(sa.link, l.A()); err != nil {
+				return nil, err
+			}
+			if err := c.machines[b].Procs[sb.socket].NB.AttachLink(sb.link, l.B()); err != nil {
+				return nil, err
+			}
+			c.machines[a].AddTCCLink(sa.socket, sa.link, l)
+			c.machines[b].AddTCCLink(sb.socket, sb.link, l)
+			l.ColdReset()
+			c.extLinks = append(c.extLinks, l)
+		}
+	}
+	c.eng.Run() // cold training everywhere
+
+	// Firmware configuration: interval routes from the topology.
+	cfgs := make([]firmware.BootConfig, topo.N())
+	for i := 0; i < topo.N(); i++ {
+		var routes []firmware.RemoteRoute
+		for _, iv := range topo.Intervals(i) {
+			s := extSlots[i][iv.Port]
+			routes = append(routes, firmware.RemoteRoute{
+				LoNode: iv.Lo, HiNode: iv.Hi, Proc: s.socket, Link: s.link,
+			})
+		}
+		cfgs[i] = firmware.BootConfig{
+			Rank:         i,
+			NumNodes:     topo.N(),
+			MemPerNode:   cfg.MemPerNode,
+			RemoteRoutes: routes,
+			LinkSpeed:    cfg.LinkSpeed,
+			LinkWidth:    cfg.LinkWidth,
+			UCWindow:     cfg.UCWindow,
+		}
+	}
+	if err := firmware.BootTCCluster(c.eng, c.machines, cfgs); err != nil {
+		return nil, fmt.Errorf("core: boot failed: %w", err)
+	}
+
+	for i := range c.machines {
+		c.nodes = append(c.nodes, &Node{idx: i, cluster: c, machine: c.machines[i]})
+	}
+	return c, nil
+}
+
+func fillDefaults(cfg Config) Config {
+	d := DefaultConfig()
+	if cfg.MemPerNode == 0 {
+		cfg.MemPerNode = d.MemPerNode
+	}
+	if cfg.SocketsPerNode == 0 {
+		cfg.SocketsPerNode = d.SocketsPerNode
+	}
+	if cfg.CoresPerSocket == 0 {
+		cfg.CoresPerSocket = d.CoresPerSocket
+	}
+	if cfg.LinkSpeed == 0 {
+		cfg.LinkSpeed = d.LinkSpeed
+	}
+	if cfg.LinkWidth == 0 {
+		cfg.LinkWidth = d.LinkWidth
+	}
+	if cfg.CableFlight == 0 {
+		cfg.CableFlight = d.CableFlight
+	}
+	if cfg.UCWindow == 0 {
+		cfg.UCWindow = d.UCWindow
+	}
+	zero := nb.Params{}
+	if cfg.NBParams == zero {
+		cfg.NBParams = d.NBParams
+	}
+	zeroCPU := cpu.Params{}
+	if cfg.CPUParams == zeroCPU {
+		cfg.CPUParams = d.CPUParams
+	}
+	return cfg
+}
+
+// Engine returns the cluster's simulation engine.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Config returns the configuration the cluster was built with.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Topology returns the interconnect topology.
+func (c *Cluster) Topology() *topology.Topology { return c.topo }
+
+// N returns the number of supernodes.
+func (c *Cluster) N() int { return len(c.nodes) }
+
+// Node returns supernode i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Nodes returns all supernodes.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// ExternalLinks returns the TCCluster links, for stats inspection.
+func (c *Cluster) ExternalLinks() []*ht.Link { return c.extLinks }
+
+// Run drains all pending simulation events.
+func (c *Cluster) Run() { c.eng.Run() }
+
+// RunFor advances virtual time by d.
+func (c *Cluster) RunFor(d sim.Time) { c.eng.RunFor(d) }
+
+// GlobalBase returns the first global physical address of node i's DRAM.
+func (c *Cluster) GlobalBase(i int) uint64 { return uint64(i) * c.cfg.MemPerNode }
+
+// ---- Node --------------------------------------------------------------
+
+// Index returns this node's rank in address order.
+func (n *Node) Index() int { return n.idx }
+
+// Machine exposes the underlying board (boot log, sockets).
+func (n *Node) Machine() *firmware.Machine { return n.machine }
+
+// BootLog returns the node's firmware boot log.
+func (n *Node) BootLog() *firmware.BootLog { return n.machine.Log() }
+
+// Core returns the BSP's first core, the default execution context.
+func (n *Node) Core() *cpu.Core { return n.machine.Procs[0].Cores[0] }
+
+// CoreOn returns core 0 of the given socket.
+func (n *Node) CoreOn(socket int) *cpu.Core { return n.machine.Procs[socket].Cores[0] }
+
+// CoreAt returns a specific core of a socket.
+func (n *Node) CoreAt(socket, coreIdx int) *cpu.Core {
+	return n.machine.Procs[socket].Cores[coreIdx]
+}
+
+// CoresPerSocket returns the per-socket core count.
+func (n *Node) CoresPerSocket() int { return len(n.machine.Procs[0].Cores) }
+
+// Sockets returns the number of sockets on the board.
+func (n *Node) Sockets() int { return len(n.machine.Procs) }
+
+// MemBase returns the node's first global physical address.
+func (n *Node) MemBase() uint64 { return n.cluster.GlobalBase(n.idx) }
+
+// MemSize returns the node's DRAM size in bytes.
+func (n *Node) MemSize() uint64 { return n.cluster.cfg.MemPerNode }
+
+// socketFor locates the socket and controller owning a node-local
+// offset.
+func (n *Node) socketFor(off uint64) (*nb.MemoryController, uint64, error) {
+	per := n.MemSize() / uint64(n.Sockets())
+	s := off / per
+	if int(s) >= n.Sockets() {
+		return nil, 0, fmt.Errorf("core: offset %#x outside node memory (%#x)", off, n.MemSize())
+	}
+	return n.machine.Procs[s].NB.MemController(), off - uint64(s)*per, nil
+}
+
+// PeekMem reads node-local memory contents without simulation time:
+// verification and test setup only, never a modeled access path.
+func (n *Node) PeekMem(off uint64, nBytes int) ([]byte, error) {
+	mc, local, err := n.socketFor(off)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, nBytes)
+	if err := mc.Memory().Read(local, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// PokeMem writes node-local memory contents without simulation time.
+func (n *Node) PokeMem(off uint64, data []byte) error {
+	mc, local, err := n.socketFor(off)
+	if err != nil {
+		return err
+	}
+	return mc.Memory().Write(local, data)
+}
+
+// CheckQuiescent verifies the whole-cluster idle invariants after a
+// workload has drained: no routing faults occurred, no responses
+// orphaned, no tags or write-combining buffers leaked, every link queue
+// empty and every flow-control credit returned. Tests call it as a
+// strong post-condition; failure means the models leaked state even if
+// the workload's data arrived intact.
+func (c *Cluster) CheckQuiescent() error {
+	for _, node := range c.nodes {
+		for si, p := range node.machine.Procs {
+			cnt := p.NB.Counters()
+			switch {
+			case cnt.MasterAborts != 0:
+				return fmt.Errorf("core: node%d.s%d: %d master aborts", node.idx, si, cnt.MasterAborts)
+			case cnt.OrphanResponses != 0:
+				return fmt.Errorf("core: node%d.s%d: %d orphan responses", node.idx, si, cnt.OrphanResponses)
+			case cnt.DeadLinkDrops != 0:
+				return fmt.Errorf("core: node%d.s%d: %d dead-link drops", node.idx, si, cnt.DeadLinkDrops)
+			case cnt.TagExhausted != 0:
+				return fmt.Errorf("core: node%d.s%d: %d tag exhaustions", node.idx, si, cnt.TagExhausted)
+			}
+			if out := p.NB.MatchTable().Outstanding(); out != 0 {
+				return fmt.Errorf("core: node%d.s%d: %d outstanding response tags", node.idx, si, out)
+			}
+			for ci, cr := range p.Cores {
+				if n := cr.WCInUse(); n != 0 {
+					return fmt.Errorf("core: node%d.s%d.c%d: %d write-combining buffers still held",
+						node.idx, si, ci, n)
+				}
+			}
+		}
+	}
+	for i, l := range c.extLinks {
+		if err := l.A().CheckIdle(); err != nil {
+			return fmt.Errorf("core: link %d: %w", i, err)
+		}
+		if err := l.B().CheckIdle(); err != nil {
+			return fmt.Errorf("core: link %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+// Package core assembles complete TCCluster systems: given an
+// interconnect topology it instantiates supernodes (sockets, cores,
+// memory), wires HyperTransport links — internal coherent links,
+// southbridges, and external TCCluster links — derives each board's
+// interval-routed address map, runs the firmware boot sequence, and
+// hands back per-node handles that the kernel, message-library and
+// benchmark layers drive.
+package core
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/ht"
+	"repro/internal/nb"
+	"repro/internal/sim"
+)
+
+// Calibration constants. Every timing number in the simulation descends
+// from these defaults; DESIGN.md §5 documents how they compose into the
+// paper's headline numbers (227 ns half-RTT, ~2700 MB/s sustained).
+const (
+	// DefaultMemPerNode is each supernode's DRAM slice. The paper's
+	// boards carried 8 GB; the default is smaller to keep simulations
+	// light, and is configurable up to the 256 TB / 48-bit bound.
+	DefaultMemPerNode = 256 << 20
+
+	// DefaultUCWindow is the uncachable receive window at the base of
+	// each node's memory, where all message ring buffers live.
+	DefaultUCWindow = 4 << 20
+
+	// DefaultCableFlight is the propagation delay of the HTX cable
+	// (~1 m of cable at ~5 ns/m plus connectors).
+	DefaultCableFlight = 8 * sim.Nanosecond
+
+	// DefaultLinkSpeed matches the prototype's signal-integrity limit:
+	// HT800, 1.6 Gbit/s per lane (§VI). Backplane designs can run
+	// HT2400/HT2600.
+	DefaultLinkSpeed = ht.HT800
+
+	// DefaultLinkWidth is the full 16-lane link.
+	DefaultLinkWidth = 16
+)
+
+// Config describes a cluster to build.
+type Config struct {
+	// MemPerNode is bytes of DRAM per supernode (16 MB granular,
+	// divisible by SocketsPerNode at 16 MB granularity).
+	MemPerNode uint64
+	// SocketsPerNode: 1 models the paper's prototype boards; 2-8 build
+	// supernodes whose sockets are chained by coherent links (§IV.E).
+	SocketsPerNode int
+	// CoresPerSocket instantiates multiple cores per socket (Shanghai is
+	// a quad-core). Cores share their socket's system request queue and
+	// crossbar, so concurrent senders contend for the same TCCluster
+	// link exactly as threads on one package would.
+	CoresPerSocket int
+	// LinkSpeed and LinkWidth configure external TCCluster links.
+	LinkSpeed ht.Speed
+	LinkWidth int
+	// CableFlight is the external-link propagation delay.
+	CableFlight sim.Time
+	// CableErrorRate injects signal-integrity faults on external links:
+	// the probability that one packet's serialization is corrupted and
+	// must be replayed (HT link-level retry). The paper's HTX cable is
+	// exactly this tradeoff — it could not run above HT800 cleanly (§VI).
+	CableErrorRate float64
+	// UCWindow is the per-node uncachable receive window.
+	UCWindow uint64
+	// NBParams and CPUParams override the hardware models' defaults.
+	NBParams  nb.Params
+	CPUParams cpu.Params
+}
+
+// DefaultConfig returns the prototype-faithful configuration.
+func DefaultConfig() Config {
+	return Config{
+		MemPerNode:     DefaultMemPerNode,
+		SocketsPerNode: 1,
+		CoresPerSocket: 1,
+		LinkSpeed:      DefaultLinkSpeed,
+		LinkWidth:      DefaultLinkWidth,
+		CableFlight:    DefaultCableFlight,
+		UCWindow:       DefaultUCWindow,
+		NBParams:       nb.DefaultParams(),
+		CPUParams:      cpu.DefaultParams(),
+	}
+}

@@ -1,0 +1,100 @@
+package cpu
+
+import "container/list"
+
+// LineSize is the cache-line size in bytes, also the HT max payload.
+const LineSize = 64
+
+// Cache is a fully associative LRU cache of 64-byte lines standing in
+// for the L1/L2/L3 hierarchy. It is write-through (stores update the
+// line and the backing memory), which keeps coherence bookkeeping out of
+// the model while preserving the property the paper's failure mode needs:
+// a cached line goes stale when remote stores modify DRAM underneath it,
+// because TCCluster writes generate no invalidations.
+type Cache struct {
+	capacity int
+	lines    map[uint64]*list.Element // line base -> element in lru
+	lru      *list.List               // front = most recent
+
+	hits, misses, evicts uint64
+}
+
+type cacheLine struct {
+	base uint64
+	data [LineSize]byte
+}
+
+// NewCache returns a cache holding up to capLines lines. A Shanghai-class
+// part has 4 MB of L3: 65536 lines.
+func NewCache(capLines int) *Cache {
+	return &Cache{
+		capacity: capLines,
+		lines:    make(map[uint64]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Lookup returns the cached line containing base (which must be
+// line-aligned) and promotes it. The returned slice aliases the cache
+// contents; callers copy if they mutate.
+func (c *Cache) Lookup(base uint64) ([]byte, bool) {
+	if e, ok := c.lines[base]; ok {
+		c.lru.MoveToFront(e)
+		c.hits++
+		return e.Value.(*cacheLine).data[:], true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Install places a line (evicting LRU if full). data must be LineSize
+// bytes.
+func (c *Cache) Install(base uint64, data []byte) {
+	if e, ok := c.lines[base]; ok {
+		copy(e.Value.(*cacheLine).data[:], data)
+		c.lru.MoveToFront(e)
+		return
+	}
+	if c.lru.Len() >= c.capacity {
+		back := c.lru.Back()
+		victim := back.Value.(*cacheLine)
+		delete(c.lines, victim.base)
+		c.lru.Remove(back)
+		c.evicts++
+	}
+	cl := &cacheLine{base: base}
+	copy(cl.data[:], data)
+	c.lines[base] = c.lru.PushFront(cl)
+}
+
+// Update merges a partial store into a cached line if present; it
+// reports whether the line was cached.
+func (c *Cache) Update(base uint64, off int, data []byte) bool {
+	e, ok := c.lines[base]
+	if !ok {
+		return false
+	}
+	copy(e.Value.(*cacheLine).data[off:], data)
+	c.lru.MoveToFront(e)
+	return true
+}
+
+// Invalidate drops a line (coherence probes within a supernode).
+func (c *Cache) Invalidate(base uint64) {
+	if e, ok := c.lines[base]; ok {
+		delete(c.lines, base)
+		c.lru.Remove(e)
+	}
+}
+
+// InvalidateAll empties the cache (WBINVD-class operations).
+func (c *Cache) InvalidateAll() {
+	c.lines = make(map[uint64]*list.Element)
+	c.lru.Init()
+}
+
+// Len returns the number of resident lines.
+func (c *Cache) Len() int { return c.lru.Len() }
+
+// Stats returns hit/miss/eviction counters.
+func (c *Cache) Stats() (hits, misses, evicts uint64) { return c.hits, c.misses, c.evicts }

@@ -1,0 +1,585 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/nb"
+	"repro/internal/sim"
+)
+
+// ErrStranded is returned for operations that on real hardware would
+// hang forever: any access requiring a response from across a TCCluster
+// link (reads, and write-allocate fills triggered by write-back stores
+// to remote memory). The response-matching table cannot route the answer
+// home (paper §IV.A), so the model fails fast instead of hanging.
+var ErrStranded = errors.New("cpu: access requires a response that cannot cross a TCCluster link")
+
+// Params are the core timing parameters.
+type Params struct {
+	StoreIssue     sim.Time // per 8-byte store micro-op
+	CacheHit       sim.Time // load-to-use latency on a cache hit
+	UCReadOverhead sim.Time // core-side overhead added to uncached loads
+	SfenceDrain    sim.Time // store-buffer serialization cost of Sfence
+	WCBuffers      int      // number of 64-byte write-combining buffers
+	CacheLines     int      // cache capacity in 64-byte lines
+}
+
+// DefaultParams models a 2.8 GHz Shanghai core: one 8-byte store per
+// ~2.8 cycles through the full store pipeline, 8 WC buffers, 4 MB L3.
+func DefaultParams() Params {
+	return Params{
+		StoreIssue:     360 * sim.Picosecond,
+		CacheHit:       5 * sim.Nanosecond,
+		UCReadOverhead: 30 * sim.Nanosecond,
+		SfenceDrain:    29 * sim.Nanosecond,
+		WCBuffers:      8,
+		CacheLines:     4 << 20 / LineSize,
+	}
+}
+
+// Counters aggregates core-level event counts.
+type Counters struct {
+	Stores         uint64
+	Loads          uint64
+	WCFlushes      uint64 // buffers flushed, any reason
+	WCFullFlushes  uint64 // flushed because all 64 bytes were valid
+	WCEvictFlushes uint64 // flushed to make room for a new line
+	WCFenceFlushes uint64 // flushed by Sfence
+	WCPacketsSent  uint64 // posted writes emitted by the WC machinery
+	UCStores       uint64 // uncombined stores (one packet each)
+	StrandedOps    uint64 // operations that could never complete
+	WCStallRetries uint64 // stores that had to wait for a free buffer
+}
+
+type wcBuf struct {
+	inUse    bool
+	draining bool
+	line     uint64 // 64-byte-aligned base address
+	data     [LineSize]byte
+	mask     uint64 // per-byte valid bitmap
+	seq      uint64 // allocation order, for oldest-first eviction
+}
+
+// Core is one processor core issuing loads and stores through the MTRRs,
+// cache and write-combining buffers into a northbridge.
+type Core struct {
+	eng  *sim.Engine
+	node *nb.Northbridge
+	par  Params
+
+	mtrr  *MTRR
+	cache *Cache
+	issue sim.Server
+
+	wc       []wcBuf
+	wcSeq    uint64
+	inflight int      // WC/UC posted writes awaiting downstream acceptance
+	stalled  []func() // stores waiting for a free WC buffer
+
+	cnt Counters
+}
+
+// NewCore creates a core attached to node. The MTRR default type is
+// Uncacheable, as on real parts: firmware must explicitly map DRAM as WB
+// and the TCCluster window as WC.
+func NewCore(eng *sim.Engine, node *nb.Northbridge, par Params) *Core {
+	if par.WCBuffers <= 0 {
+		par.WCBuffers = 8
+	}
+	if par.CacheLines <= 0 {
+		par.CacheLines = 4 << 20 / LineSize
+	}
+	return &Core{
+		eng:   eng,
+		node:  node,
+		par:   par,
+		mtrr:  NewMTRR(Uncacheable),
+		cache: NewCache(par.CacheLines),
+		wc:    make([]wcBuf, par.WCBuffers),
+	}
+}
+
+// MTRR exposes the memory-type registers for firmware programming.
+func (c *Core) MTRR() *MTRR { return c.mtrr }
+
+// Cache exposes the cache model (tests and the coherency layer).
+func (c *Core) Cache() *Cache { return c.cache }
+
+// Node returns the attached northbridge.
+func (c *Core) Node() *nb.Northbridge { return c.node }
+
+// Counters returns a copy of the counters.
+func (c *Core) Counters() Counters { return c.cnt }
+
+// WCInUse reports how many write-combining buffers hold data.
+func (c *Core) WCInUse() int {
+	n := 0
+	for i := range c.wc {
+		if c.wc[i].inUse {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Core) issueTime(n int) sim.Time {
+	ops := sim.Time((n + 7) / 8)
+	return ops * c.par.StoreIssue
+}
+
+// Store issues one store of data at addr. The store must be dword
+// aligned, a dword multiple, and must not cross a 64-byte line (use
+// StoreBlock for arbitrary extents). retired fires when the store
+// retires from the pipeline's perspective:
+//
+//   - WB: data is in the cache/local memory
+//   - WC: data is merged into a write-combining buffer (or the store has
+//     waited for a free buffer)
+//   - UC: the resulting posted write was accepted downstream
+func (c *Core) Store(addr uint64, data []byte, retired func(error)) {
+	if err := checkAccess(addr, len(data)); err != nil {
+		retired(err)
+		return
+	}
+	c.cnt.Stores++
+	switch c.mtrr.TypeOf(addr) {
+	case WriteBack:
+		c.storeWB(addr, data, retired)
+	case WriteCombining:
+		c.storeWC(addr, data, retired)
+	default:
+		c.storeUC(addr, data, retired)
+	}
+}
+
+func checkAccess(addr uint64, n int) error {
+	if n == 0 || n > LineSize {
+		return fmt.Errorf("cpu: access of %d bytes (want 1..%d)", n, LineSize)
+	}
+	if addr%4 != 0 || n%4 != 0 {
+		return fmt.Errorf("cpu: access at %#x/%d not dword-granular", addr, n)
+	}
+	if addr/LineSize != (addr+uint64(n)-1)/LineSize {
+		return fmt.Errorf("cpu: access at %#x/%d crosses a cache line", addr, n)
+	}
+	return nil
+}
+
+// coherentRoute reports whether addr is remote DRAM reachable over a
+// coherent link: another socket of the same board. Coherent links carry
+// responses (NodeIDs are distinct inside the domain), so loads and
+// write-back stores work; non-coherent TCCluster routes do not.
+func (c *Core) coherentRoute(d nb.Decision) bool {
+	return d.Kind == nb.DecideRouteLink && !d.MMIO &&
+		c.node.LinkIsCoherent(int(d.Link))
+}
+
+// storeWB writes through the cache into coherent memory: the local
+// socket's DRAM directly, or a sibling socket's DRAM across a coherent
+// link. A WB store to a TCCluster address would trigger a write-
+// allocate line fill whose read response cannot come home: stranded.
+func (c *Core) storeWB(addr uint64, data []byte, retired func(error)) {
+	d := c.node.DecodeAddress(addr)
+	switch {
+	case d.Kind == nb.DecideLocalDRAM:
+		buf := append([]byte(nil), data...)
+		_, at := c.issue.Schedule(c.eng.Now(), c.issueTime(len(buf)))
+		c.eng.At(at, func() {
+			line := addr &^ (LineSize - 1)
+			c.cache.Update(line, int(addr-line), buf)
+			mc := c.node.MemController()
+			retired(mc.Memory().Write(addr-mc.Base(), buf))
+		})
+	case c.coherentRoute(d):
+		// Cross-socket coherent store: write-through over the fabric.
+		buf := append([]byte(nil), data...)
+		_, at := c.issue.Schedule(c.eng.Now(), c.issueTime(len(buf)))
+		c.eng.At(at, func() {
+			line := addr &^ (LineSize - 1)
+			c.cache.Update(line, int(addr-line), buf)
+			c.node.CPUWrite(addr, buf, true, retired)
+		})
+	default:
+		c.cnt.StrandedOps++
+		retired(fmt.Errorf("%w: WB store to non-coherent address %#x", ErrStranded, addr))
+	}
+}
+
+// storeUC emits posted writes with no combining: one packet per 8-byte
+// store micro-op, strongly ordered (each store waits for downstream
+// acceptance of the previous one). This is the ablation path showing why
+// write combining matters (paper §VI: "multiple 64 bit store
+// instructions are collected in the write combining buffer and sent out
+// as a single packet").
+func (c *Core) storeUC(addr uint64, data []byte, retired func(error)) {
+	var step func(off int)
+	step = func(off int) {
+		if off >= len(data) {
+			retired(nil)
+			return
+		}
+		end := off + 8
+		if end > len(data) {
+			end = len(data)
+		}
+		c.cnt.UCStores++
+		chunk := append([]byte(nil), data[off:end]...)
+		a := addr + uint64(off)
+		_, at := c.issue.Schedule(c.eng.Now(), c.issueTime(len(chunk)))
+		c.eng.At(at, func() {
+			c.inflight++
+			c.node.CPUWrite(a, chunk, true, func(err error) {
+				c.inflight--
+				if err != nil {
+					retired(err)
+					return
+				}
+				step(end)
+			})
+		})
+	}
+	step(0)
+}
+
+// storeWC merges the store into a write-combining buffer, flushing a
+// full buffer immediately as one maximum-sized posted write.
+func (c *Core) storeWC(addr uint64, data []byte, retired func(error)) {
+	buf := append([]byte(nil), data...)
+	_, at := c.issue.Schedule(c.eng.Now(), c.issueTime(len(buf)))
+	c.eng.At(at, func() { c.wcMerge(addr, buf, retired) })
+}
+
+func (c *Core) wcMerge(addr uint64, data []byte, retired func(error)) {
+	line := addr &^ (LineSize - 1)
+	b := c.findWC(line)
+	if b == nil {
+		// No buffer for this line and none free: flush the oldest
+		// partial buffer and retry when something drains.
+		c.flushOldest()
+		c.cnt.WCStallRetries++
+		c.stalled = append(c.stalled, func() { c.wcMerge(addr, data, retired) })
+		return
+	}
+	if !b.inUse {
+		b.inUse = true
+		b.draining = false
+		b.line = line
+		b.mask = 0
+		c.wcSeq++
+		b.seq = c.wcSeq
+	}
+	off := int(addr - line)
+	copy(b.data[off:], data)
+	for i := 0; i < len(data); i++ {
+		b.mask |= 1 << (off + i)
+	}
+	if b.mask == ^uint64(0) {
+		c.cnt.WCFullFlushes++
+		c.flushWCBuf(b)
+	}
+	retired(nil)
+}
+
+// findWC returns the buffer already collecting line, or a free one, or
+// nil if the store must wait.
+func (c *Core) findWC(line uint64) *wcBuf {
+	var free *wcBuf
+	for i := range c.wc {
+		b := &c.wc[i]
+		if b.inUse && !b.draining && b.line == line {
+			return b
+		}
+		if !b.inUse && free == nil {
+			free = b
+		}
+	}
+	return free
+}
+
+func (c *Core) flushOldest() {
+	var oldest *wcBuf
+	for i := range c.wc {
+		b := &c.wc[i]
+		if b.inUse && !b.draining && (oldest == nil || b.seq < oldest.seq) {
+			oldest = b
+		}
+	}
+	if oldest != nil {
+		c.cnt.WCEvictFlushes++
+		c.flushWCBuf(oldest)
+	}
+}
+
+// flushWCBuf emits the buffer's valid bytes as posted writes — one
+// packet per contiguous dword run (a sequentially filled buffer is a
+// single 64-byte packet). The buffer stays occupied until every packet
+// is accepted downstream; that occupancy is how link backpressure
+// throttles the store pipeline.
+func (c *Core) flushWCBuf(b *wcBuf) {
+	if !b.inUse || b.draining {
+		return
+	}
+	b.draining = true
+	c.cnt.WCFlushes++
+	runs := maskRuns(b.mask)
+	if len(runs) == 0 {
+		c.freeWC(b)
+		return
+	}
+	pending := len(runs)
+	for _, r := range runs {
+		data := append([]byte(nil), b.data[r[0]:r[1]]...)
+		addr := b.line + uint64(r[0])
+		c.inflight++
+		c.cnt.WCPacketsSent++
+		c.node.CPUWrite(addr, data, true, func(error) {
+			c.inflight--
+			pending--
+			if pending == 0 {
+				c.freeWC(b)
+			}
+		})
+	}
+}
+
+func (c *Core) freeWC(b *wcBuf) {
+	b.inUse = false
+	b.draining = false
+	b.mask = 0
+	// Wake exactly one stalled store per freed buffer, preserving order.
+	if len(c.stalled) > 0 {
+		next := c.stalled[0]
+		c.stalled = c.stalled[1:]
+		next()
+	}
+}
+
+// maskRuns decomposes a byte-valid bitmap into [start,end) runs aligned
+// to dwords (stores are dword-granular, so runs always are).
+func maskRuns(mask uint64) [][2]int {
+	var runs [][2]int
+	i := 0
+	for i < 64 {
+		if mask&(1<<i) == 0 {
+			i++
+			continue
+		}
+		j := i
+		for j < 64 && mask&(1<<j) != 0 {
+			j++
+		}
+		runs = append(runs, [2]int{i, j})
+		i = j
+	}
+	return runs
+}
+
+// FlushWC flushes every write-combining buffer without fence semantics
+// (what a buffer-overflow eviction storm looks like).
+func (c *Core) FlushWC() {
+	for i := range c.wc {
+		if c.wc[i].inUse && !c.wc[i].draining {
+			c.flushWCBuf(&c.wc[i])
+		}
+	}
+}
+
+// Sfence flushes the write-combining buffers and serializes the store
+// pipeline: done fires after every prior store has been pushed into the
+// fabric and the drain penalty has elapsed. HyperTransport's in-order
+// posted channel then guarantees global ordering (paper §IV.A), so the
+// fence does not wait for remote completion.
+func (c *Core) Sfence(done func()) {
+	for i := range c.wc {
+		if c.wc[i].inUse && !c.wc[i].draining {
+			c.cnt.WCFenceFlushes++
+			c.flushWCBuf(&c.wc[i])
+		}
+	}
+	c.eng.After(c.par.SfenceDrain, done)
+}
+
+// Load issues a read of n bytes at addr. Loads follow the MTRR type:
+// WB loads may hit (possibly stale) cache lines; UC loads always read
+// DRAM — the only correct way to poll a TCCluster receive buffer.
+func (c *Core) Load(addr uint64, n int, cb func([]byte, error)) {
+	if err := checkAccess(addr, n); err != nil {
+		cb(nil, err)
+		return
+	}
+	c.cnt.Loads++
+	switch c.mtrr.TypeOf(addr) {
+	case WriteBack:
+		c.loadWB(addr, n, cb)
+	case WriteCombining:
+		// Reads from WC space flush the affected buffer, then behave UC.
+		line := addr &^ (LineSize - 1)
+		for i := range c.wc {
+			if c.wc[i].inUse && !c.wc[i].draining && c.wc[i].line == line {
+				c.flushWCBuf(&c.wc[i])
+			}
+		}
+		c.loadUC(addr, n, cb)
+	default:
+		c.loadUC(addr, n, cb)
+	}
+}
+
+func (c *Core) loadWB(addr uint64, n int, cb func([]byte, error)) {
+	line := addr &^ (LineSize - 1)
+	off := int(addr - line)
+	if data, ok := c.cache.Lookup(line); ok {
+		out := append([]byte(nil), data[off:off+n]...)
+		c.eng.After(c.par.CacheHit, func() { cb(out, nil) })
+		return
+	}
+	if d := c.node.DecodeAddress(line); d.Kind != nb.DecideLocalDRAM && !c.coherentRoute(d) {
+		c.cnt.StrandedOps++
+		cb(nil, fmt.Errorf("%w: WB load from non-coherent address %#x", ErrStranded, addr))
+		return
+	}
+	c.node.CPURead(line, LineSize, func(data []byte, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		c.cache.Install(line, data)
+		cb(append([]byte(nil), data[off:off+n]...), nil)
+	})
+}
+
+func (c *Core) loadUC(addr uint64, n int, cb func([]byte, error)) {
+	if d := c.node.DecodeAddress(addr); d.Kind != nb.DecideLocalDRAM && !c.coherentRoute(d) {
+		c.cnt.StrandedOps++
+		cb(nil, fmt.Errorf("%w: UC load from non-coherent address %#x", ErrStranded, addr))
+		return
+	}
+	c.node.CPURead(addr, n, func(data []byte, err error) {
+		c.eng.After(c.par.UCReadOverhead, func() { cb(data, err) })
+	})
+}
+
+// StoreBlock stores an arbitrary dword-granular extent, splitting it
+// into per-line stores issued back to back. done fires when the last
+// store retires.
+func (c *Core) StoreBlock(addr uint64, data []byte, done func(error)) {
+	if len(data) == 0 {
+		done(nil)
+		return
+	}
+	var step func(off int)
+	step = func(off int) {
+		if off >= len(data) {
+			done(nil)
+			return
+		}
+		end := off + LineSize - int((addr+uint64(off))%LineSize)
+		if end > len(data) {
+			end = len(data)
+		}
+		c.Store(addr+uint64(off), data[off:end], func(err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			step(end)
+		})
+	}
+	step(0)
+}
+
+// StreamDepth is how many outstanding line reads LoadStream pipelines:
+// the model of SSE4.1 MOVNTDQA streaming loads, which (unlike plain
+// uncached loads) may overlap their memory accesses.
+const StreamDepth = 4
+
+// LoadStream reads an extent with up to StreamDepth line reads in
+// flight — the streaming-load receive path. Ordinary UC loads serialize
+// one at a time (Load/LoadBlock); streaming loads quadruple copy-out
+// throughput, which is how real polling receivers drain their rings
+// without starving. Only valid on uncached/write-combining regions and
+// local (or coherently routed) memory.
+func (c *Core) LoadStream(addr uint64, n int, done func([]byte, error)) {
+	if n <= 0 || addr%4 != 0 || n%4 != 0 {
+		done(nil, fmt.Errorf("cpu: stream load at %#x/%d not dword-granular", addr, n))
+		return
+	}
+	if t := c.mtrr.TypeOf(addr); t == WriteBack {
+		done(nil, fmt.Errorf("cpu: stream load from WB memory at %#x (use LoadBlock)", addr))
+		return
+	}
+	if d := c.node.DecodeAddress(addr); d.Kind != nb.DecideLocalDRAM && !c.coherentRoute(d) {
+		c.cnt.StrandedOps++
+		done(nil, fmt.Errorf("%w: stream load from non-coherent address %#x", ErrStranded, addr))
+		return
+	}
+	// Split into line-bounded chunks.
+	type chunk struct {
+		off, n int
+	}
+	var chunks []chunk
+	for off := 0; off < n; {
+		end := off + LineSize - int((addr+uint64(off))%LineSize)
+		if end > n {
+			end = n
+		}
+		chunks = append(chunks, chunk{off: off, n: end - off})
+		off = end
+	}
+	out := make([]byte, n)
+	next := 0
+	pending := 0
+	var failed error
+	finished := 0
+	var pump func()
+	pump = func() {
+		for pending < StreamDepth && next < len(chunks) {
+			ck := chunks[next]
+			next++
+			pending++
+			c.cnt.Loads++
+			c.node.CPURead(addr+uint64(ck.off), ck.n, func(data []byte, err error) {
+				pending--
+				if err != nil && failed == nil {
+					failed = err
+				}
+				if err == nil {
+					copy(out[ck.off:], data)
+				}
+				finished++
+				if finished == len(chunks) {
+					c.eng.After(c.par.UCReadOverhead, func() { done(out, failed) })
+					return
+				}
+				pump()
+			})
+		}
+	}
+	pump()
+}
+
+// LoadBlock reads an arbitrary dword-granular extent line by line.
+func (c *Core) LoadBlock(addr uint64, n int, done func([]byte, error)) {
+	out := make([]byte, 0, n)
+	var step func(off int)
+	step = func(off int) {
+		if off >= n {
+			done(out, nil)
+			return
+		}
+		end := off + LineSize - int((addr+uint64(off))%LineSize)
+		if end > n {
+			end = n
+		}
+		c.Load(addr+uint64(off), end-off, func(data []byte, err error) {
+			if err != nil {
+				done(nil, err)
+				return
+			}
+			out = append(out, data...)
+			step(end)
+		})
+	}
+	step(0)
+}

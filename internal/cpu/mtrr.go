@@ -1,0 +1,128 @@
+// Package cpu models the Opteron core's memory path at the level the
+// TCCluster software stack depends on: Memory Type Range Registers
+// (write-back, uncacheable, write-combining), the eight 64-byte
+// write-combining buffers whose aggregation produces maximum-sized HT
+// packets, the Sfence drain used for ordered sends, a write-through
+// cache for the load path, and uncached polling loads for message
+// reception.
+package cpu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MemType is an x86 memory type as configured through the MTRRs.
+type MemType int
+
+const (
+	// WriteBack caches reads and writes; TCCluster receive buffers must
+	// NOT be mapped this way or polls read stale lines forever, because
+	// remote stores generate no invalidations (paper §VI).
+	WriteBack MemType = iota
+	// Uncacheable bypasses the cache entirely: every load goes to DRAM.
+	// The receive-buffer mapping TCCluster requires.
+	Uncacheable
+	// WriteCombining buffers stores into 64-byte aggregation buffers and
+	// emits maximum-sized posted writes: the send-window mapping (the
+	// paper's "CPU MSR Init" boot step).
+	WriteCombining
+)
+
+func (t MemType) String() string {
+	switch t {
+	case WriteBack:
+		return "WB"
+	case Uncacheable:
+		return "UC"
+	case WriteCombining:
+		return "WC"
+	default:
+		return fmt.Sprintf("MemType(%d)", int(t))
+	}
+}
+
+// MTRRGranularity is the alignment of variable-range MTRRs.
+const MTRRGranularity = 4096
+
+type mtrrRange struct {
+	base, limit uint64 // limit inclusive
+	typ         MemType
+}
+
+// MTRR is the set of variable memory-type ranges plus a default type.
+// On overlap the strongest type wins (UC > WC > WB), matching x86
+// precedence rules.
+type MTRR struct {
+	def    MemType
+	ranges []mtrrRange
+}
+
+// NewMTRR returns an MTRR set with the given default type. Real systems
+// default to UC and carve cachable DRAM out explicitly; the firmware
+// model does the same.
+func NewMTRR(def MemType) *MTRR { return &MTRR{def: def} }
+
+// Default returns the default memory type.
+func (m *MTRR) Default() MemType { return m.def }
+
+// Clear removes all variable ranges (firmware re-initialization).
+func (m *MTRR) Clear() { m.ranges = nil }
+
+// SetRange installs a variable range [base, limit] with the given type.
+func (m *MTRR) SetRange(base, limit uint64, typ MemType) error {
+	if base%MTRRGranularity != 0 {
+		return fmt.Errorf("cpu: MTRR base %#x not 4KB aligned", base)
+	}
+	if (limit+1)%MTRRGranularity != 0 {
+		return fmt.Errorf("cpu: MTRR limit %#x not at a 4KB boundary", limit)
+	}
+	if limit < base {
+		return fmt.Errorf("cpu: MTRR limit %#x below base %#x", limit, base)
+	}
+	m.ranges = append(m.ranges, mtrrRange{base: base, limit: limit, typ: typ})
+	return nil
+}
+
+// strength orders types for overlap resolution.
+func strength(t MemType) int {
+	switch t {
+	case Uncacheable:
+		return 2
+	case WriteCombining:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// TypeOf returns the effective memory type of addr.
+func (m *MTRR) TypeOf(addr uint64) MemType {
+	best := m.def
+	found := false
+	for _, r := range m.ranges {
+		if addr >= r.base && addr <= r.limit {
+			if !found || strength(r.typ) > strength(best) {
+				best = r.typ
+				found = true
+			}
+		}
+	}
+	return best
+}
+
+// Ranges returns a sorted copy of the configured ranges for diagnostics.
+func (m *MTRR) Ranges() []struct {
+	Base, Limit uint64
+	Type        MemType
+} {
+	out := make([]struct {
+		Base, Limit uint64
+		Type        MemType
+	}, len(m.ranges))
+	for i, r := range m.ranges {
+		out[i].Base, out[i].Limit, out[i].Type = r.base, r.limit, r.typ
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ht"
+	"repro/internal/stats"
+)
+
+// FaultTolerance (E12, extension) quantifies the signal-integrity
+// tradeoff behind the prototype's HT800 limit (§VI: "due to signal
+// integrity issues of our cable based approach we support only
+// frequencies of up to 1.6 Gbit/s per lane"). A fixed HTX cable is
+// modeled with a per-packet corruption probability that grows with the
+// link clock; HT's link-level retry keeps every transfer correct but
+// pays serialization + resync per corrupted packet. The question the
+// table answers: at which point does a faster-but-dirtier link stop
+// being worth it?
+func FaultTolerance() (*stats.Table, error) {
+	t := &stats.Table{
+		Title: "E12 — cable signal integrity vs link speed (64KB weak streams, link-level retry)",
+		Columns: []string{"link", "assumed pkt error rate", "achieved MB/s",
+			"retries", "vs clean HT800"},
+	}
+	// Error rates for one fixed marginal cable: clean at the low clocks,
+	// rapidly degrading beyond the prototype's validated point. The
+	// S-curve is a modeling assumption (documented in EXPERIMENTS.md);
+	// the mechanism — retry cost per corrupted packet — is measured.
+	cases := []struct {
+		speed ht.Speed
+		rate  float64
+	}{
+		{ht.HT400, 0},
+		{ht.HT800, 0},
+		{ht.HT1600, 0.02},
+		{ht.HT2400, 0.12},
+		{ht.HT2600, 0.30},
+	}
+	var ht800 float64
+	for _, cse := range cases {
+		cfg := core.DefaultConfig()
+		cfg.LinkSpeed = cse.speed
+		cfg.LinkWidth = 16
+		cfg.CableErrorRate = cse.rate
+		c, _, err := buildPair(cfg)
+		if err != nil {
+			return nil, err
+		}
+		bw, err := streamWeak(c, 0, 1, 64<<10, 4)
+		if err != nil {
+			return nil, err
+		}
+		if cse.speed == ht.HT800 {
+			ht800 = bw
+		}
+		retries := c.ExternalLinks()[0].A().Stats().Retries
+		rel := "-"
+		if ht800 > 0 {
+			rel = fmt.Sprintf("%.2fx", bw/ht800)
+		}
+		t.AddRow(fmt.Sprintf("%vx16", cse.speed),
+			fmt.Sprintf("%.0f%%", cse.rate*100),
+			fmt.Sprintf("%.0f", bw/1e6),
+			fmt.Sprintf("%d", retries),
+			rel)
+	}
+	return t, nil
+}

@@ -1,0 +1,373 @@
+package firmware
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/ht"
+	"repro/internal/nb"
+	"repro/internal/sim"
+	"repro/internal/southbridge"
+)
+
+const memPerNode = 256 << 20
+
+// buildPrototype wires the paper's second prototype: two single-socket
+// boards, each with a southbridge, joined by one HTX cable link.
+func buildPrototype(t *testing.T) (*sim.Engine, []*Machine, []BootConfig) {
+	t.Helper()
+	eng := sim.NewEngine()
+	var machines []*Machine
+	var nbs []*nb.Northbridge
+
+	for i := 0; i < 2; i++ {
+		name := []string{"tyan0", "tyan1"}[i]
+		m := NewMachine(eng, name)
+		n := nb.New(eng, name, memPerNode, nb.DefaultParams())
+		core := cpu.NewCore(eng, n, cpu.DefaultParams())
+		m.AddProcessor(Processor{NB: n, Cores: []*cpu.Core{core}})
+
+		// Southbridge on link 1, with a flash device for the CAR fetch.
+		sb := ht.NewLink(eng, ht.DefaultLinkConfig(ht.ClassProcessor, ht.ClassIODevice))
+		if err := n.AttachLink(1, sb.A()); err != nil {
+			t.Fatal(err)
+		}
+		m.SetSouthbridge(1, sb)
+		image := make([]byte, 4096)
+		for b := range image {
+			image[b] = byte(b * 13)
+		}
+		flash, err := southbridge.New(eng, image, southbridge.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		flash.AttachTo(sb.B())
+		m.SetFlashDevice(flash)
+		sb.ColdReset()
+
+		machines = append(machines, m)
+		nbs = append(nbs, n)
+	}
+
+	// The HTX cable: link 0 on both boards. Cable flight time is longer
+	// than a board trace.
+	cable := ht.DefaultLinkConfig(ht.ClassProcessor, ht.ClassProcessor)
+	cable.Flight = 8 * sim.Nanosecond
+	htx := ht.NewLink(eng, cable)
+	if err := nbs[0].AttachLink(0, htx.A()); err != nil {
+		t.Fatal(err)
+	}
+	if err := nbs[1].AttachLink(0, htx.B()); err != nil {
+		t.Fatal(err)
+	}
+	machines[0].AddTCCLink(0, 0, htx)
+	machines[1].AddTCCLink(0, 0, htx)
+	htx.ColdReset()
+	eng.Run()
+
+	cfgs := []BootConfig{
+		{Rank: 0, NumNodes: 2, MemPerNode: memPerNode,
+			RemoteRoutes: []RemoteRoute{{LoNode: 1, HiNode: 1, Proc: 0, Link: 0}},
+			LinkSpeed:    ht.HT800, LinkWidth: 16, UCWindow: 1 << 20},
+		{Rank: 1, NumNodes: 2, MemPerNode: memPerNode,
+			RemoteRoutes: []RemoteRoute{{LoNode: 0, HiNode: 0, Proc: 0, Link: 0}},
+			LinkSpeed:    ht.HT800, LinkWidth: 16, UCWindow: 1 << 20},
+	}
+	return eng, machines, cfgs
+}
+
+func TestBootSequenceCompletes(t *testing.T) {
+	eng, machines, cfgs := buildPrototype(t)
+	if err := BootTCCluster(eng, machines, cfgs); err != nil {
+		t.Fatalf("boot failed: %v\n%s", err, machines[0].Log())
+	}
+	wantSteps := []string{
+		"cold-reset", "cache-as-ram", "coherent-enumeration",
+		"force-noncoherent", "warm-reset", "verify-links",
+		"northbridge-init", "cpu-msr-init", "memory-init", "exit-car",
+		"skip-nc-enumeration", "load-os",
+	}
+	for _, m := range machines {
+		for _, step := range wantSteps {
+			if !m.Log().Has(step) {
+				t.Errorf("%s: boot log missing step %q", m.Name, step)
+			}
+		}
+		if len(m.Log().Steps) != len(wantSteps) {
+			t.Errorf("%s: %d steps, want %d", m.Name, len(m.Log().Steps), len(wantSteps))
+		}
+	}
+	if !strings.Contains(machines[0].Log().String(), "coreboot/TCCluster: tyan0") {
+		t.Error("boot log header missing")
+	}
+}
+
+func TestBootConfiguresTCClusterLink(t *testing.T) {
+	eng, machines, cfgs := buildPrototype(t)
+	if err := BootTCCluster(eng, machines, cfgs); err != nil {
+		t.Fatal(err)
+	}
+	l := machines[0].tcc[0].L
+	if l.Type() != ht.TypeNonCoherent {
+		t.Errorf("TCC link type %v, want non-coherent", l.Type())
+	}
+	if l.Speed() != ht.HT800 || l.Width() != 16 {
+		t.Errorf("TCC link %v x%d, want HT800 x16", l.Speed(), l.Width())
+	}
+	// NodeID-zero trick: both single-socket boards are NodeID 0.
+	for _, m := range machines {
+		if got := m.Procs[0].NB.NodeID(); got != 0 {
+			t.Errorf("%s NodeID = %d, want 0", m.Name, got)
+		}
+	}
+}
+
+func TestBootedClusterPassesTraffic(t *testing.T) {
+	eng, machines, cfgs := buildPrototype(t)
+	if err := BootTCCluster(eng, machines, cfgs); err != nil {
+		t.Fatal(err)
+	}
+	coreA := machines[0].Procs[0].Cores[0]
+	nbB := machines[1].Procs[0].NB
+
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i + 1)
+	}
+	sent := false
+	coreA.StoreBlock(memPerNode+0x100, payload, func(err error) {
+		if err != nil {
+			t.Errorf("store failed: %v", err)
+		}
+		sent = true
+	})
+	eng.Run()
+	if !sent {
+		t.Fatal("store never retired")
+	}
+	got := make([]byte, 64)
+	if err := nbB.MemController().Memory().Read(0x100, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("byte %d: got %#x want %#x", i, got[i], payload[i])
+		}
+	}
+}
+
+// Failure injection: without the debug register, the warm reset retrains
+// the link coherent and the boot must abort at verify-links (§IV.B).
+func TestBootFailsWithoutForceNonCoherent(t *testing.T) {
+	eng, machines, cfgs := buildPrototype(t)
+	for i, m := range machines {
+		if err := m.PhaseColdCheck(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.PhaseCoherentEnumeration(); err != nil {
+			t.Fatal(err)
+		}
+		_ = i // skip PhaseForceNonCoherent entirely
+	}
+	for _, m := range machines {
+		m.PhaseWarmReset()
+	}
+	eng.Run()
+	err := machines[0].PhaseVerifyLinks()
+	if err == nil {
+		t.Fatal("verify-links passed despite missing debug-register force")
+	}
+	if !strings.Contains(err.Error(), "coherent") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	_ = cfgs
+}
+
+// Failure injection: forcing the register without a warm reset leaves
+// the link coherent — the modification only becomes effective at the
+// next warm reset (§IV.B).
+func TestForceWithoutWarmResetHasNoEffect(t *testing.T) {
+	eng, machines, cfgs := buildPrototype(t)
+	for i, m := range machines {
+		if err := m.PhaseColdCheck(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.PhaseCoherentEnumeration(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.PhaseForceNonCoherent(cfgs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if err := machines[0].PhaseVerifyLinks(); err == nil {
+		t.Fatal("TCC link non-coherent without any warm reset")
+	}
+}
+
+func TestBootRejectsAddressSpaceHoles(t *testing.T) {
+	_, machines, cfgs := buildPrototype(t)
+	cfgs[0].NumNodes = 3 // claims 3 nodes but routes only cover node 1
+	err := cfgs[0].Validate(len(machines[0].Procs))
+	if err == nil || !strings.Contains(err.Error(), "hole") {
+		t.Fatalf("holey address space accepted: %v", err)
+	}
+}
+
+func TestBootRejectsOverlappingRoutes(t *testing.T) {
+	_, machines, cfgs := buildPrototype(t)
+	cfgs[0].RemoteRoutes = append(cfgs[0].RemoteRoutes, RemoteRoute{LoNode: 1, HiNode: 1, Proc: 0, Link: 2})
+	err := cfgs[0].Validate(len(machines[0].Procs))
+	if err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("overlapping routes accepted: %v", err)
+	}
+}
+
+func TestBootRejectsUnalignedMemory(t *testing.T) {
+	_, machines, cfgs := buildPrototype(t)
+	cfgs[0].MemPerNode = 100 << 10
+	if err := cfgs[0].Validate(len(machines[0].Procs)); err == nil {
+		t.Fatal("non-16MB-granular memory accepted")
+	}
+}
+
+func TestEnumerationRejectsPreassignedNodeIDs(t *testing.T) {
+	_, machines, _ := buildPrototype(t)
+	if err := machines[0].Procs[0].NB.SetNodeID(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := machines[0].PhaseCoherentEnumeration(); err == nil {
+		t.Fatal("enumeration accepted a socket with non-reset NodeID")
+	}
+}
+
+// A two-socket supernode: DFS enumeration assigns 0 and 1, intra-board
+// routing works, and remote traffic from the non-owner socket transits
+// the owner socket out the TCCluster link.
+func TestSupernodeBoot(t *testing.T) {
+	eng := sim.NewEngine()
+
+	mkProc := func(name string) (*nb.Northbridge, *cpu.Core) {
+		n := nb.New(eng, name, memPerNode/2, nb.DefaultParams())
+		return n, cpu.NewCore(eng, n, cpu.DefaultParams())
+	}
+
+	var machines []*Machine
+	var owners []*nb.Northbridge  // socket 0 of each board (owns the TCC link)
+	var seconds []*nb.Northbridge // socket 1
+	var secondCores []*cpu.Core
+
+	for b := 0; b < 2; b++ {
+		m := NewMachine(eng, []string{"sn0", "sn1"}[b])
+		n0, c0 := mkProc("p0")
+		n1, c1 := mkProc("p1")
+		m.AddProcessor(Processor{NB: n0, Cores: []*cpu.Core{c0}})
+		m.AddProcessor(Processor{NB: n1, Cores: []*cpu.Core{c1}})
+
+		// Internal coherent link: socket0.link2 <-> socket1.link2.
+		il := ht.NewLink(eng, ht.DefaultLinkConfig(ht.ClassProcessor, ht.ClassProcessor))
+		if err := n0.AttachLink(2, il.A()); err != nil {
+			t.Fatal(err)
+		}
+		if err := n1.AttachLink(2, il.B()); err != nil {
+			t.Fatal(err)
+		}
+		m.AddInternalLink(0, 2, 1, 2, il)
+		il.ColdReset()
+
+		sb := ht.NewLink(eng, ht.DefaultLinkConfig(ht.ClassProcessor, ht.ClassIODevice))
+		if err := n0.AttachLink(1, sb.A()); err != nil {
+			t.Fatal(err)
+		}
+		m.SetSouthbridge(1, sb)
+		sb.ColdReset()
+
+		machines = append(machines, m)
+		owners = append(owners, n0)
+		seconds = append(seconds, n1)
+		secondCores = append(secondCores, c1)
+	}
+
+	htx := ht.NewLink(eng, ht.DefaultLinkConfig(ht.ClassProcessor, ht.ClassProcessor))
+	if err := owners[0].AttachLink(0, htx.A()); err != nil {
+		t.Fatal(err)
+	}
+	if err := owners[1].AttachLink(0, htx.B()); err != nil {
+		t.Fatal(err)
+	}
+	machines[0].AddTCCLink(0, 0, htx)
+	machines[1].AddTCCLink(0, 0, htx)
+	htx.ColdReset()
+	eng.Run()
+
+	cfgs := []BootConfig{
+		{Rank: 0, NumNodes: 2, MemPerNode: memPerNode,
+			RemoteRoutes: []RemoteRoute{{LoNode: 1, HiNode: 1, Proc: 0, Link: 0}},
+			LinkSpeed:    ht.HT800, LinkWidth: 16, UCWindow: 1 << 20},
+		{Rank: 1, NumNodes: 2, MemPerNode: memPerNode,
+			RemoteRoutes: []RemoteRoute{{LoNode: 0, HiNode: 0, Proc: 0, Link: 0}},
+			LinkSpeed:    ht.HT800, LinkWidth: 16, UCWindow: 1 << 20},
+	}
+	if err := BootTCCluster(eng, machines, cfgs); err != nil {
+		t.Fatalf("supernode boot failed: %v", err)
+	}
+
+	if owners[0].NodeID() != 0 || seconds[0].NodeID() != 1 {
+		t.Errorf("NodeIDs = %d,%d, want 0,1", owners[0].NodeID(), seconds[0].NodeID())
+	}
+
+	// Socket 1 of board 0 writes into board 1's memory: the packet must
+	// transit socket 0 (the TCC link owner) and cross the cable.
+	sent := false
+	secondCores[0].StoreBlock(memPerNode+0x40, []byte{9, 8, 7, 6, 5, 4, 3, 2}, func(err error) {
+		if err != nil {
+			t.Errorf("supernode remote store: %v", err)
+		}
+		sent = true
+		secondCores[0].Sfence(func() {})
+	})
+	eng.Run()
+	if !sent {
+		t.Fatal("store never retired")
+	}
+	got := make([]byte, 8)
+	if err := owners[1].MemController().Memory().Read(0x40, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 9 {
+		t.Errorf("remote memory = %v", got)
+	}
+	if fw := owners[0].Counters().PktsForwarded; fw == 0 {
+		t.Error("owner socket forwarded no packets; transit path not used")
+	}
+}
+
+func TestCARFetchReadsFlash(t *testing.T) {
+	_, machines, _ := buildPrototype(t)
+	m := machines[0]
+	if err := m.PhaseColdCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PhaseCARFetch(1024); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Log().Has("cache-as-ram") {
+		t.Fatal("no CAR step recorded")
+	}
+	// The fetch must have run at flash speed: ~20 MB/s, not DRAM speed.
+	for _, s := range m.Log().Steps {
+		if s.Name == "cache-as-ram" {
+			if !strings.Contains(s.Detail, "MB/s") {
+				t.Fatalf("CAR detail missing throughput: %s", s.Detail)
+			}
+		}
+	}
+	if m.TCCLinkCount() != 1 {
+		t.Errorf("TCC links = %d", m.TCCLinkCount())
+	}
+	// Oversized fetch is rejected.
+	if err := m.PhaseCARFetch(1 << 20); err == nil {
+		t.Error("oversized CAR fetch accepted")
+	}
+}

@@ -1,0 +1,161 @@
+// Package firmware reproduces the TCCluster boot flow the paper builds
+// on coreboot (§V): coherent enumeration inside each supernode, the
+// debug-register force to non-coherent, the synchronized warm reset that
+// makes it effective, northbridge address-map and routing programming,
+// MTRR setup, memory init, and the deliberate skipping of non-coherent
+// device enumeration on TCCluster links.
+package firmware
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/ht"
+	"repro/internal/nb"
+	"repro/internal/sim"
+	"repro/internal/southbridge"
+)
+
+// Processor is one socket on a board: a northbridge plus its cores.
+type Processor struct {
+	NB    *nb.Northbridge
+	Cores []*cpu.Core
+}
+
+// internalEdge is a coherent link between two sockets of one board.
+type internalEdge struct {
+	ProcA, LinkA int
+	ProcB, LinkB int
+	L            *ht.Link
+}
+
+// tccPort is a designated external TCCluster link.
+type tccPort struct {
+	Proc, Link int
+	L          *ht.Link
+}
+
+// Machine is one board/supernode: the unit a BSP configures. The paper's
+// prototype is the degenerate single-socket machine; supernodes have
+// 2-8 sockets joined by coherent links (§IV.E).
+type Machine struct {
+	Name string
+	Eng  *sim.Engine
+
+	Procs []Processor
+	BSP   int // index of the boot-strap processor (owns the southbridge)
+
+	internal []internalEdge
+	tcc      []tccPort
+
+	southbridge     *ht.Link
+	southbridgeLink int // link index on the BSP
+	flash           *southbridge.Device
+
+	carMBs float64 // measured CAR fetch bandwidth, for the exit-CAR log
+
+	log *BootLog
+}
+
+// NewMachine creates an empty machine. Wiring (sockets, links) is added
+// by the platform builder before boot.
+func NewMachine(eng *sim.Engine, name string) *Machine {
+	return &Machine{Name: name, Eng: eng, log: &BootLog{Machine: name}}
+}
+
+// AddProcessor registers a socket and returns its index.
+func (m *Machine) AddProcessor(p Processor) int {
+	m.Procs = append(m.Procs, p)
+	return len(m.Procs) - 1
+}
+
+// AddInternalLink registers a coherent socket-to-socket link. The link's
+// A side must already be attached to procA's northbridge at linkA, and
+// B to procB at linkB.
+func (m *Machine) AddInternalLink(procA, linkA, procB, linkB int, l *ht.Link) {
+	m.internal = append(m.internal, internalEdge{procA, linkA, procB, linkB, l})
+}
+
+// AddTCCLink designates an external TCCluster link hanging off proc's
+// link index. Its local side must already be attached to the
+// northbridge.
+func (m *Machine) AddTCCLink(proc, link int, l *ht.Link) {
+	m.tcc = append(m.tcc, tccPort{Proc: proc, Link: link, L: l})
+}
+
+// SetSouthbridge registers the BSP's IO link (BIOS ROM, legacy IO).
+func (m *Machine) SetSouthbridge(link int, l *ht.Link) {
+	m.southbridge = l
+	m.southbridgeLink = link
+}
+
+// SetFlashDevice registers the southbridge's flash ROM device; the CAR
+// phase fetches the firmware image from it over the non-coherent link.
+func (m *Machine) SetFlashDevice(d *southbridge.Device) { m.flash = d }
+
+// Log returns the boot log recorded so far.
+func (m *Machine) Log() *BootLog { return m.log }
+
+// TCCLinkCount returns the number of designated TCCluster links.
+func (m *Machine) TCCLinkCount() int { return len(m.tcc) }
+
+// localPort returns this machine's end of a TCC/internal link given the
+// owning processor and link index.
+func (m *Machine) localPort(proc, link int) *ht.Port {
+	return m.Procs[proc].NB.LinkPort(link)
+}
+
+// neighbors returns procIdx's internal adjacency as (linkIdx, peerProc)
+// pairs in deterministic order.
+func (m *Machine) neighbors(proc int) [][2]int {
+	var out [][2]int
+	for _, e := range m.internal {
+		if e.ProcA == proc {
+			out = append(out, [2]int{e.LinkA, e.ProcB})
+		}
+		if e.ProcB == proc {
+			out = append(out, [2]int{e.LinkB, e.ProcA})
+		}
+	}
+	return out
+}
+
+// BootStep is one recorded firmware phase.
+type BootStep struct {
+	Name   string
+	At     sim.Time
+	Detail string
+}
+
+// BootLog records the firmware phases of one machine, in order.
+type BootLog struct {
+	Machine string
+	Steps   []BootStep
+}
+
+func (m *Machine) record(name, format string, args ...interface{}) {
+	m.log.Steps = append(m.log.Steps, BootStep{
+		Name:   name,
+		At:     m.Eng.Now(),
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Has reports whether a step with the given name was recorded.
+func (l *BootLog) Has(name string) bool {
+	for _, s := range l.Steps {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the boot log like a firmware serial console.
+func (l *BootLog) String() string {
+	out := fmt.Sprintf("== coreboot/TCCluster: %s ==\n", l.Machine)
+	for _, s := range l.Steps {
+		out += fmt.Sprintf("[%12v] %-24s %s\n", s.At, s.Name, s.Detail)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package firmware
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/nb"
+)
+
+// BootSMP configures the machine as a conventional coherent
+// shared-memory multiprocessor — the baseline system of the paper's
+// Figure 2 that TCCluster abandons. All sockets keep their coherent
+// links, NodeIDs stay distinct, the physical memories aggregate into
+// one shared address space mapped write-back everywhere, and no MMIO
+// trickery is installed. Cross-socket loads AND stores work (responses
+// route by distinct NodeIDs); scalability is what suffers, per §III.
+func (m *Machine) BootSMP() error {
+	if len(m.tcc) != 0 {
+		return fmt.Errorf("firmware(%s): BootSMP on a machine with %d designated TCCluster links",
+			m.Name, len(m.tcc))
+	}
+	if err := m.PhaseColdCheck(); err != nil {
+		return err
+	}
+	if err := m.PhaseCARFetch(4096); err != nil {
+		return err
+	}
+	if err := m.PhaseCoherentEnumeration(); err != nil {
+		return err
+	}
+
+	// Aggregate the shared memory map: socket j's DIMMs at
+	// [base_j, base_j + size_j), stacked in enumeration order.
+	m.advance(phaseCost)
+	type slice struct {
+		base, size uint64
+	}
+	slices := make([]slice, len(m.Procs))
+	base := uint64(0)
+	for j, p := range m.Procs {
+		size := p.NB.MemController().Memory().Size()
+		if size%16<<20 != 0 {
+			return fmt.Errorf("firmware(%s): socket %d memory %#x not 16MB granular", m.Name, j, size)
+		}
+		slices[j] = slice{base: base, size: size}
+		base += size
+	}
+	total := base
+	for pi, p := range m.Procs {
+		for pj := range m.Procs {
+			r := dramRangeFor(slices[pj].base, slices[pj].size, m.nodeIDOf(pj))
+			if err := p.NB.SetDRAMRange(pj, r); err != nil {
+				return fmt.Errorf("firmware(%s): socket %d DRAM range %d: %w", m.Name, pi, pj, err)
+			}
+		}
+		p.NB.MemController().SetBase(slices[pi].base)
+	}
+	m.record("northbridge-init", "SMP shared map: %d MB across %d sockets", total>>20, len(m.Procs))
+
+	// Every core sees all of memory write-back: the classic SMP MTRR.
+	m.advance(phaseCost)
+	for _, p := range m.Procs {
+		for _, core := range p.Cores {
+			mt := core.MTRR()
+			mt.Clear()
+			if err := mt.SetRange(0, total-1, cpu.WriteBack); err != nil {
+				return err
+			}
+		}
+	}
+	m.record("cpu-msr-init", "WB over the full %d MB shared space", total>>20)
+
+	m.PhaseExitCAR()
+	m.PhaseLoadOS()
+	return nil
+}
+
+func dramRangeFor(base, size uint64, dstNode uint8) (r nb.DRAMRange) {
+	r.Base = base
+	r.Limit = base + size - 1
+	r.DstNode = dstNode
+	r.RE, r.WE = true, true
+	return r
+}

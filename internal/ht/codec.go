@@ -1,0 +1,128 @@
+package ht
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format, modeled on the HT 3.10 control-packet layout with the
+// rev-3 address extension:
+//
+// Addressed commands (8-byte header, optional 4-byte address extension):
+//
+//	byte 0: Cmd
+//	byte 1: UnitID[4:0] | PassPW<<5 | SeqID[1:0]<<6
+//	byte 2: SrcTag[4:0] | SeqID[3:2]<<5 | AddrExt<<7
+//	byte 3: Count[3:0]  | A[35:32]<<4        (A = Addr >> 2)
+//	byte 4..7: A[31:0] little-endian
+//	if AddrExt: byte 8..11: A[45:36] little-endian (address extension)
+//
+// Short commands (4-byte header, responses and the like):
+//
+//	byte 0: Cmd
+//	byte 1: UnitID[4:0] | PassPW<<5
+//	byte 2: SrcTag[4:0]
+//	byte 3: Count[3:0]
+//
+// Data payloads follow the header, dword-padded by construction.
+const addrExtLen = 4
+
+// EncodedLen returns the exact number of bytes Encode will produce.
+func EncodedLen(p *Packet) int {
+	n := p.HeaderLen() + p.PayloadLen()
+	if p.Cmd.HasAddress() && needsAddrExt(p.Addr) {
+		n += addrExtLen
+	}
+	return n
+}
+
+func needsAddrExt(addr uint64) bool { return (addr>>2)>>36 != 0 }
+
+// Encode serializes the packet into wire bytes. The packet must pass
+// Validate.
+func Encode(p *Packet) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, EncodedLen(p))
+	if p.Cmd.HasAddress() {
+		a := p.Addr >> 2
+		ext := needsAddrExt(p.Addr)
+		b1 := p.UnitID & 0x1F
+		if p.PassPW {
+			b1 |= 1 << 5
+		}
+		b1 |= (p.SeqID & 0x03) << 6
+		b2 := p.SrcTag & 0x1F
+		b2 |= ((p.SeqID >> 2) & 0x03) << 5
+		if ext {
+			b2 |= 1 << 7
+		}
+		b3 := p.Count&0x0F | uint8((a>>32)&0x0F)<<4
+		buf = append(buf, byte(p.Cmd), b1, b2, b3)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(a))
+		if ext {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(a>>36))
+		}
+	} else {
+		b1 := p.UnitID & 0x1F
+		if p.PassPW {
+			b1 |= 1 << 5
+		}
+		buf = append(buf, byte(p.Cmd), b1, p.SrcTag&0x1F, p.Count&0x0F)
+	}
+	buf = append(buf, p.Data...)
+	return buf, nil
+}
+
+// Decode parses one packet from the front of buf and returns it together
+// with the number of bytes consumed.
+func Decode(buf []byte) (*Packet, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("ht: truncated packet: %d bytes", len(buf))
+	}
+	p := &Packet{Cmd: Command(buf[0])}
+	n := 0
+	if p.Cmd.HasAddress() {
+		if len(buf) < 8 {
+			return nil, 0, fmt.Errorf("ht: truncated addressed header: %d bytes", len(buf))
+		}
+		b1, b2, b3 := buf[1], buf[2], buf[3]
+		p.UnitID = b1 & 0x1F
+		p.PassPW = b1&(1<<5) != 0
+		p.SeqID = (b1 >> 6) & 0x03
+		p.SrcTag = b2 & 0x1F
+		p.SeqID |= ((b2 >> 5) & 0x03) << 2
+		ext := b2&(1<<7) != 0
+		p.Count = b3 & 0x0F
+		a := uint64(binary.LittleEndian.Uint32(buf[4:8]))
+		a |= uint64(b3>>4) << 32
+		n = 8
+		if ext {
+			if len(buf) < n+addrExtLen {
+				return nil, 0, fmt.Errorf("ht: truncated address extension")
+			}
+			a |= uint64(binary.LittleEndian.Uint32(buf[n:n+4])) << 36
+			n += addrExtLen
+		}
+		p.Addr = a << 2
+	} else {
+		p.UnitID = buf[1] & 0x1F
+		p.PassPW = buf[1]&(1<<5) != 0
+		p.SrcTag = buf[2] & 0x1F
+		p.Count = buf[3] & 0x0F
+		n = 4
+	}
+	if p.Cmd.HasData() {
+		plen := (int(p.Count) + 1) * DwordBytes
+		if len(buf) < n+plen {
+			return nil, 0, fmt.Errorf("ht: truncated payload: have %d, need %d", len(buf)-n, plen)
+		}
+		p.Data = append([]byte(nil), buf[n:n+plen]...)
+		n += plen
+	}
+	if err := p.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("ht: decoded packet invalid: %w", err)
+	}
+	return p, n, nil
+}

@@ -1,0 +1,109 @@
+package ht
+
+import "fmt"
+
+// Flow control follows the HT coupon scheme: the receiver advertises
+// per-VC buffer space as credits, one command credit per control packet
+// and one data credit per 64-byte data buffer. A transmitter may only
+// send a packet when it holds the credits; the receiver hands credits
+// back (on real hardware inside Nop packets) as buffers drain. Running a
+// VC without credits is what produces HT's deadlock guarantees, so the
+// counters are checked aggressively and go negative only via a bug.
+
+// BufferConfig describes the receive buffering of one link end.
+type BufferConfig struct {
+	Cmd  [NumVCs]int // command-packet buffers per VC
+	Data [NumVCs]int // 64-byte data buffers per VC
+}
+
+// DefaultBufferConfig mirrors a typical Opteron link: a handful of
+// buffers per VC, deepest on the posted channel (the only channel
+// TCCluster traffic uses).
+func DefaultBufferConfig() BufferConfig {
+	return BufferConfig{
+		Cmd:  [NumVCs]int{VCPosted: 8, VCNonPosted: 4, VCResponse: 4},
+		Data: [NumVCs]int{VCPosted: 8, VCNonPosted: 2, VCResponse: 4},
+	}
+}
+
+// Credits tracks the credits a transmitter currently holds toward its
+// link partner.
+type Credits struct {
+	cmd  [NumVCs]int
+	data [NumVCs]int
+}
+
+// NewCredits returns counters initialized from the peer's advertised
+// buffer configuration.
+func NewCredits(cfg BufferConfig) *Credits {
+	c := &Credits{}
+	for vc := VirtualChannel(0); vc < NumVCs; vc++ {
+		c.cmd[vc] = cfg.Cmd[vc]
+		c.data[vc] = cfg.Data[vc]
+	}
+	return c
+}
+
+// CanSend reports whether the transmitter holds enough credits for p.
+func (c *Credits) CanSend(p *Packet) bool {
+	vc := p.Cmd.VC()
+	if c.cmd[vc] < 1 {
+		return false
+	}
+	return !p.Cmd.HasData() || c.data[vc] >= 1
+}
+
+// Consume debits the credits for p. It panics if CanSend is false:
+// callers must gate on CanSend, exactly as hardware gates on coupons.
+func (c *Credits) Consume(p *Packet) {
+	if !c.CanSend(p) {
+		panic(fmt.Sprintf("ht: credit underflow sending %v (cmd=%d data=%d)",
+			p, c.cmd[p.Cmd.VC()], c.data[p.Cmd.VC()]))
+	}
+	vc := p.Cmd.VC()
+	c.cmd[vc]--
+	if p.Cmd.HasData() {
+		c.data[vc]--
+	}
+}
+
+// Release returns credits for a drained packet of p's shape.
+func (c *Credits) Release(p *Packet) {
+	vc := p.Cmd.VC()
+	c.cmd[vc]++
+	if p.Cmd.HasData() {
+		c.data[vc]++
+	}
+}
+
+// Cmd returns the command credits held for vc.
+func (c *Credits) Cmd(vc VirtualChannel) int { return c.cmd[vc] }
+
+// Data returns the data credits held for vc.
+func (c *Credits) Data(vc VirtualChannel) int { return c.data[vc] }
+
+// CheckNonNegative verifies no counter has gone negative; property tests
+// call it after random operation sequences.
+func (c *Credits) CheckNonNegative() error {
+	for vc := VirtualChannel(0); vc < NumVCs; vc++ {
+		if c.cmd[vc] < 0 || c.data[vc] < 0 {
+			return fmt.Errorf("ht: negative credits on %v: cmd=%d data=%d",
+				vc, c.cmd[vc], c.data[vc])
+		}
+	}
+	return nil
+}
+
+// CheckFull verifies every credit has returned to the advertised
+// buffer configuration: the idle-fabric invariant. A shortfall means a
+// receive buffer was never drained (a leak); an excess means a double
+// release.
+func (c *Credits) CheckFull(cfg BufferConfig) error {
+	for vc := VirtualChannel(0); vc < NumVCs; vc++ {
+		if c.cmd[vc] != cfg.Cmd[vc] || c.data[vc] != cfg.Data[vc] {
+			return fmt.Errorf("ht: credits on %v at cmd=%d/%d data=%d/%d (held/advertised)",
+				vc, c.cmd[vc], cfg.Cmd[vc], c.data[vc], cfg.Data[vc])
+		}
+	}
+	return nil
+}

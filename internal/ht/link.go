@@ -1,0 +1,522 @@
+package ht
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Speed is an HT link clock in MHz. Signaling is DDR, so a lane carries
+// 2*Speed megabits per second: HT800 = 1.6 Gbit/s per lane, the rate the
+// paper's HTX-cable prototype was limited to; HT2600 = 5.2 Gbit/s, the
+// processor's ceiling.
+type Speed int
+
+// Standard link clocks. ColdResetSpeed is what every link trains to out
+// of cold reset before firmware reprograms it (HT spec: 200 MHz).
+const (
+	HT200  Speed = 200
+	HT400  Speed = 400
+	HT600  Speed = 600
+	HT800  Speed = 800
+	HT1000 Speed = 1000
+	HT1200 Speed = 1200
+	HT1600 Speed = 1600
+	HT2000 Speed = 2000
+	HT2400 Speed = 2400
+	HT2600 Speed = 2600
+
+	ColdResetSpeed = HT200
+	ColdResetWidth = 8
+)
+
+// GbitPerLane returns the per-lane signaling rate in Gbit/s.
+func (s Speed) GbitPerLane() float64 { return 2 * float64(s) / 1000 }
+
+func (s Speed) String() string { return fmt.Sprintf("HT%d", int(s)) }
+
+// crcNum/crcDen: HT3 inserts a 32-bit periodic CRC into every 512
+// bit-times of each lane, a ~0.8% overhead applied to all serialization.
+const (
+	crcNum = 516
+	crcDen = 512
+)
+
+// DeviceClass is what a link end identifies itself as during training.
+// Two processors train coherent unless one forces non-coherent mode via
+// the debug register (the TCCluster trick, paper §IV.B).
+type DeviceClass int
+
+const (
+	ClassProcessor DeviceClass = iota
+	ClassIODevice              // southbridge, HTX card, tunnel ...
+)
+
+func (c DeviceClass) String() string {
+	if c == ClassProcessor {
+		return "processor"
+	}
+	return "io-device"
+}
+
+// LinkType is the trained personality of a link.
+type LinkType int
+
+const (
+	TypeDown LinkType = iota
+	TypeCoherent
+	TypeNonCoherent
+)
+
+func (t LinkType) String() string {
+	switch t {
+	case TypeCoherent:
+		return "coherent"
+	case TypeNonCoherent:
+		return "non-coherent"
+	default:
+		return "down"
+	}
+}
+
+// LinkState is the training state of the physical link.
+type LinkState int
+
+const (
+	StateDown LinkState = iota
+	StateTraining
+	StateActive
+)
+
+func (s LinkState) String() string {
+	switch s {
+	case StateTraining:
+		return "training"
+	case StateActive:
+		return "active"
+	default:
+		return "down"
+	}
+}
+
+// LinkConfig describes the fixed physical properties of a link.
+type LinkConfig struct {
+	AClass, BClass DeviceClass
+	MaxWidth       int      // lanes physically wired (8 or 16; 32 = dual link)
+	Flight         sim.Time // propagation delay (trace or cable)
+	TrainTime      sim.Time // duration of one training sequence
+	ABuffers       BufferConfig
+	BBuffers       BufferConfig
+
+	// Fault model: HT defines link-level fault tolerance — periodic CRC
+	// windows detect corruption and the transmitter replays from its
+	// retry buffer (HT3 link-level retry). ErrorRate is the probability
+	// that one packet's serialization is corrupted; RetryPenalty is the
+	// resynchronize-and-replay cost per corrupted attempt. The paper's
+	// HTX cable ran below its rated speed precisely because of signal
+	// integrity (§VI), which is what this models.
+	ErrorRate    float64
+	RetryPenalty sim.Time
+	ErrorSeed    uint64
+}
+
+// DefaultLinkConfig returns the configuration of an on-board 16-lane
+// processor-to-processor link with ~5 ns of trace flight time.
+func DefaultLinkConfig(a, b DeviceClass) LinkConfig {
+	return LinkConfig{
+		AClass:    a,
+		BClass:    b,
+		MaxWidth:  16,
+		Flight:    5 * sim.Nanosecond,
+		TrainTime: 1 * sim.Microsecond,
+		ABuffers:  DefaultBufferConfig(),
+		BBuffers:  DefaultBufferConfig(),
+	}
+}
+
+// PortStats counts traffic through one link end.
+type PortStats struct {
+	PktsSent     uint64
+	BytesSent    uint64 // wire bytes (headers + payload, before CRC scaling)
+	PktsRecv     uint64
+	BytesRecv    uint64
+	PerVCSent    [NumVCs]uint64
+	CreditStalls uint64 // times a packet had to wait for credits
+	SendErrors   uint64
+	CRCErrors    uint64 // corrupted serializations detected by the CRC window
+	Retries      uint64 // replay-buffer retransmissions
+}
+
+// Sink consumes delivered packets at a link end. done must be called
+// exactly once when the receive buffer is drained; credits flow back to
+// the transmitter only then, which is how receiver backpressure reaches
+// the wire.
+type Sink func(p *Packet, done func())
+
+// Port is one end of a Link.
+type Port struct {
+	link *Link
+	side int
+	name string
+
+	class DeviceClass
+
+	// Programmable registers; take effect at the next warm reset,
+	// exactly like the real frequency/width/debug registers.
+	progSpeed Speed
+	progWidth int
+	forceNC   bool
+
+	credits *Credits // credits held toward the peer
+	tx      sim.Server
+	waitq   [NumVCs][]*Packet
+	sink    Sink
+	stats   PortStats
+}
+
+// Link is a bidirectional HyperTransport link between two ports.
+type Link struct {
+	eng *sim.Engine
+	cfg LinkConfig
+
+	ports [2]*Port
+
+	state LinkState
+	typ   LinkType
+	speed Speed
+	width int
+
+	trainings int
+	rand      *sim.Rand
+	log       func(string)
+	trace     func(event, side string, pkt *Packet)
+}
+
+// NewLink creates a link in the Down state. Call ColdReset to train it.
+func NewLink(eng *sim.Engine, cfg LinkConfig) *Link {
+	if cfg.MaxWidth == 0 {
+		cfg.MaxWidth = 16
+	}
+	if cfg.TrainTime == 0 {
+		cfg.TrainTime = 1 * sim.Microsecond
+	}
+	zero := BufferConfig{}
+	if cfg.ABuffers == zero {
+		cfg.ABuffers = DefaultBufferConfig()
+	}
+	if cfg.BBuffers == zero {
+		cfg.BBuffers = DefaultBufferConfig()
+	}
+	if cfg.ErrorRate > 0 && cfg.RetryPenalty == 0 {
+		cfg.RetryPenalty = 500 * sim.Nanosecond
+	}
+	l := &Link{eng: eng, cfg: cfg, state: StateDown, typ: TypeDown,
+		rand: sim.NewRand(cfg.ErrorSeed + 0x7CC)}
+	l.ports[0] = &Port{link: l, side: 0, name: "A", class: cfg.AClass,
+		progSpeed: ColdResetSpeed, progWidth: ColdResetWidth}
+	l.ports[1] = &Port{link: l, side: 1, name: "B", class: cfg.BClass,
+		progSpeed: ColdResetSpeed, progWidth: ColdResetWidth}
+	return l
+}
+
+// SetLog installs a training/event log callback (used by firmware logs
+// and tests).
+func (l *Link) SetLog(fn func(string)) { l.log = fn }
+
+// SetTrace installs a packet tracer, invoked at serialization start
+// ("tx", transmitting side) and delivery ("rx", receiving side). The
+// cmd/tcctrace tool uses it to render fabric activity chronologically.
+func (l *Link) SetTrace(fn func(event, side string, pkt *Packet)) { l.trace = fn }
+
+func (l *Link) emitTrace(event, side string, pkt *Packet) {
+	if l.trace != nil {
+		l.trace(event, side, pkt)
+	}
+}
+
+func (l *Link) logf(format string, args ...interface{}) {
+	if l.log != nil {
+		l.log(fmt.Sprintf(format, args...))
+	}
+}
+
+// A returns the port on the A side.
+func (l *Link) A() *Port { return l.ports[0] }
+
+// B returns the port on the B side.
+func (l *Link) B() *Port { return l.ports[1] }
+
+// State returns the training state.
+func (l *Link) State() LinkState { return l.state }
+
+// Type returns the trained link personality.
+func (l *Link) Type() LinkType { return l.typ }
+
+// Speed returns the trained clock.
+func (l *Link) Speed() Speed { return l.speed }
+
+// Width returns the trained lane count.
+func (l *Link) Width() int { return l.width }
+
+// Trainings returns how many training sequences have completed, used by
+// tests to assert that warm reset actually retrained.
+func (l *Link) Trainings() int { return l.trainings }
+
+// RawBandwidth returns the unidirectional payload-agnostic link rate in
+// bytes per second at the trained width and clock.
+func (l *Link) RawBandwidth() float64 {
+	if l.state != StateActive {
+		return 0
+	}
+	return float64(l.width) * l.speed.GbitPerLane() * 1e9 / 8
+}
+
+// byteTime returns the serialization time of n wire bytes, including the
+// periodic-CRC overhead.
+func (l *Link) byteTime(n int) sim.Time {
+	bits := float64(n*8) * crcNum / crcDen
+	bitsPerPs := float64(l.width) * 2 * float64(l.speed) * 1e-6
+	return sim.Time(bits/bitsPerPs + 0.5)
+}
+
+// SerializationTime exposes byteTime for analysis tools.
+func (l *Link) SerializationTime(n int) sim.Time { return l.byteTime(n) }
+
+// Side returns "A" or "B" naming for diagnostics.
+func (p *Port) Side() string { return p.name }
+
+// Class returns the device class this end identifies as.
+func (p *Port) Class() DeviceClass { return p.class }
+
+// Peer returns the other end of the link.
+func (p *Port) Peer() *Port { return p.link.ports[1-p.side] }
+
+// Link returns the link this port belongs to.
+func (p *Port) Link() *Link { return p.link }
+
+// Stats returns a copy of the port's traffic counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// SetSink installs the packet consumer for this end.
+func (p *Port) SetSink(s Sink) { p.sink = s }
+
+// SetProgrammedSpeed stages a link clock; it takes effect at the next
+// warm reset (paper §V: "the link speed is increased from 400 to 4800
+// Mbit/s" before the warm reset).
+func (p *Port) SetProgrammedSpeed(s Speed) { p.progSpeed = s }
+
+// SetProgrammedWidth stages a lane count for the next warm reset.
+func (p *Port) SetProgrammedWidth(w int) { p.progWidth = w }
+
+// SetForceNonCoherent stages the debug register that makes this end
+// identify as a non-coherent device at the next warm reset — the core
+// TCCluster mechanism (paper §IV.B).
+func (p *Port) SetForceNonCoherent(v bool) { p.forceNC = v }
+
+// ForceNonCoherent reads back the staged debug register.
+func (p *Port) ForceNonCoherent() bool { return p.forceNC }
+
+// bufferCfg returns the receive buffers this port advertises.
+func (p *Port) bufferCfg() BufferConfig {
+	if p.side == 0 {
+		return p.link.cfg.ABuffers
+	}
+	return p.link.cfg.BBuffers
+}
+
+// Send transmits a packet toward the peer. Delivery is asynchronous via
+// the peer's Sink; ordering within a VC is preserved. Send fails when
+// the link is not active.
+func (p *Port) Send(pkt *Packet) error {
+	if p.link.state != StateActive {
+		p.stats.SendErrors++
+		return fmt.Errorf("ht: send on %v link (state %v)", p.link.typ, p.link.state)
+	}
+	if err := pkt.Validate(); err != nil {
+		p.stats.SendErrors++
+		return err
+	}
+	vc := pkt.Cmd.VC()
+	if len(p.waitq[vc]) > 0 || !p.credits.CanSend(pkt) {
+		p.stats.CreditStalls++
+	}
+	p.waitq[vc] = append(p.waitq[vc], pkt)
+	p.pump()
+	return nil
+}
+
+// QueuedPackets returns how many packets are waiting for credits or
+// serialization across all VCs.
+func (p *Port) QueuedPackets() int {
+	n := 0
+	for vc := range p.waitq {
+		n += len(p.waitq[vc])
+	}
+	return n
+}
+
+// CheckIdle verifies the port holds no queued packets and all credits
+// toward the peer have been returned — the state an idle fabric must be
+// in after any completed workload.
+func (p *Port) CheckIdle() error {
+	if n := p.QueuedPackets(); n != 0 {
+		return fmt.Errorf("ht: port %s holds %d queued packets", p.name, n)
+	}
+	if p.credits == nil {
+		return nil // never trained
+	}
+	if err := p.credits.CheckFull(p.Peer().bufferCfg()); err != nil {
+		return fmt.Errorf("ht: port %s: %w", p.name, err)
+	}
+	return nil
+}
+
+// pump moves as many queued packets as credits allow into serialization.
+// Response traffic drains first (HT deadlock rule: responses must always
+// be able to make progress), then posted, then non-posted.
+func (p *Port) pump() {
+	order := [...]VirtualChannel{VCResponse, VCPosted, VCNonPosted}
+	for _, vc := range order {
+		for len(p.waitq[vc]) > 0 && p.credits.CanSend(p.waitq[vc][0]) {
+			pkt := p.waitq[vc][0]
+			p.waitq[vc] = p.waitq[vc][1:]
+			p.credits.Consume(pkt)
+			p.transmit(pkt)
+		}
+	}
+}
+
+func (p *Port) transmit(pkt *Packet) {
+	l := p.link
+	pkt.Accept()
+	wire := EncodedLen(pkt)
+	ser := l.byteTime(wire)
+	// Link-level retry: each corrupted serialization costs the CRC
+	// detection + resync penalty plus a replay of the packet. The
+	// replay buffer preserves order because the tx server is FIFO and
+	// retries book consecutive slots.
+	attempts := sim.Time(0)
+	for l.cfg.ErrorRate > 0 && l.rand.Float64() < l.cfg.ErrorRate {
+		p.stats.CRCErrors++
+		p.stats.Retries++
+		attempts += ser + l.cfg.RetryPenalty
+	}
+	_, done := p.tx.Schedule(l.eng.Now(), attempts+ser)
+	p.stats.PktsSent++
+	p.stats.BytesSent += uint64(wire)
+	p.stats.PerVCSent[pkt.Cmd.VC()]++
+	l.emitTrace("tx", p.name, pkt)
+	peer := p.Peer()
+	l.eng.At(done+l.cfg.Flight, func() {
+		l.emitTrace("rx", peer.name, pkt)
+		peer.stats.PktsRecv++
+		peer.stats.BytesRecv += uint64(wire)
+		released := false
+		release := func() {
+			if released {
+				panic("ht: rx-buffer done() called twice")
+			}
+			released = true
+			// The credit coupon rides back on the reverse channel:
+			// flight plus a 4-byte Nop serialization.
+			delay := l.cfg.Flight + l.byteTime(4)
+			l.eng.After(delay, func() {
+				p.credits.Release(pkt)
+				p.pump()
+			})
+		}
+		if peer.sink != nil {
+			peer.sink(pkt, release)
+		} else {
+			release()
+		}
+	})
+}
+
+// ForceDown models a cable pull or unrecoverable link failure: the link
+// drops immediately, queued packets are discarded, and every subsequent
+// Send fails until a reset retrains it. TCCluster has no routing-level
+// failover — the paper's architecture simply loses the path, which is
+// what tests built on this observe.
+func (l *Link) ForceDown() {
+	l.state = StateDown
+	l.typ = TypeDown
+	for _, p := range l.ports {
+		for vc := range p.waitq {
+			p.waitq[vc] = nil
+		}
+		p.tx.Reset()
+	}
+	l.logf("link forced down")
+}
+
+// ColdReset drops the link and trains it from scratch: width and clock
+// fall back to the cold-reset defaults and programmed values are NOT
+// applied — only a warm reset applies them. Both prototype boards in the
+// paper must come out of cold reset simultaneously; the fabric layer
+// enforces that by issuing cold resets at the same virtual instant.
+func (l *Link) ColdReset() {
+	l.beginTraining(ColdResetSpeed, minInt(ColdResetWidth, l.cfg.MaxWidth))
+}
+
+// WarmReset retrains the link with the programmed registers, which is
+// when the forced-non-coherent debug setting and staged speed/width
+// become effective (paper §V "Warm Reset" step).
+func (l *Link) WarmReset() {
+	speed := l.ports[0].progSpeed
+	if l.ports[1].progSpeed < speed {
+		speed = l.ports[1].progSpeed
+	}
+	width := minInt(l.ports[0].progWidth, l.ports[1].progWidth)
+	width = minInt(width, l.cfg.MaxWidth)
+	l.beginTraining(speed, width)
+}
+
+func (l *Link) beginTraining(speed Speed, width int) {
+	if l.state == StateTraining {
+		// Both ends share one physical reset wire (the paper short-
+		// circuits the reset signals of its two boards): a second assert
+		// while training is already in progress is absorbed.
+		return
+	}
+	l.state = StateTraining
+	l.typ = TypeDown
+	// A reset flushes in-flight traffic and resets flow-control state.
+	for _, p := range l.ports {
+		for vc := range p.waitq {
+			p.waitq[vc] = nil
+		}
+		p.tx.Reset()
+	}
+	l.eng.After(l.cfg.TrainTime, func() {
+		l.state = StateActive
+		l.speed = speed
+		l.width = width
+		l.typ = l.negotiateType()
+		l.trainings++
+		l.ports[0].credits = NewCredits(l.ports[1].bufferCfg())
+		l.ports[1].credits = NewCredits(l.ports[0].bufferCfg())
+		l.logf("link trained: %v %dx %v (%.1f Gbit/s/lane)",
+			l.typ, l.width, l.speed, l.speed.GbitPerLane())
+	})
+}
+
+// negotiateType implements the identification phase of training: two
+// processors form a coherent link, any IO device forces non-coherent,
+// and the debug register overrides processor identification — the
+// mechanism TCCluster is built on.
+func (l *Link) negotiateType() LinkType {
+	a, b := l.ports[0], l.ports[1]
+	if a.class == ClassProcessor && b.class == ClassProcessor &&
+		!a.forceNC && !b.forceNC {
+		return TypeCoherent
+	}
+	return TypeNonCoherent
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

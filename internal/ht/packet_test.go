@@ -1,0 +1,383 @@
+package ht
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommandVCMapping(t *testing.T) {
+	cases := []struct {
+		cmd  Command
+		want VirtualChannel
+	}{
+		{CmdWrPosted, VCPosted},
+		{CmdBroadcast, VCPosted},
+		{CmdFence, VCPosted},
+		{CmdWrNP, VCNonPosted},
+		{CmdRdSized, VCNonPosted},
+		{CmdProbe, VCNonPosted},
+		{CmdRdResp, VCResponse},
+		{CmdTgtDone, VCResponse},
+		{CmdProbeResp, VCResponse},
+		{CmdSrcDone, VCResponse},
+	}
+	for _, c := range cases {
+		if got := c.cmd.VC(); got != c.want {
+			t.Errorf("%v.VC() = %v, want %v", c.cmd, got, c.want)
+		}
+	}
+}
+
+func TestCommandClassification(t *testing.T) {
+	if !CmdProbe.IsCoherent() || CmdWrPosted.IsCoherent() {
+		t.Error("IsCoherent misclassifies")
+	}
+	if !CmdWrPosted.HasData() || CmdRdSized.HasData() {
+		t.Error("HasData misclassifies")
+	}
+	if !CmdRdSized.HasAddress() || CmdRdResp.HasAddress() {
+		t.Error("HasAddress misclassifies")
+	}
+}
+
+func TestNewPostedWrite(t *testing.T) {
+	p, err := NewPostedWrite(0x1000, make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Count != 15 {
+		t.Errorf("Count = %d, want 15", p.Count)
+	}
+	if p.WireLen() != 8+64 {
+		t.Errorf("WireLen = %d, want 72", p.WireLen())
+	}
+	if p.Cmd.VC() != VCPosted {
+		t.Errorf("VC = %v", p.Cmd.VC())
+	}
+}
+
+func TestNewPostedWriteRejectsBadPayloads(t *testing.T) {
+	if _, err := NewPostedWrite(0x1000, nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if _, err := NewPostedWrite(0x1000, make([]byte, 65)); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	if _, err := NewPostedWrite(0x1000, make([]byte, 7)); err == nil {
+		t.Error("non-dword payload accepted")
+	}
+	if _, err := NewPostedWrite(0x1001, make([]byte, 8)); err == nil {
+		t.Error("unaligned address accepted")
+	}
+}
+
+func TestValidateFieldWidths(t *testing.T) {
+	base := func() *Packet {
+		p, _ := NewPostedWrite(0x40, []byte{1, 2, 3, 4})
+		return p
+	}
+	p := base()
+	p.UnitID = 32
+	if p.Validate() == nil {
+		t.Error("6-bit UnitID accepted")
+	}
+	p = base()
+	p.SrcTag = 32
+	if p.Validate() == nil {
+		t.Error("6-bit SrcTag accepted")
+	}
+	p = base()
+	p.SeqID = 16
+	if p.Validate() == nil {
+		t.Error("5-bit SeqID accepted")
+	}
+	p = base()
+	p.Addr = 1 << 48
+	if p.Validate() == nil {
+		t.Error("49-bit address accepted")
+	}
+	p = base()
+	p.Data = nil
+	if p.Validate() == nil {
+		t.Error("missing payload accepted")
+	}
+}
+
+func TestReadResponsePairing(t *testing.T) {
+	rd, err := NewRead(0x2000, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Cmd.HasData() {
+		t.Error("read request must not carry data")
+	}
+	resp, err := NewReadResponse(rd.SrcTag, make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.SrcTag != 7 {
+		t.Errorf("response tag = %d, want 7", resp.SrcTag)
+	}
+	if resp.HeaderLen() != 4 {
+		t.Errorf("response header = %d bytes, want 4", resp.HeaderLen())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	pkts := []*Packet{
+		mustWrite(t, 0x1000, 64),
+		mustWrite(t, 0xFFFF_FFFF_FFFC, 4), // top of 48-bit space: needs ext
+		{Cmd: CmdRdSized, Addr: 0x8_0000_0000, Count: 15, SrcTag: 31},
+		{Cmd: CmdRdResp, SrcTag: 3, Count: 0, Data: []byte{9, 8, 7, 6}},
+		{Cmd: CmdTgtDone, SrcTag: 12},
+		{Cmd: CmdBroadcast, Addr: 0xFEE0_0000},
+		{Cmd: CmdFence},
+		{Cmd: CmdFlush, UnitID: 5},
+		{Cmd: CmdProbe, Addr: 0x4000, UnitID: 3, SrcTag: 9},
+		{Cmd: CmdProbeResp, SrcTag: 9},
+	}
+	for _, p := range pkts {
+		enc, err := Encode(p)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", p, err)
+		}
+		if len(enc) != EncodedLen(p) {
+			t.Errorf("EncodedLen(%v) = %d, Encode produced %d", p, EncodedLen(p), len(enc))
+		}
+		dec, n, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", p, err)
+		}
+		if n != len(enc) {
+			t.Errorf("Decode consumed %d of %d bytes", n, len(enc))
+		}
+		if dec.Cmd != p.Cmd || dec.UnitID != p.UnitID || dec.SrcTag != p.SrcTag ||
+			dec.SeqID != p.SeqID || dec.PassPW != p.PassPW ||
+			dec.Addr != p.Addr || dec.Count != p.Count ||
+			!bytes.Equal(dec.Data, p.Data) {
+			t.Errorf("round trip mismatch:\n  in:  %+v\n  out: %+v", p, dec)
+		}
+	}
+}
+
+func mustWrite(t *testing.T, addr uint64, n int) *Packet {
+	t.Helper()
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	p, err := NewPostedWrite(addr, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// Property: any valid posted write round-trips through the codec.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(addr uint64, dwords uint8, unit, tag, seq uint8, passPW bool, seed byte) bool {
+		addr = (addr % (1 << 48)) &^ 0x3
+		nd := int(dwords%16) + 1
+		data := make([]byte, nd*DwordBytes)
+		for i := range data {
+			data[i] = seed + byte(i)
+		}
+		p := &Packet{
+			Cmd:    CmdWrPosted,
+			Addr:   addr,
+			Count:  uint8(nd - 1),
+			Data:   data,
+			UnitID: unit % 32,
+			SrcTag: tag % 32,
+			SeqID:  seq % 16,
+			PassPW: passPW,
+		}
+		enc, err := Encode(p)
+		if err != nil {
+			return false
+		}
+		dec, n, err := Decode(enc)
+		if err != nil || n != len(enc) {
+			return false
+		}
+		return dec.Addr == p.Addr && bytes.Equal(dec.Data, p.Data) &&
+			dec.UnitID == p.UnitID && dec.SrcTag == p.SrcTag &&
+			dec.SeqID == p.SeqID && dec.PassPW == p.PassPW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	p := mustWrite(t, 0x1000, 64)
+	enc, _ := Encode(p)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("Decode accepted %d/%d bytes", cut, len(enc))
+		}
+	}
+}
+
+func TestDecodeStream(t *testing.T) {
+	// Several packets back to back must decode sequentially.
+	var stream []byte
+	var want []*Packet
+	for i := 0; i < 5; i++ {
+		p := mustWrite(t, uint64(0x1000+i*64), 64)
+		want = append(want, p)
+		enc, _ := Encode(p)
+		stream = append(stream, enc...)
+	}
+	for i := 0; len(stream) > 0; i++ {
+		p, n, err := Decode(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Addr != want[i].Addr {
+			t.Fatalf("packet %d addr %#x, want %#x", i, p.Addr, want[i].Addr)
+		}
+		stream = stream[n:]
+	}
+}
+
+func TestCreditsConsumeRelease(t *testing.T) {
+	c := NewCredits(BufferConfig{
+		Cmd:  [NumVCs]int{VCPosted: 2, VCNonPosted: 1, VCResponse: 1},
+		Data: [NumVCs]int{VCPosted: 1, VCNonPosted: 1, VCResponse: 1},
+	})
+	w := mustWrite(t, 0x0, 64)
+	if !c.CanSend(w) {
+		t.Fatal("fresh credits refuse a posted write")
+	}
+	c.Consume(w)
+	// One data credit existed; a second data packet must block even
+	// though a command credit remains.
+	if c.CanSend(w) {
+		t.Fatal("send allowed without data credit")
+	}
+	// A dataless posted fence still fits (one command credit left).
+	fence := &Packet{Cmd: CmdFence}
+	if !c.CanSend(fence) {
+		t.Fatal("fence blocked despite available command credit")
+	}
+	c.Release(w)
+	if !c.CanSend(w) {
+		t.Fatal("release did not restore data credit")
+	}
+}
+
+func TestCreditsConsumeWithoutCreditPanics(t *testing.T) {
+	c := NewCredits(BufferConfig{}) // zero credits everywhere
+	defer func() {
+		if recover() == nil {
+			t.Error("Consume with no credits did not panic")
+		}
+	}()
+	c.Consume(&Packet{Cmd: CmdFence})
+}
+
+// Property: any interleaving of consume(when allowed)/release keeps all
+// counters non-negative and never exceeds... (release is bounded by what
+// was consumed, which the driver below guarantees).
+func TestCreditsNonNegativeProperty(t *testing.T) {
+	f := func(ops []byte) bool {
+		c := NewCredits(DefaultBufferConfig())
+		var outstanding []*Packet
+		mk := func(op byte) *Packet {
+			switch op % 3 {
+			case 0:
+				p, _ := NewPostedWrite(0, []byte{1, 2, 3, 4})
+				return p
+			case 1:
+				return &Packet{Cmd: CmdRdSized}
+			default:
+				return &Packet{Cmd: CmdTgtDone}
+			}
+		}
+		for _, op := range ops {
+			if op&0x80 != 0 && len(outstanding) > 0 {
+				p := outstanding[len(outstanding)-1]
+				outstanding = outstanding[:len(outstanding)-1]
+				c.Release(p)
+			} else {
+				p := mk(op)
+				if c.CanSend(p) {
+					c.Consume(p)
+					outstanding = append(outstanding, p)
+				}
+			}
+			if c.CheckNonNegative() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringsAndAccessors(t *testing.T) {
+	// Command/VC strings exist for diagnostics; pin the key ones.
+	for cmd, want := range map[Command]string{
+		CmdWrPosted: "WrPosted", CmdRdSized: "RdSized", CmdRdResp: "RdResp",
+		CmdProbe: "Probe", CmdSrcDone: "SrcDone", Command(0x3E): "Command(0x3E)",
+	} {
+		if got := cmd.String(); got != want {
+			t.Errorf("%d.String() = %q want %q", cmd, got, want)
+		}
+	}
+	if VCPosted.String() != "P" || VCNonPosted.String() != "NP" || VCResponse.String() != "R" {
+		t.Error("VC strings")
+	}
+	if VirtualChannel(9).String() != "VC(9)" {
+		t.Error("unknown VC string")
+	}
+	w, err := NewNonPostedWrite(0x100, []byte{1, 2, 3, 4})
+	if err != nil || w.Cmd != CmdWrNP {
+		t.Errorf("NewNonPostedWrite: %v %v", w, err)
+	}
+	if _, err := NewRead(0x100, 3, 0); err == nil {
+		t.Error("unaligned read size accepted")
+	}
+	if _, err := NewReadResponse(0, []byte{1}); err == nil {
+		t.Error("unaligned response accepted")
+	}
+	// Packet strings for the three shapes.
+	for _, p := range []*Packet{w, {Cmd: CmdRdSized, Addr: 0x40, Count: 15}, {Cmd: CmdTgtDone, SrcTag: 3}} {
+		if p.String() == "" {
+			t.Error("empty packet string")
+		}
+	}
+	// Accept is one-shot and nil-safe.
+	n := 0
+	p := &Packet{Cmd: CmdFence, OnAccept: func() { n++ }}
+	p.Accept()
+	p.Accept()
+	if n != 1 {
+		t.Errorf("Accept fired %d times", n)
+	}
+	(&Packet{Cmd: CmdFence}).Accept() // nil hook: no panic
+}
+
+func TestCreditAccessorsAndCheckFull(t *testing.T) {
+	cfg := DefaultBufferConfig()
+	c := NewCredits(cfg)
+	if c.Cmd(VCPosted) != cfg.Cmd[VCPosted] || c.Data(VCPosted) != cfg.Data[VCPosted] {
+		t.Error("accessors mismatch")
+	}
+	if err := c.CheckFull(cfg); err != nil {
+		t.Errorf("fresh credits not full: %v", err)
+	}
+	p, _ := NewPostedWrite(0, []byte{1, 2, 3, 4})
+	c.Consume(p)
+	if err := c.CheckFull(cfg); err == nil {
+		t.Error("consumed credits reported full")
+	}
+	c.Release(p)
+	if err := c.CheckFull(cfg); err != nil {
+		t.Errorf("released credits not full: %v", err)
+	}
+}

@@ -1,0 +1,123 @@
+package ht
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func faultyLink(t *testing.T, rate float64, seed uint64) (*sim.Engine, *Link) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg := DefaultLinkConfig(ClassProcessor, ClassIODevice)
+	cfg.ErrorRate = rate
+	cfg.RetryPenalty = 500 * sim.Nanosecond
+	cfg.ErrorSeed = seed
+	l := NewLink(eng, cfg)
+	l.ColdReset()
+	eng.Run()
+	return eng, l
+}
+
+func TestRetryDeliversEverythingInOrder(t *testing.T) {
+	eng, l := faultyLink(t, 0.2, 1)
+	var got []uint64
+	l.B().SetSink(func(p *Packet, done func()) {
+		got = append(got, p.Addr)
+		done()
+	})
+	const n = 200
+	for i := 0; i < n; i++ {
+		p, _ := NewPostedWrite(uint64(i*64), make([]byte, 64))
+		if err := l.A().Send(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if len(got) != n {
+		t.Fatalf("delivered %d of %d packets over a lossy link", len(got), n)
+	}
+	for i, a := range got {
+		if a != uint64(i*64) {
+			t.Fatalf("packet %d out of order", i)
+		}
+	}
+	st := l.A().Stats()
+	if st.CRCErrors == 0 || st.Retries == 0 {
+		t.Errorf("no CRC errors/retries recorded at 20%% error rate: %+v", st)
+	}
+}
+
+func TestRetryCostsLatency(t *testing.T) {
+	measure := func(rate float64) sim.Time {
+		eng, l := faultyLink(t, rate, 7)
+		var last sim.Time
+		l.B().SetSink(func(p *Packet, done func()) {
+			last = eng.Now()
+			done()
+		})
+		for i := 0; i < 50; i++ {
+			p, _ := NewPostedWrite(uint64(i*64), make([]byte, 64))
+			_ = l.A().Send(p)
+		}
+		eng.Run()
+		return last
+	}
+	clean := measure(0)
+	lossy := measure(0.3)
+	if lossy <= clean {
+		t.Errorf("lossy link finished at %v, clean at %v — retries must cost time", lossy, clean)
+	}
+}
+
+func TestCleanLinkHasNoRetries(t *testing.T) {
+	eng, l := faultyLink(t, 0, 3)
+	l.B().SetSink(func(p *Packet, done func()) { done() })
+	p, _ := NewPostedWrite(0, make([]byte, 64))
+	_ = l.A().Send(p)
+	eng.Run()
+	if st := l.A().Stats(); st.CRCErrors != 0 || st.Retries != 0 {
+		t.Errorf("clean link recorded errors: %+v", st)
+	}
+}
+
+// Property: at any error rate below 1, every packet is eventually
+// delivered exactly once, in order.
+func TestRetryDeliveryProperty(t *testing.T) {
+	f := func(rateRaw uint8, seed uint64, nRaw uint8) bool {
+		rate := float64(rateRaw%80) / 100 // 0..0.79
+		n := int(nRaw%50) + 1
+		eng := sim.NewEngine()
+		cfg := DefaultLinkConfig(ClassProcessor, ClassIODevice)
+		cfg.ErrorRate = rate
+		cfg.ErrorSeed = seed
+		l := NewLink(eng, cfg)
+		l.ColdReset()
+		eng.Run()
+		var got []uint64
+		l.B().SetSink(func(p *Packet, done func()) {
+			got = append(got, p.Addr)
+			done()
+		})
+		for i := 0; i < n; i++ {
+			p, _ := NewPostedWrite(uint64(i*64), make([]byte, 8))
+			if err := l.A().Send(p); err != nil {
+				return false
+			}
+		}
+		eng.Run()
+		if len(got) != n {
+			return false
+		}
+		for i, a := range got {
+			if a != uint64(i*64) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

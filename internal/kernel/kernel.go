@@ -1,0 +1,142 @@
+// Package kernel models the operating-system layer of TCCluster: the
+// custom Linux 2.6.34 build of §VI. It provides the device driver that
+// maps remote TCCluster memory page-wise into user space, enforces the
+// uncachable mapping rule for receive buffers, restricts which local
+// ranges remote nodes may be given, and — the reason the paper needed a
+// custom kernel at all — suppresses system-management (SMC) interrupt
+// broadcasts, which the HT fabric would otherwise flood across the
+// TCCluster links.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ht"
+)
+
+// Options configure one node's kernel.
+type Options struct {
+	// SMCDisabled marks the custom kernel: system-management broadcasts
+	// are suppressed at the source. A stock kernel (false) lets them
+	// leak across TCCluster links as spurious interrupts at the peers.
+	SMCDisabled bool
+	// ExportLo/ExportHi restrict the node-local offsets remote nodes may
+	// map ("the driver has to restrict the address ranges that can be
+	// mapped into user space by remote nodes", §IV.D). A zero ExportHi
+	// defaults the export window to the firmware's UC receive window.
+	ExportLo, ExportHi uint64
+}
+
+// PageSize is the mapping granularity of the driver ("page wise memory
+// mapping of remote addresses", §V).
+const PageSize = 4096
+
+// Kernel is the OS instance on one supernode.
+type Kernel struct {
+	os   *OS
+	node *core.Node
+	opt  Options
+
+	interrupts     uint64 // broadcasts delivered to this kernel
+	suppressedSMCs uint64 // SMCs the custom kernel refused to send
+	ucAllocNext    uint64 // bump allocator inside the UC window
+	mappings       int
+}
+
+// OS is the cluster-wide view: one kernel per node sharing the
+// simulation clock.
+type OS struct {
+	cluster *core.Cluster
+	kernels []*Kernel
+}
+
+// Install boots a kernel on every node of the cluster with the same
+// options.
+func Install(c *core.Cluster, opt Options) *OS {
+	o := &OS{cluster: c}
+	for _, n := range c.Nodes() {
+		o.kernels = append(o.kernels, newKernel(o, n, opt))
+	}
+	return o
+}
+
+// InstallMixed boots per-node kernels; failure-injection tests run a
+// stock kernel on one node only.
+func InstallMixed(c *core.Cluster, opts []Options) (*OS, error) {
+	if len(opts) != c.N() {
+		return nil, fmt.Errorf("kernel: %d option sets for %d nodes", len(opts), c.N())
+	}
+	o := &OS{cluster: c}
+	for i, n := range c.Nodes() {
+		o.kernels = append(o.kernels, newKernel(o, n, opts[i]))
+	}
+	return o, nil
+}
+
+func newKernel(o *OS, n *core.Node, opt Options) *Kernel {
+	if opt.ExportHi == 0 {
+		opt.ExportLo = 0
+		opt.ExportHi = o.cluster.Config().UCWindow
+	}
+	k := &Kernel{os: o, node: n, opt: opt}
+	// Interrupt entry points: every socket's broadcast sink lands here.
+	for _, p := range n.Machine().Procs {
+		p.NB.SetBroadcastHook(func(*ht.Packet) { k.interrupts++ })
+	}
+	return k
+}
+
+// Cluster returns the underlying cluster.
+func (o *OS) Cluster() *core.Cluster { return o.cluster }
+
+// Kernel returns node i's kernel.
+func (o *OS) Kernel(i int) *Kernel { return o.kernels[i] }
+
+// Node returns the node this kernel runs on.
+func (k *Kernel) Node() *core.Node { return k.node }
+
+// Interrupts returns how many broadcast interrupts reached this kernel.
+func (k *Kernel) Interrupts() uint64 { return k.interrupts }
+
+// SuppressedSMCs returns how many SMC broadcasts the custom kernel
+// refused to emit.
+func (k *Kernel) SuppressedSMCs() uint64 { return k.suppressedSMCs }
+
+// Mappings returns how many driver windows this kernel has handed out.
+func (k *Kernel) Mappings() int { return k.mappings }
+
+// RaiseSMC attempts to emit a system-management broadcast. The custom
+// kernel suppresses it; a stock kernel puts it on the fabric, where the
+// hardware's broadcast routes flood it across the TCCluster links into
+// neighboring machines (§VI).
+func (k *Kernel) RaiseSMC(vector uint64) {
+	if k.opt.SMCDisabled {
+		k.suppressedSMCs++
+		return
+	}
+	k.node.Machine().Procs[0].NB.CPUBroadcast(vector)
+}
+
+// UCUsed returns how many bytes of the uncachable window have been
+// allocated (rings, flow-control slots, PGAS segments...).
+func (k *Kernel) UCUsed() uint64 { return k.ucAllocNext }
+
+// UCCapacity returns the total size of the uncachable window.
+func (k *Kernel) UCCapacity() uint64 { return k.os.cluster.Config().UCWindow }
+
+// AllocUC reserves size bytes (rounded up to whole pages) inside the
+// node's uncachable receive window and returns the node-local offset.
+// Ring buffers and flow-control slots live here.
+func (k *Kernel) AllocUC(size uint64) (uint64, error) {
+	pages := (size + PageSize - 1) / PageSize
+	need := pages * PageSize
+	ucTop := k.os.cluster.Config().UCWindow
+	if k.ucAllocNext+need > ucTop {
+		return 0, fmt.Errorf("kernel: UC window exhausted (%d of %d bytes used, need %d)",
+			k.ucAllocNext, ucTop, need)
+	}
+	off := k.ucAllocNext
+	k.ucAllocNext += need
+	return off, nil
+}

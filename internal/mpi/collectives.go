@@ -1,0 +1,461 @@
+package mpi
+
+import "fmt"
+
+// Collective op identifiers for the internal tag space.
+const (
+	opBarrier = iota + 1
+	opBcast
+	opReduce
+	opGather
+	opAllreduce
+	opScatter
+	opAlltoall
+	opAllreduceRing
+)
+
+// ctag builds a collision-free internal tag for one collective round.
+// Ranks stay in lockstep because — as in real MPI — every rank must
+// invoke collectives in the same order.
+func (c *Comm) ctag(op, round int) int {
+	if c.epochs == nil {
+		c.epochs = make(map[int]int)
+	}
+	epoch := c.epochs[op]
+	return internalTagBase | op<<26 | (epoch&0xFFFF)<<8 | round&0xFF
+}
+
+func (c *Comm) bumpEpoch(op int) {
+	if c.epochs == nil {
+		c.epochs = make(map[int]int)
+	}
+	c.epochs[op]++
+}
+
+// Op folds src into dst element-wise (a reduction operator).
+type Op func(dst, src []float64)
+
+// Sum is element-wise addition.
+var Sum Op = func(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// Max is element-wise maximum.
+var Max Op = func(dst, src []float64) {
+	for i := range dst {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// Min is element-wise minimum.
+var Min Op = func(dst, src []float64) {
+	for i := range dst {
+		if src[i] < dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// Barrier blocks (in virtual time) until every rank has entered it,
+// using the dissemination algorithm: ceil(log2 n) rounds of one send
+// and one receive each. done fires when this rank may proceed.
+func (c *Comm) Barrier(done func(error)) {
+	n := c.w.n
+	if n == 1 {
+		done(nil)
+		return
+	}
+	var round func(k, dist int)
+	round = func(k, dist int) {
+		if dist >= n {
+			c.bumpEpoch(opBarrier)
+			done(nil)
+			return
+		}
+		to := (c.rank + dist) % n
+		from := (c.rank - dist + n) % n
+		tag := c.ctag(opBarrier, k)
+		pending := 2
+		var firstErr error
+		step := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			pending--
+			if pending == 0 {
+				if firstErr != nil {
+					done(firstErr)
+					return
+				}
+				round(k+1, dist*2)
+			}
+		}
+		c.Recv(from, tag, func(_ []byte, err error) { step(err) })
+		c.send(to, tag, []byte{1}, step)
+	}
+	round(0, 1)
+}
+
+// bcastTree returns the binomial-tree parent and children of a virtual
+// rank (root-relative).
+func bcastTree(vrank, n int) (parent int, children []int) {
+	parent = -1
+	limit := n
+	if vrank != 0 {
+		lsb := vrank & -vrank
+		parent = vrank - lsb
+		limit = lsb
+	}
+	for m := 1; m < limit; m <<= 1 {
+		if vrank+m < n {
+			children = append(children, vrank+m)
+		}
+	}
+	return parent, children
+}
+
+// Bcast distributes root's data to every rank along a binomial tree.
+// On the root, data is the payload; elsewhere data is ignored. cb fires
+// with the payload once this rank has received and forwarded it.
+func (c *Comm) Bcast(root int, data []byte, cb func([]byte, error)) {
+	n := c.w.n
+	tag := c.ctag(opBcast, 0)
+	c.bumpEpoch(opBcast)
+	vrank := (c.rank - root + n) % n
+	parent, children := bcastTree(vrank, n)
+
+	forward := func(payload []byte) {
+		pending := len(children)
+		if pending == 0 {
+			cb(payload, nil)
+			return
+		}
+		var firstErr error
+		for _, child := range children {
+			dst := (child + root) % n
+			c.send(dst, tag, payload, func(err error) {
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				pending--
+				if pending == 0 {
+					cb(payload, firstErr)
+				}
+			})
+		}
+	}
+	if parent == -1 {
+		forward(data)
+		return
+	}
+	c.Recv((parent+root)%n, tag, func(payload []byte, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		forward(payload)
+	})
+}
+
+// Reduce folds every rank's vector into the root along a binomial tree.
+// cb on the root receives the reduction; other ranks get nil.
+func (c *Comm) Reduce(root int, vec []float64, op Op, cb func([]float64, error)) {
+	n := c.w.n
+	tag := c.ctag(opReduce, 0)
+	c.bumpEpoch(opReduce)
+	vrank := (c.rank - root + n) % n
+	parent, children := bcastTree(vrank, n)
+
+	acc := append([]float64(nil), vec...)
+	pending := len(children)
+	finish := func() {
+		if parent == -1 {
+			cb(acc, nil)
+			return
+		}
+		c.send((parent+root)%n, tag, Float64s(acc), func(err error) {
+			cb(nil, err)
+		})
+	}
+	if pending == 0 {
+		finish()
+		return
+	}
+	for _, child := range children {
+		src := (child + root) % n
+		c.Recv(src, tag, func(payload []byte, err error) {
+			if err != nil {
+				cb(nil, err)
+				return
+			}
+			v, derr := ToFloat64s(payload)
+			if derr != nil {
+				cb(nil, derr)
+				return
+			}
+			if len(v) != len(acc) {
+				cb(nil, fmt.Errorf("mpi: reduce length mismatch: %d vs %d", len(v), len(acc)))
+				return
+			}
+			op(acc, v)
+			pending--
+			if pending == 0 {
+				finish()
+			}
+		})
+	}
+}
+
+// Allreduce gives every rank the reduction of all vectors (reduce to
+// rank 0, then broadcast).
+func (c *Comm) Allreduce(vec []float64, op Op, cb func([]float64, error)) {
+	c.Reduce(0, vec, op, func(result []float64, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		var payload []byte
+		if c.rank == 0 {
+			payload = Float64s(result)
+		}
+		c.Bcast(0, payload, func(data []byte, err error) {
+			if err != nil {
+				cb(nil, err)
+				return
+			}
+			out, derr := ToFloat64s(data)
+			cb(out, derr)
+		})
+	})
+}
+
+// Scatter distributes parts[i] from the root to rank i. On the root,
+// parts must hold one slice per rank; elsewhere parts is ignored. cb
+// receives this rank's part.
+func (c *Comm) Scatter(root int, parts [][]byte, cb func([]byte, error)) {
+	n := c.w.n
+	tag := c.ctag(opScatter, 0)
+	c.bumpEpoch(opScatter)
+	if c.rank != root {
+		c.Recv(root, tag, cb)
+		return
+	}
+	if len(parts) != n {
+		cb(nil, fmt.Errorf("mpi: scatter needs %d parts, got %d", n, len(parts)))
+		return
+	}
+	pending := n - 1
+	own := append([]byte(nil), parts[root]...)
+	if pending == 0 {
+		cb(own, nil)
+		return
+	}
+	var firstErr error
+	for dst := 0; dst < n; dst++ {
+		if dst == root {
+			continue
+		}
+		c.send(dst, tag, parts[dst], func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			pending--
+			if pending == 0 {
+				cb(own, firstErr)
+			}
+		})
+	}
+}
+
+// Alltoall sends data[j] to every rank j and collects the slice each
+// rank addressed to us: out[i] is rank i's contribution (out[rank] is
+// our own data[rank]). The personalized all-to-all is the heaviest
+// collective on any network; on TCCluster it is n*(n-1) eager frames.
+func (c *Comm) Alltoall(data [][]byte, cb func([][]byte, error)) {
+	n := c.w.n
+	tag := c.ctag(opAlltoall, 0)
+	c.bumpEpoch(opAlltoall)
+	if len(data) != n {
+		cb(nil, fmt.Errorf("mpi: alltoall needs %d slices, got %d", n, len(data)))
+		return
+	}
+	out := make([][]byte, n)
+	out[c.rank] = append([]byte(nil), data[c.rank]...)
+	pending := 2 * (n - 1)
+	if pending == 0 {
+		cb(out, nil)
+		return
+	}
+	var firstErr error
+	step := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		pending--
+		if pending == 0 {
+			cb(out, firstErr)
+		}
+	}
+	for peer := 0; peer < n; peer++ {
+		if peer == c.rank {
+			continue
+		}
+		p := peer
+		c.Recv(p, tag, func(payload []byte, err error) {
+			out[p] = payload
+			step(err)
+		})
+		c.send(p, tag, data[p], step)
+	}
+}
+
+// AllreduceRing is the bandwidth-optimal ring allreduce: a
+// reduce-scatter phase followed by an allgather, 2(n-1) neighbor
+// exchanges moving ~2/n of the vector each. For large vectors it beats
+// the tree Allreduce (whose root moves the whole vector per child); for
+// tiny vectors the tree's log2(n) latency wins — the ablation in
+// experiment E15 quantifies the crossover.
+func (c *Comm) AllreduceRing(vec []float64, op Op, cb func([]float64, error)) {
+	n := c.w.n
+	if n == 1 {
+		cb(append([]float64(nil), vec...), nil)
+		return
+	}
+	if len(vec) < n {
+		// Too small to chunk: fall back to the tree.
+		c.Allreduce(vec, op, cb)
+		return
+	}
+	// Snapshot this invocation's epoch before any step runs: the step
+	// closures fire long after the call returns.
+	if c.epochs == nil {
+		c.epochs = make(map[int]int)
+	}
+	e := c.epochs[opAllreduceRing]
+	c.epochs[opAllreduceRing]++
+	epoch := func(step int) int {
+		return internalTagBase | opAllreduceRing<<26 | (e&0xFFFF)<<8 | step&0xFF
+	}
+
+	acc := append([]float64(nil), vec...)
+	bound := func(i int) int { return i * len(vec) / n }
+	chunk := func(i int) []float64 { return acc[bound(i):bound(i+1)] }
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+
+	// Phase 1: reduce-scatter. After step s, chunk (rank-s-1) holds the
+	// partial reduction of s+2 contributors.
+	var reduceStep func(s int)
+	// Phase 2: allgather.
+	var gatherStep func(s int)
+
+	reduceStep = func(s int) {
+		if s >= n-1 {
+			gatherStep(0)
+			return
+		}
+		sendIdx := (c.rank - s + n) % n
+		recvIdx := (c.rank - s - 1 + n) % n
+		tag := epoch(s)
+		pending := 2
+		var firstErr error
+		done := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			pending--
+			if pending == 0 {
+				if firstErr != nil {
+					cb(nil, firstErr)
+					return
+				}
+				reduceStep(s + 1)
+			}
+		}
+		c.Recv(left, tag, func(payload []byte, err error) {
+			if err == nil {
+				var v []float64
+				if v, err = ToFloat64s(payload); err == nil {
+					op(chunk(recvIdx), v)
+				}
+			}
+			done(err)
+		})
+		c.send(right, tag, Float64s(chunk(sendIdx)), done)
+	}
+	gatherStep = func(s int) {
+		if s >= n-1 {
+			cb(acc, nil)
+			return
+		}
+		sendIdx := (c.rank - s + 1 + n) % n
+		recvIdx := (c.rank - s + n) % n
+		tag := epoch(128 + s) // distinct from phase-1 tags
+		pending := 2
+		var firstErr error
+		done := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			pending--
+			if pending == 0 {
+				if firstErr != nil {
+					cb(nil, firstErr)
+					return
+				}
+				gatherStep(s + 1)
+			}
+		}
+		c.Recv(left, tag, func(payload []byte, err error) {
+			if err == nil {
+				var v []float64
+				if v, err = ToFloat64s(payload); err == nil {
+					copy(chunk(recvIdx), v)
+				}
+			}
+			done(err)
+		})
+		c.send(right, tag, Float64s(chunk(sendIdx)), done)
+	}
+	reduceStep(0)
+}
+
+// Gather collects every rank's payload at the root. cb on the root
+// receives a slice indexed by rank; other ranks get nil.
+func (c *Comm) Gather(root int, data []byte, cb func([][]byte, error)) {
+	n := c.w.n
+	tag := c.ctag(opGather, 0)
+	c.bumpEpoch(opGather)
+	if c.rank != root {
+		c.send(root, tag, data, func(err error) { cb(nil, err) })
+		return
+	}
+	out := make([][]byte, n)
+	out[root] = append([]byte(nil), data...)
+	pending := n - 1
+	if pending == 0 {
+		cb(out, nil)
+		return
+	}
+	for src := 0; src < n; src++ {
+		if src == root {
+			continue
+		}
+		s := src
+		c.Recv(s, tag, func(payload []byte, err error) {
+			if err != nil {
+				cb(nil, err)
+				return
+			}
+			out[s] = payload
+			pending--
+			if pending == 0 {
+				cb(out, nil)
+			}
+		})
+	}
+}

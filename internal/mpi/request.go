@@ -1,0 +1,86 @@
+package mpi
+
+import "fmt"
+
+// Request is the handle of a non-blocking operation. Every operation in
+// this library is callback-asynchronous already; Request wraps that
+// style in the familiar MPI Isend/Irecv/Wait vocabulary, so ports of
+// MPI codes read naturally.
+type Request struct {
+	done bool
+	err  error
+	data []byte
+	cbs  []func([]byte, error)
+}
+
+func (r *Request) complete(data []byte, err error) {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.data = data
+	r.err = err
+	for _, cb := range r.cbs {
+		cb(data, err)
+	}
+	r.cbs = nil
+}
+
+// Done reports whether the operation has completed (MPI_Test).
+func (r *Request) Done() bool { return r.done }
+
+// Err returns the completion error (valid once Done).
+func (r *Request) Err() error { return r.err }
+
+// Data returns the received payload (valid once Done; nil for sends).
+func (r *Request) Data() []byte { return r.data }
+
+// OnDone registers a completion callback (MPI_Wait's continuation); it
+// fires immediately if the request already completed.
+func (r *Request) OnDone(cb func([]byte, error)) {
+	if r.done {
+		cb(r.data, r.err)
+		return
+	}
+	r.cbs = append(r.cbs, cb)
+}
+
+// Isend starts a non-blocking send and returns its request handle.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	r := &Request{}
+	c.Send(dst, tag, data, func(err error) { r.complete(nil, err) })
+	return r
+}
+
+// Irecv posts a non-blocking receive and returns its request handle.
+func (c *Comm) Irecv(src, tag int) *Request {
+	r := &Request{}
+	c.Recv(src, tag, func(data []byte, err error) { r.complete(data, err) })
+	return r
+}
+
+// Waitall invokes done once every request has completed, with the first
+// error observed (MPI_Waitall).
+func Waitall(reqs []*Request, done func(error)) {
+	if len(reqs) == 0 {
+		done(nil)
+		return
+	}
+	pending := len(reqs)
+	var firstErr error
+	for _, r := range reqs {
+		if r == nil {
+			done(fmt.Errorf("mpi: nil request in Waitall"))
+			return
+		}
+		r.OnDone(func(_ []byte, err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			pending--
+			if pending == 0 {
+				done(firstErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,162 @@
+// Package mpi is the middleware layer the paper names as its next step
+// (§VII): an MPI-flavored message-passing interface built entirely on
+// the TCCluster message library — eager sends through the 4 KB rings,
+// rendezvous transfers through one-sided Put regions, and tree/
+// dissemination collectives. Everything is callback-driven on the
+// simulation engine: an operation completes when its callback fires.
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/kernel"
+	"repro/internal/msg"
+)
+
+// AnyTag matches any tag in Recv.
+const AnyTag = -1
+
+// internalTagBase marks the tag space reserved for collectives.
+const internalTagBase = 1 << 30
+
+// Config configures a World.
+type Config struct {
+	// Msg configures each underlying channel. BulkBytes (rendezvous
+	// region) defaults to 256 KB per channel when zero.
+	Msg msg.Params
+	// EagerLimit is the largest payload sent through the ring; larger
+	// payloads use the rendezvous path. Default 2048.
+	EagerLimit int
+}
+
+// DefaultConfig returns a paper-faithful configuration.
+func DefaultConfig() Config {
+	p := msg.DefaultParams()
+	p.BulkBytes = 256 << 10
+	return Config{Msg: p, EagerLimit: 2048}
+}
+
+// World is the set of ranks (one per cluster node) and their N*(N-1)
+// unidirectional channels.
+type World struct {
+	cfg   Config
+	n     int
+	comms []*Comm
+}
+
+// NewWorld opens channels between every pair of nodes and starts the
+// receive pumps.
+func NewWorld(os *kernel.OS, cfg Config) (*World, error) {
+	if cfg.EagerLimit == 0 {
+		cfg.EagerLimit = 2048
+	}
+	if cfg.Msg.RingBytes == 0 {
+		cfg.Msg = msg.DefaultParams()
+	}
+	if cfg.Msg.BulkBytes == 0 {
+		cfg.Msg.BulkBytes = 256 << 10
+	}
+	if cfg.EagerLimit > cfg.Msg.MaxMessage()-envelopeHeader {
+		return nil, fmt.Errorf("mpi: eager limit %d exceeds ring message capacity %d",
+			cfg.EagerLimit, cfg.Msg.MaxMessage()-envelopeHeader)
+	}
+	n := os.Cluster().N()
+	w := &World{cfg: cfg, n: n}
+	for rank := 0; rank < n; rank++ {
+		w.comms = append(w.comms, newComm(w, rank))
+	}
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			s, r, err := msg.Open(os, src, dst, cfg.Msg)
+			if err != nil {
+				return nil, fmt.Errorf("mpi: channel %d->%d: %w", src, dst, err)
+			}
+			w.comms[src].senders[dst] = s
+			w.comms[dst].receivers[src] = r
+		}
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Rank returns rank i's communicator.
+func (w *World) Rank(i int) *Comm { return w.comms[i] }
+
+// ---- envelope wire format ----------------------------------------------
+
+// envelope kinds.
+const (
+	kindEager   = 1
+	kindRndv    = 2 // rendezvous notify: payload = bulk offset + length
+	kindRndvAck = 3 // rendezvous buffer released
+)
+
+// envelopeHeader is kind(1) + pad(3) + tag(4).
+const envelopeHeader = 8
+
+type envelope struct {
+	kind byte
+	tag  int32
+	data []byte // eager payload, or rndv (off,len) encoding
+}
+
+func encodeEnvelope(e envelope) []byte {
+	buf := make([]byte, envelopeHeader+len(e.data))
+	buf[0] = e.kind
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(e.tag))
+	copy(buf[envelopeHeader:], e.data)
+	return buf
+}
+
+func decodeEnvelope(b []byte) (envelope, error) {
+	if len(b) < envelopeHeader {
+		return envelope{}, fmt.Errorf("mpi: short envelope (%d bytes)", len(b))
+	}
+	return envelope{
+		kind: b[0],
+		tag:  int32(binary.LittleEndian.Uint32(b[4:8])),
+		data: b[envelopeHeader:],
+	}, nil
+}
+
+func encodeRndv(off uint64, length int) []byte {
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint64(buf[0:8], off)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(length))
+	return buf
+}
+
+func decodeRndv(b []byte) (uint64, int, error) {
+	if len(b) < 12 {
+		return 0, 0, fmt.Errorf("mpi: short rendezvous descriptor")
+	}
+	return binary.LittleEndian.Uint64(b[0:8]), int(binary.LittleEndian.Uint32(b[8:12])), nil
+}
+
+// Float64s encodes a float64 vector for reduction payloads.
+func Float64s(v []float64) []byte {
+	buf := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(f))
+	}
+	return buf
+}
+
+// ToFloat64s decodes a reduction payload.
+func ToFloat64s(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("mpi: float payload %d bytes not a multiple of 8", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,469 @@
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Open establishes a unidirectional message channel from node src to
+// node dst. It allocates the 4 KB receive ring (and optional bulk
+// region) in dst's uncachable window, a flow-control slot in src's
+// uncachable window, and the remote mappings both sides need. Per the
+// paper, every communicating endpoint pair costs the receiver one ring
+// (§IV.A) — the footprint experiment E7 counts exactly these pages.
+func Open(os *kernel.OS, src, dst int, par Params) (*Sender, *Receiver, error) {
+	if err := par.validate(); err != nil {
+		return nil, nil, err
+	}
+	if src == dst {
+		return nil, nil, fmt.Errorf("msg: cannot open a channel to self")
+	}
+	ks, kd := os.Kernel(src), os.Kernel(dst)
+	eng := os.Cluster().Engine()
+
+	ringOff, err := kd.AllocUC(par.RingBytes)
+	if err != nil {
+		return nil, nil, fmt.Errorf("msg: receiver ring: %w", err)
+	}
+	fcOff, err := ks.AllocUC(kernel.PageSize)
+	if err != nil {
+		return nil, nil, fmt.Errorf("msg: flow-control slot: %w", err)
+	}
+
+	ringPages := (par.RingBytes + kernel.PageSize - 1) / kernel.PageSize * kernel.PageSize
+	sendWin, err := ks.MapRemote(dst, ringOff, ringPages)
+	if err != nil {
+		return nil, nil, err
+	}
+	ringLocal, err := kd.MapLocal(ringOff, ringPages)
+	if err != nil {
+		return nil, nil, err
+	}
+	fcRemote, err := kd.MapRemote(src, fcOff, kernel.PageSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	fcLocal, err := ks.MapLocal(fcOff, kernel.PageSize)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var bulkSend, bulkLocal *kernel.Window
+	if par.BulkBytes > 0 {
+		bulkOff, err := kd.AllocUC(par.BulkBytes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("msg: bulk region: %w", err)
+		}
+		bulkPages := (par.BulkBytes + kernel.PageSize - 1) / kernel.PageSize * kernel.PageSize
+		if bulkSend, err = ks.MapRemote(dst, bulkOff, bulkPages); err != nil {
+			return nil, nil, err
+		}
+		if bulkLocal, err = kd.MapLocal(bulkOff, bulkPages); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	s := &Sender{
+		eng: eng, par: par, src: src, dst: dst,
+		ring: sendWin, fc: fcLocal, bulk: bulkSend,
+	}
+	r := &Receiver{
+		eng: eng, par: par, src: src, dst: dst,
+		ring: ringLocal, fc: fcRemote, bulk: bulkLocal,
+	}
+	return s, r, nil
+}
+
+// Stats counts channel activity.
+type Stats struct {
+	Messages   uint64
+	Bytes      uint64
+	WrapFrames uint64
+	FCUpdates  uint64
+	FCStalls   uint64 // sender had to poll for space
+	SeqErrors  uint64
+	Puts       uint64
+	PutBytes   uint64
+}
+
+// Sender is the source endpoint of a channel.
+type Sender struct {
+	eng      *sim.Engine
+	par      Params
+	src, dst int
+
+	ring *kernel.Window // remote mapping of the receiver's ring
+	fc   *kernel.Window // local mapping of the flow-control slot
+	bulk *kernel.Window // optional remote rendezvous region
+
+	sent     uint64 // monotone ring bytes produced (incl. wrap padding)
+	consumed uint64 // last flow-control value observed
+	seq      uint32
+	stats    Stats
+
+	// Sends are serialized: a CPU core issues one store stream at a
+	// time, and ring offsets are claimed in issue order.
+	busy  bool
+	queue []queuedSend
+}
+
+type queuedSend struct {
+	payload []byte
+	done    func(error)
+}
+
+// Stats returns a copy of the sender's counters.
+func (s *Sender) Stats() Stats { return s.stats }
+
+// Src and Dst identify the channel's endpoints.
+func (s *Sender) Src() int { return s.src }
+
+// Dst returns the destination node index.
+func (s *Sender) Dst() int { return s.dst }
+
+// MaxMessage is the largest payload Send accepts.
+func (s *Sender) MaxMessage() int { return s.par.MaxMessage() }
+
+// Send delivers payload to the receiver's ring. done fires once the
+// frame — payload fenced before header — has left the store pipeline;
+// HyperTransport's ordered posted channel takes it from there. Send
+// blocks (in virtual time, polling the flow-control slot) while the
+// ring is full.
+func (s *Sender) Send(payload []byte, done func(error)) {
+	if len(payload) == 0 || len(payload) > s.MaxMessage() {
+		done(fmt.Errorf("msg: payload %d bytes outside 1..%d", len(payload), s.MaxMessage()))
+		return
+	}
+	s.queue = append(s.queue, queuedSend{payload: payload, done: done})
+	if !s.busy {
+		s.busy = true
+		s.drain()
+	}
+}
+
+// drain executes queued sends one at a time so each claims its ring
+// offset in order.
+func (s *Sender) drain() {
+	if len(s.queue) == 0 {
+		s.busy = false
+		return
+	}
+	q := s.queue[0]
+	s.queue = s.queue[1:]
+	fs := frameSize(len(q.payload))
+	s.reserve(fs, func(err error) {
+		if err != nil {
+			q.done(err)
+			s.drain()
+			return
+		}
+		s.writeFrame(q.payload, func(err error) {
+			q.done(err)
+			s.drain()
+		})
+	})
+}
+
+// reserve waits (polling flow control) until fs ring bytes are free,
+// inserting a wrap marker if the frame would straddle the ring end.
+func (s *Sender) reserve(fs uint64, cont func(error)) {
+	ring := s.par.RingBytes
+	off := s.sent % ring
+	need := fs
+	if off+fs > ring {
+		need += ring - off // wrap padding also needs space
+	}
+	var wait func()
+	wait = func() {
+		if ring-(s.sent-s.consumed) >= need {
+			if off+fs > ring {
+				s.writeWrap(ring-off, func(err error) {
+					if err != nil {
+						cont(err)
+						return
+					}
+					cont(nil)
+				})
+				return
+			}
+			cont(nil)
+			return
+		}
+		// Ring full: poll the local UC flow-control slot.
+		s.stats.FCStalls++
+		s.fc.Read(0, 8, func(d []byte, err error) {
+			if err != nil {
+				cont(err)
+				return
+			}
+			v := binary.LittleEndian.Uint64(d)
+			if v > s.consumed {
+				s.consumed = v
+			}
+			wait()
+		})
+	}
+	wait()
+}
+
+// writeWrap emits a wrap-marker frame covering the remainder to the
+// ring end.
+func (s *Sender) writeWrap(remainder uint64, done func(error)) {
+	off := s.sent % s.par.RingBytes
+	hdr := packHeader(wrapMark, s.seq)
+	s.stats.WrapFrames++
+	s.ring.Write(off, hdr, func(err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		s.ring.Sync(func() {
+			s.sent += remainder
+			done(nil)
+		})
+	})
+}
+
+// writeFrame stores the frame. A frame contained in one cache line goes
+// out as a single write-combined packet; larger frames store the payload
+// first, fence, then release the header.
+func (s *Sender) writeFrame(payload []byte, done func(error)) {
+	off := s.sent % s.par.RingBytes
+	fs := frameSize(len(payload))
+	s.seq++
+	seq := s.seq
+	finish := func(err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		s.sent += fs
+		s.stats.Messages++
+		s.stats.Bytes += uint64(len(payload))
+		done(nil)
+	}
+	addr := s.ring.Addr(off) // for line-crossing check only
+	if fs <= 64 && addr/64 == (addr+fs-1)/64 {
+		frame := buildFrame(payload, seq)
+		s.ring.Write(off, frame, func(err error) {
+			if err != nil {
+				finish(err)
+				return
+			}
+			s.ring.Sync(func() { finish(nil) })
+		})
+		return
+	}
+	frame := buildFrame(payload, seq)
+	s.ring.Write(off+headerBytes, frame[headerBytes:], func(err error) {
+		if err != nil {
+			finish(err)
+			return
+		}
+		s.ring.Sync(func() {
+			s.ring.Write(off, frame[:headerBytes], func(err error) {
+				if err != nil {
+					finish(err)
+					return
+				}
+				s.ring.Sync(func() { finish(nil) })
+			})
+		})
+	})
+}
+
+// Put performs a one-sided rendezvous write into the receiver's bulk
+// region at off (§IV.A): data lands directly at its final destination;
+// synchronization happens separately through the ring.
+func (s *Sender) Put(off uint64, data []byte, done func(error)) {
+	if s.bulk == nil {
+		done(fmt.Errorf("msg: channel opened without a bulk region"))
+		return
+	}
+	s.stats.Puts++
+	s.stats.PutBytes += uint64(len(data))
+	s.bulk.Write(off, data, func(err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		s.bulk.Sync(func() { done(nil) })
+	})
+}
+
+// Receiver is the destination endpoint of a channel.
+type Receiver struct {
+	eng      *sim.Engine
+	par      Params
+	src, dst int
+
+	ring *kernel.Window // local UC mapping of the ring
+	fc   *kernel.Window // remote mapping of the sender's fc slot
+	bulk *kernel.Window // optional local rendezvous region
+
+	recvd      uint64 // monotone ring bytes consumed
+	fcUnposted uint64 // consumed bytes not yet reported to the sender
+	expectSeq  uint32 // sequence number of the last consumed frame
+	stats      Stats
+	stopped    bool
+}
+
+// Stats returns a copy of the receiver's counters.
+func (r *Receiver) Stats() Stats { return r.stats }
+
+// Stop aborts any in-flight Recv poll loop at its next poll.
+func (r *Receiver) Stop() { r.stopped = true }
+
+// ReadBulk reads n bytes from the rendezvous region at off, with
+// streaming loads (rendezvous payloads are bulk by definition).
+func (r *Receiver) ReadBulk(off uint64, n int, cb func([]byte, error)) {
+	if r.bulk == nil {
+		cb(nil, fmt.Errorf("msg: channel opened without a bulk region"))
+		return
+	}
+	r.bulk.ReadStream(off, n, cb)
+}
+
+// Recv polls the ring until one message arrives, overwrites the slot
+// header to free it (§IV.A), posts flow control if due, and delivers
+// the payload. Slot freshness is sequence-validated: a header whose
+// sequence predates the expected one is a leftover from a previous ring
+// lap and reads as empty, so only the 8-byte header needs overwriting —
+// scrubbing whole payloads with uncached stores would cost microseconds
+// per frame. The poll loop advances virtual time by one uncached DRAM
+// read per iteration, exactly like the real polling receive.
+func (r *Receiver) Recv(cb func([]byte, error)) {
+	r.stopped = false
+	r.poll(cb)
+}
+
+// seqDelta compares sequence numbers with wraparound: >0 future, 0
+// exact, <0 stale.
+func seqDelta(got, want uint32) int32 { return int32(got - want) }
+
+func (r *Receiver) poll(cb func([]byte, error)) {
+	if r.stopped {
+		cb(nil, fmt.Errorf("msg: receiver stopped"))
+		return
+	}
+	ring := r.par.RingBytes
+	off := r.recvd % ring
+	peek := uint64(64)
+	if ring-off < peek {
+		peek = ring - off
+	}
+	r.ring.Read(off, int(peek), func(d []byte, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		length, seq := parseHeader(d[:headerBytes])
+		again := func() {
+			if r.par.PollInterval > 0 {
+				r.eng.After(r.par.PollInterval, func() { r.poll(cb) })
+				return
+			}
+			r.poll(cb)
+		}
+		switch {
+		case length == 0:
+			again()
+		case length == wrapMark:
+			if seqDelta(seq, r.expectSeq) != 0 {
+				again() // stale wrap from a previous lap
+				return
+			}
+			r.recvd += ring - off
+			r.fcUnposted += ring - off
+			r.freeHeader(off)
+			r.poll(cb)
+		default:
+			switch delta := seqDelta(seq, r.expectSeq+1); {
+			case delta < 0:
+				again() // stale frame from a previous lap
+			case delta > 0:
+				r.stats.SeqErrors++
+				cb(nil, fmt.Errorf("msg: sequence break: got %d, want %d", seq, r.expectSeq+1))
+			default:
+				r.consume(off, int(length), d, cb)
+			}
+		}
+	})
+}
+
+func (r *Receiver) consume(off uint64, length int, peek []byte, cb func([]byte, error)) {
+	if length > r.par.MaxMessage() {
+		r.stats.SeqErrors++
+		cb(nil, fmt.Errorf("msg: corrupt frame length %d", length))
+		return
+	}
+	r.expectSeq++
+	fs := frameSize(length)
+	// Deliver first (the paper extracts the data, then overwrites the
+	// slot): counters advance now so a chained Recv polls the next
+	// offset; the header overwrite and flow control proceed in the
+	// background, ordered so the sender only reuses the region after
+	// the slot is freed.
+	deliver := func(payload []byte) {
+		r.recvd += fs
+		r.fcUnposted += fs
+		r.stats.Messages++
+		r.stats.Bytes += uint64(length)
+		r.freeHeader(off)
+		cb(payload, nil)
+	}
+	if headerBytes+length <= len(peek) {
+		payload := append([]byte(nil), peek[headerBytes:headerBytes+length]...)
+		deliver(payload)
+		return
+	}
+	// Long frame: the tail is guaranteed visible (sender fenced payload
+	// before header), so drain it with pipelined streaming loads.
+	have := len(peek) - headerBytes
+	rest := length - have
+	r.ring.ReadStream(off+uint64(len(peek)), (rest+7)/8*8, func(tail []byte, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		payload := make([]byte, 0, length)
+		payload = append(payload, peek[headerBytes:]...)
+		payload = append(payload, tail[:rest]...)
+		deliver(payload)
+	})
+}
+
+// freeHeader overwrites a consumed slot's header ("It then has to
+// overwrite the slot to free it", §IV.A) and posts flow control behind
+// it.
+func (r *Receiver) freeHeader(off uint64) {
+	r.ring.Write(off, make([]byte, headerBytes), func(error) {
+		r.postFC(false, func() {})
+	})
+}
+
+// postFC reports consumed bytes to the sender's flow-control slot once
+// the threshold accumulates (or immediately when forced).
+func (r *Receiver) postFC(force bool, done func()) {
+	if r.fcUnposted == 0 || (!force && r.fcUnposted < r.par.FCThreshold) {
+		done()
+		return
+	}
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, r.recvd)
+	r.fcUnposted = 0
+	r.stats.FCUpdates++
+	r.fc.Write(0, buf, func(err error) {
+		if err != nil {
+			done()
+			return
+		}
+		r.fc.Sync(done)
+	})
+}
+
+// FlushFC forces a flow-control update (used when going idle).
+func (r *Receiver) FlushFC(done func()) { r.postFC(true, done) }

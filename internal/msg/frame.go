@@ -1,0 +1,109 @@
+// Package msg is the TCCluster message library of §IV.A/§VI: sending is
+// a remote posted store into a 4 KB ring buffer in the receiver's
+// uncachable memory, receiving is polling that memory, freeing a slot is
+// overwriting it, and flow control is the periodic exchange of consumed-
+// byte counters through remote stores. Everything rides on exactly two
+// primitives — write-combined posted writes and Sfence — because those
+// are all a TCCluster link offers.
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Ring frame format. Frames are cache-line (64-byte) aligned so a small
+// message is exactly one write-combined HT packet and one uncached poll
+// read:
+//
+//	bytes 0..3  payload length (0 = empty slot, wrapMark = wrap marker)
+//	bytes 4..7  sequence number (continuity check)
+//	bytes 8..   payload, zero-padded to a 64-byte boundary
+//
+// The 8-byte header is written last (or as part of a single-line store),
+// so a nonzero length guarantees the payload is visible: HyperTransport
+// delivers posted writes in order and the sender fences before the
+// header goes out.
+const (
+	headerBytes = 8
+	frameAlign  = 64
+	wrapMark    = 0xFFFFFFFF
+)
+
+// frameSize returns the ring bytes a payload of n occupies: header plus
+// payload, rounded up to whole cache lines.
+func frameSize(n int) uint64 {
+	return uint64((headerBytes + n + frameAlign - 1) / frameAlign * frameAlign)
+}
+
+// packHeader builds the 8-byte header.
+func packHeader(length uint32, seq uint32) []byte {
+	h := make([]byte, headerBytes)
+	binary.LittleEndian.PutUint32(h[0:4], length)
+	binary.LittleEndian.PutUint32(h[4:8], seq)
+	return h
+}
+
+// parseHeader splits a header into (length, seq).
+func parseHeader(h []byte) (uint32, uint32) {
+	return binary.LittleEndian.Uint32(h[0:4]), binary.LittleEndian.Uint32(h[4:8])
+}
+
+// buildFrame lays out header+payload+padding as one store image.
+func buildFrame(payload []byte, seq uint32) []byte {
+	f := make([]byte, frameSize(len(payload)))
+	binary.LittleEndian.PutUint32(f[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(f[4:8], seq)
+	copy(f[headerBytes:], payload)
+	return f
+}
+
+// Params configure one unidirectional channel.
+type Params struct {
+	// RingBytes is the receive ring size; the paper fixes it at 4 KB per
+	// endpoint, which is what bounds endpoint scalability (§IV.A).
+	RingBytes uint64
+	// FCThreshold is how many consumed bytes the receiver accumulates
+	// before posting a flow-control update back to the sender
+	// ("periodically, the APIs ... exchange pointer information").
+	FCThreshold uint64
+	// BulkBytes, if nonzero, allocates a one-sided rendezvous region the
+	// sender can Put into directly (§IV.A one-sided communication).
+	BulkBytes uint64
+	// PollInterval inserts an idle gap between receive polls. Zero polls
+	// back to back (one uncached DRAM read per iteration, the paper's
+	// mode); a larger value trades detection latency for memory-bus
+	// traffic — the "additional processor-memory bus overhead when
+	// polling" the paper concedes (§VI).
+	PollInterval sim.Time
+}
+
+// DefaultParams returns the paper's configuration.
+func DefaultParams() Params {
+	return Params{RingBytes: 4096, FCThreshold: 1024}
+}
+
+func (p *Params) validate() error {
+	if p.RingBytes == 0 {
+		p.RingBytes = 4096
+	}
+	if p.RingBytes%frameAlign != 0 || p.RingBytes < 64 {
+		return fmt.Errorf("msg: ring size %d invalid", p.RingBytes)
+	}
+	if p.FCThreshold == 0 {
+		p.FCThreshold = p.RingBytes / 4
+	}
+	if p.FCThreshold > p.RingBytes/2 {
+		return fmt.Errorf("msg: flow-control threshold %d exceeds half the ring (%d): senders could stall forever",
+			p.FCThreshold, p.RingBytes)
+	}
+	return nil
+}
+
+// MaxMessage returns the largest payload a single ring message may
+// carry under these parameters.
+func (p Params) MaxMessage() int {
+	return int(p.RingBytes) - 2*headerBytes
+}

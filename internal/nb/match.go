@@ -1,0 +1,71 @@
+package nb
+
+import (
+	"fmt"
+
+	"repro/internal/ht"
+)
+
+// NumTags is the depth of the response-matching table: the 5-bit SrcTag
+// space. The table is the reason TCCluster is a write-only network: a
+// response carries only a tag, and every tag is bound to the NodeID that
+// issued the request (paper §IV.A). With every TCCluster node claiming
+// NodeID 0, responses can never be routed across the cluster.
+const NumTags = 32
+
+// ErrNoTags is returned when all 32 outstanding-request slots are in use.
+var ErrNoTags = fmt.Errorf("nb: response-matching table full (%d tags)", NumTags)
+
+type matchEntry struct {
+	inUse bool
+	cb    func(*ht.Packet)
+}
+
+// MatchTable tracks outstanding non-posted requests awaiting responses.
+type MatchTable struct {
+	entries   [NumTags]matchEntry
+	inUse     int
+	orphans   uint64
+	completed uint64
+}
+
+// Alloc reserves a tag and registers the completion callback.
+func (t *MatchTable) Alloc(cb func(*ht.Packet)) (uint8, error) {
+	if cb == nil {
+		panic("nb: MatchTable.Alloc with nil callback")
+	}
+	for tag := range t.entries {
+		if !t.entries[tag].inUse {
+			t.entries[tag] = matchEntry{inUse: true, cb: cb}
+			t.inUse++
+			return uint8(tag), nil
+		}
+	}
+	return 0, ErrNoTags
+}
+
+// Complete delivers a response to the request holding resp.SrcTag. A
+// response with no matching entry is an orphan — exactly what a read
+// response mis-routed by the NodeID-0 trick becomes.
+func (t *MatchTable) Complete(resp *ht.Packet) error {
+	tag := resp.SrcTag
+	if int(tag) >= NumTags || !t.entries[tag].inUse {
+		t.orphans++
+		return fmt.Errorf("nb: orphan response %v: no outstanding tag %d", resp, tag)
+	}
+	cb := t.entries[tag].cb
+	t.entries[tag] = matchEntry{}
+	t.inUse--
+	t.completed++
+	cb(resp)
+	return nil
+}
+
+// Outstanding returns the number of in-flight tags.
+func (t *MatchTable) Outstanding() int { return t.inUse }
+
+// Orphans returns how many unmatched responses arrived.
+func (t *MatchTable) Orphans() uint64 { return t.orphans }
+
+// Completed returns how many responses matched successfully.
+func (t *MatchTable) Completed() uint64 { return t.completed }

@@ -1,0 +1,87 @@
+package nb
+
+import (
+	"testing"
+
+	"repro/internal/ht"
+)
+
+func TestMatchTableAllocComplete(t *testing.T) {
+	var mt MatchTable
+	var got []byte
+	tag, err := mt.Alloc(func(p *ht.Packet) { got = p.Data })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d, want 1", mt.Outstanding())
+	}
+	resp, _ := ht.NewReadResponse(tag, []byte{1, 2, 3, 4})
+	if err := mt.Complete(resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[0] != 1 {
+		t.Errorf("completion data = %v", got)
+	}
+	if mt.Outstanding() != 0 {
+		t.Errorf("Outstanding = %d after completion, want 0", mt.Outstanding())
+	}
+	if mt.Completed() != 1 {
+		t.Errorf("Completed = %d, want 1", mt.Completed())
+	}
+}
+
+func TestMatchTableOrphan(t *testing.T) {
+	var mt MatchTable
+	resp, _ := ht.NewReadResponse(9, []byte{1, 2, 3, 4})
+	if err := mt.Complete(resp); err == nil {
+		t.Fatal("orphan response completed successfully")
+	}
+	if mt.Orphans() != 1 {
+		t.Errorf("Orphans = %d, want 1", mt.Orphans())
+	}
+}
+
+func TestMatchTableTagReuse(t *testing.T) {
+	var mt MatchTable
+	tag1, _ := mt.Alloc(func(*ht.Packet) {})
+	resp, _ := ht.NewReadResponse(tag1, []byte{0, 0, 0, 0})
+	if err := mt.Complete(resp); err != nil {
+		t.Fatal(err)
+	}
+	tag2, err := mt.Alloc(func(*ht.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag1 != tag2 {
+		t.Errorf("freed tag %d not reused (got %d)", tag1, tag2)
+	}
+}
+
+func TestMatchTableExhaustion(t *testing.T) {
+	var mt MatchTable
+	for i := 0; i < NumTags; i++ {
+		if _, err := mt.Alloc(func(*ht.Packet) {}); err != nil {
+			t.Fatalf("alloc %d failed: %v", i, err)
+		}
+	}
+	if _, err := mt.Alloc(func(*ht.Packet) {}); err != ErrNoTags {
+		t.Fatalf("33rd alloc: err = %v, want ErrNoTags", err)
+	}
+}
+
+func TestMatchTableDoubleCompleteIsOrphan(t *testing.T) {
+	var mt MatchTable
+	calls := 0
+	tag, _ := mt.Alloc(func(*ht.Packet) { calls++ })
+	resp, _ := ht.NewReadResponse(tag, []byte{0, 0, 0, 0})
+	if err := mt.Complete(resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Complete(resp); err == nil {
+		t.Fatal("double completion accepted")
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times, want 1", calls)
+	}
+}

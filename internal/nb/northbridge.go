@@ -1,0 +1,533 @@
+package nb
+
+import (
+	"fmt"
+
+	"repro/internal/ht"
+	"repro/internal/sim"
+)
+
+// Params are the pipeline timing parameters of the northbridge.
+type Params struct {
+	XBarService     sim.Time // crossbar occupancy per packet
+	HopLatency      sim.Time // SRQ + XBar pipeline latency per traversal
+	IOBridgeLatency sim.Time // coherent <-> non-coherent conversion
+	Mem             MemParams
+}
+
+// DefaultParams models a Shanghai-class northbridge: ~50 ns per hop
+// total once link serialization and flight are added (paper §III).
+func DefaultParams() Params {
+	return Params{
+		XBarService:     4 * sim.Nanosecond,
+		HopLatency:      13 * sim.Nanosecond,
+		IOBridgeLatency: 18 * sim.Nanosecond,
+		Mem:             DefaultMemParams(),
+	}
+}
+
+// DecisionKind classifies the outcome of an address decode.
+type DecisionKind int
+
+const (
+	// DecideLocalDRAM delivers to the on-chip memory controller.
+	DecideLocalDRAM DecisionKind = iota
+	// DecideDirectLink forwards out a link named directly by an MMIO
+	// base/limit pair owned by the local node — no routing-table lookup.
+	// This is the path the TCCluster NodeID-0 trick rides (paper §IV.C).
+	DecideDirectLink
+	// DecideRouteLink forwards out a link obtained by indexing the
+	// routing table with the range's home NodeID.
+	DecideRouteLink
+	// DecideMasterAbort means no range decoded the address.
+	DecideMasterAbort
+)
+
+func (k DecisionKind) String() string {
+	switch k {
+	case DecideLocalDRAM:
+		return "local-dram"
+	case DecideDirectLink:
+		return "direct-link"
+	case DecideRouteLink:
+		return "route-link"
+	default:
+		return "master-abort"
+	}
+}
+
+// Decision is the decoded routing outcome for one address.
+type Decision struct {
+	Kind    DecisionKind
+	Link    uint8 // meaningful for DirectLink/RouteLink
+	DstNode uint8 // home node of the decoded range
+	MMIO    bool  // decoded by an MMIO range (vs DRAM)
+}
+
+// Counters aggregates the error and traffic counters of one northbridge.
+type Counters struct {
+	MasterAborts    uint64
+	OrphanResponses uint64
+	TagExhausted    uint64
+	DeadLinkDrops   uint64 // decode pointed at an unwired/down link
+	PktsFromCPU     uint64
+	PktsFromLinks   uint64
+	PktsToDRAM      uint64
+	PktsForwarded   uint64
+	BridgedPackets  uint64 // crossed the coherent/non-coherent IO bridge
+	Broadcasts      uint64
+	ProbesIssued    uint64
+}
+
+// CoherencyHook lets a coherence-protocol model observe memory traffic
+// at the point the real fabric would issue probes. The hook returns the
+// number of probes it put on the wire so the northbridge can count them.
+type CoherencyHook interface {
+	// OnLocalAccess fires when the local memory controller serves an
+	// access. write=true for stores. fromIOLink=true when the request
+	// arrived over a non-coherent link through the IO bridge.
+	OnLocalAccess(addr uint64, n int, write, fromIOLink bool) (probes int)
+}
+
+// Northbridge is one Opteron node's routing and memory complex.
+type Northbridge struct {
+	eng  *sim.Engine
+	name string
+	par  Params
+
+	nodeID uint8
+	links  [MaxLinks]*ht.Port
+	dram   [NumDRAMRanges]DRAMRange
+	mmio   [NumMMIORanges]MMIORange
+	route  [MaxNodes]RouteEntry
+
+	xbar  sim.Server
+	mc    *MemoryController
+	match *MatchTable
+	cnt   Counters
+
+	coherency   CoherencyHook
+	onWrite     func(addr uint64, n int) // local-DRAM store visibility hook
+	onBroadcast func(p *ht.Packet)       // delivered broadcast (interrupts)
+	log         func(string)
+}
+
+// New creates a northbridge with memSize bytes of local DRAM. The NodeID
+// register holds ResetNodeID (7) until firmware assigns one, exactly as
+// the enumeration algorithm in §IV.E expects.
+func New(eng *sim.Engine, name string, memSize uint64, par Params) *Northbridge {
+	n := &Northbridge{
+		eng:    eng,
+		name:   name,
+		par:    par,
+		nodeID: ResetNodeID,
+		match:  &MatchTable{},
+	}
+	n.mc = NewMemoryController(eng, memSize, par.Mem)
+	return n
+}
+
+// Name returns the diagnostic name of this node.
+func (n *Northbridge) Name() string { return n.name }
+
+// NodeID returns the current NodeID register value.
+func (n *Northbridge) NodeID() uint8 { return n.nodeID }
+
+// SetNodeID programs the NodeID register (firmware enumeration, or the
+// TCCluster everyone-is-zero configuration).
+func (n *Northbridge) SetNodeID(id uint8) error {
+	if id >= MaxNodes {
+		return fmt.Errorf("nb: NodeID %d exceeds 3 bits", id)
+	}
+	n.nodeID = id
+	return nil
+}
+
+// Counters returns a copy of the counters.
+func (n *Northbridge) Counters() Counters { return n.cnt }
+
+// MemController returns the node's memory controller.
+func (n *Northbridge) MemController() *MemoryController { return n.mc }
+
+// MatchTable returns the response-matching table (tests and the
+// coherency model inspect it).
+func (n *Northbridge) MatchTable() *MatchTable { return n.match }
+
+// SetCoherencyHook installs the coherence-protocol observer.
+func (n *Northbridge) SetCoherencyHook(h CoherencyHook) { n.coherency = h }
+
+// SetWriteHook installs a callback fired when a store becomes visible in
+// local DRAM. The CPU/polling model uses it to wake pollers.
+func (n *Northbridge) SetWriteHook(fn func(addr uint64, nBytes int)) { n.onWrite = fn }
+
+// SetBroadcastHook installs the local broadcast consumer (the kernel's
+// interrupt entry point).
+func (n *Northbridge) SetBroadcastHook(fn func(*ht.Packet)) { n.onBroadcast = fn }
+
+// SetLog installs a diagnostic logger.
+func (n *Northbridge) SetLog(fn func(string)) { n.log = fn }
+
+func (n *Northbridge) logf(format string, args ...interface{}) {
+	if n.log != nil {
+		n.log(n.name + ": " + fmt.Sprintf(format, args...))
+	}
+}
+
+// AttachLink wires a link end into link register idx and installs the
+// receive sink.
+func (n *Northbridge) AttachLink(idx int, p *ht.Port) error {
+	if idx < 0 || idx >= MaxLinks {
+		return fmt.Errorf("nb: link index %d out of range", idx)
+	}
+	if n.links[idx] != nil {
+		return fmt.Errorf("nb: link %d already attached", idx)
+	}
+	n.links[idx] = p
+	i := idx
+	p.SetSink(func(pkt *ht.Packet, done func()) { n.receive(i, pkt, done) })
+	return nil
+}
+
+// LinkPort returns the port attached at idx (nil if unwired).
+func (n *Northbridge) LinkPort(idx int) *ht.Port { return n.links[idx] }
+
+// LinkIsCoherent reports whether link idx trained coherent.
+func (n *Northbridge) LinkIsCoherent(idx int) bool {
+	p := n.links[idx]
+	return p != nil && p.Link().Type() == ht.TypeCoherent
+}
+
+// SetDRAMRange programs DRAM base/limit pair i.
+func (n *Northbridge) SetDRAMRange(i int, r DRAMRange) error {
+	if i < 0 || i >= NumDRAMRanges {
+		return fmt.Errorf("nb: DRAM range index %d out of range", i)
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	n.dram[i] = r
+	return nil
+}
+
+// SetMMIORange programs MMIO base/limit pair i.
+func (n *Northbridge) SetMMIORange(i int, r MMIORange) error {
+	if i < 0 || i >= NumMMIORanges {
+		return fmt.Errorf("nb: MMIO range index %d out of range", i)
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	n.mmio[i] = r
+	return nil
+}
+
+// SetRoute programs the routing-table row for destination node id.
+func (n *Northbridge) SetRoute(id uint8, e RouteEntry) error {
+	if id >= MaxNodes {
+		return fmt.Errorf("nb: route index %d out of range", id)
+	}
+	n.route[id] = e
+	return nil
+}
+
+// DRAMRangeAt returns DRAM pair i (register read-back).
+func (n *Northbridge) DRAMRangeAt(i int) DRAMRange { return n.dram[i] }
+
+// MMIORangeAt returns MMIO pair i (register read-back).
+func (n *Northbridge) MMIORangeAt(i int) MMIORange { return n.mmio[i] }
+
+// RouteAt returns the routing-table row for node id.
+func (n *Northbridge) RouteAt(id uint8) RouteEntry { return n.route[id] }
+
+// DecodeAddress performs the two-stage routing lookup of §IV.C: DRAM
+// ranges first, then MMIO ranges; the home NodeID either selects the
+// local memory controller, indexes the routing table, or — for MMIO
+// owned by the local node — names an egress link directly.
+func (n *Northbridge) DecodeAddress(a uint64) Decision {
+	for i := range n.dram {
+		r := &n.dram[i]
+		if r.Contains(a) {
+			if r.DstNode == n.nodeID {
+				return Decision{Kind: DecideLocalDRAM, DstNode: r.DstNode}
+			}
+			return Decision{Kind: DecideRouteLink, Link: n.route[r.DstNode].ReqLink,
+				DstNode: r.DstNode}
+		}
+	}
+	for i := range n.mmio {
+		r := &n.mmio[i]
+		if r.Contains(a) {
+			if r.DstNode == n.nodeID {
+				return Decision{Kind: DecideDirectLink, Link: r.DstLink,
+					DstNode: r.DstNode, MMIO: true}
+			}
+			return Decision{Kind: DecideRouteLink, Link: n.route[r.DstNode].ReqLink,
+				DstNode: r.DstNode, MMIO: true}
+		}
+	}
+	return Decision{Kind: DecideMasterAbort}
+}
+
+// ---- packet plumbing ---------------------------------------------------
+
+// receive handles a packet arriving from link idx. done releases the
+// link-level receive buffer (flow-control credit) once the packet has
+// drained out of the northbridge.
+func (n *Northbridge) receive(idx int, pkt *ht.Packet, done func()) {
+	n.cnt.PktsFromLinks++
+	_, at := n.xbar.Schedule(n.eng.Now(), n.par.XBarService)
+	n.eng.At(at+n.par.HopLatency, func() { n.dispatch(idx, pkt, done) })
+}
+
+// InjectFromCPU enters a CPU-originated packet into the system request
+// queue. done, if non-nil, is invoked when the packet has left the SRQ
+// (posted semantics).
+func (n *Northbridge) InjectFromCPU(pkt *ht.Packet, done func()) {
+	n.cnt.PktsFromCPU++
+	pkt.SrcNode = int(n.nodeID)
+	_, at := n.xbar.Schedule(n.eng.Now(), n.par.XBarService)
+	n.eng.At(at+n.par.HopLatency, func() {
+		n.dispatch(-1, pkt, func() {})
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// dispatch routes one packet. fromLink is -1 for CPU-originated traffic.
+func (n *Northbridge) dispatch(fromLink int, pkt *ht.Packet, done func()) {
+	switch {
+	case pkt.Cmd == ht.CmdBroadcast:
+		n.handleBroadcast(fromLink, pkt, done)
+	case pkt.Cmd.VC() == ht.VCResponse:
+		n.handleResponse(fromLink, pkt, done)
+	default:
+		n.handleRequest(fromLink, pkt, done)
+	}
+}
+
+func (n *Northbridge) handleRequest(fromLink int, pkt *ht.Packet, done func()) {
+	d := n.DecodeAddress(pkt.Addr)
+	switch d.Kind {
+	case DecideLocalDRAM:
+		n.deliverToDRAM(fromLink, pkt, done)
+	case DecideDirectLink, DecideRouteLink:
+		n.forward(fromLink, int(d.Link), pkt, done)
+	default:
+		n.cnt.MasterAborts++
+		n.logf("master abort: %v", pkt)
+		pkt.Accept() // never hold a WC buffer hostage to a decode fault
+		done()
+	}
+}
+
+// deliverToDRAM lands a request on the local memory controller, crossing
+// the IO bridge first when it arrived over a non-coherent link.
+func (n *Northbridge) deliverToDRAM(fromLink int, pkt *ht.Packet, done func()) {
+	n.cnt.PktsToDRAM++
+	pkt.Accept() // data has left the store path into the memory complex
+	delay := sim.Time(0)
+	fromIO := fromLink >= 0 && !n.LinkIsCoherent(fromLink)
+	if fromIO {
+		// ncHT packets are converted to coherent packets by the IO
+		// bridge before they may touch memory (paper §IV.C).
+		n.cnt.BridgedPackets++
+		delay = n.par.IOBridgeLatency
+	}
+	n.eng.After(delay, func() {
+		if n.coherency != nil {
+			n.cnt.ProbesIssued += uint64(n.coherency.OnLocalAccess(
+				pkt.Addr, (int(pkt.Count)+1)*ht.DwordBytes,
+				pkt.Cmd.HasData(), fromIO))
+		}
+		switch pkt.Cmd {
+		case ht.CmdWrPosted, ht.CmdCWrBlk:
+			// The link receive buffer recycles once the memory
+			// controller's port consumes the data; visibility (and the
+			// poller wake-up) waits the full DRAM latency.
+			n.mc.WriteAccepted(pkt.Addr, pkt.Data, done, func(err error) {
+				if err != nil {
+					n.cnt.MasterAborts++
+					n.logf("DRAM write fault at %#x: %v", pkt.Addr, err)
+				} else if n.onWrite != nil {
+					n.onWrite(pkt.Addr, len(pkt.Data))
+				}
+			})
+		case ht.CmdWrNP:
+			n.mc.Write(pkt.Addr, pkt.Data, func(err error) {
+				if err == nil && n.onWrite != nil {
+					n.onWrite(pkt.Addr, len(pkt.Data))
+				}
+				resp := &ht.Packet{Cmd: ht.CmdTgtDone, SrcTag: pkt.SrcTag,
+					SrcNode: int(n.nodeID), DstNode: pkt.SrcNode}
+				n.routeResponse(resp)
+				done()
+			})
+		case ht.CmdRdSized, ht.CmdCRdBlk:
+			nBytes := (int(pkt.Count) + 1) * ht.DwordBytes
+			n.mc.Read(pkt.Addr, nBytes, func(data []byte, err error) {
+				if err != nil {
+					n.cnt.MasterAborts++
+					n.logf("DRAM read fault at %#x: %v", pkt.Addr, err)
+					done()
+					return
+				}
+				resp, rerr := ht.NewReadResponse(pkt.SrcTag, data)
+				if rerr != nil {
+					panic(rerr) // sizes were validated on the request
+				}
+				resp.SrcNode = int(n.nodeID)
+				resp.DstNode = pkt.SrcNode
+				n.routeResponse(resp)
+				done()
+			})
+		case ht.CmdFlush, ht.CmdFence:
+			// Posted-channel ordering markers: the model's posted channel
+			// is already strictly ordered, so these complete immediately.
+			done()
+		default:
+			n.cnt.MasterAborts++
+			n.logf("unhandled request %v at DRAM", pkt)
+			done()
+		}
+	})
+}
+
+// routeResponse sends a response toward DstNode. Responses are routed
+// purely by the NodeID bound to the tag — there is no address. When the
+// destination is (believed to be) the local node, the response matching
+// table completes the transaction; a stranger's response orphans. That
+// asymmetry is why TCCluster cannot carry reads (paper §IV.A).
+func (n *Northbridge) routeResponse(resp *ht.Packet) {
+	if uint8(resp.DstNode) == n.nodeID {
+		if err := n.match.Complete(resp); err != nil {
+			n.cnt.OrphanResponses++
+			n.logf("%v", err)
+		}
+		return
+	}
+	link := n.route[resp.DstNode&0x7].RespLink
+	n.forward(-1, int(link), resp, func() {})
+}
+
+func (n *Northbridge) handleResponse(fromLink int, resp *ht.Packet, done func()) {
+	n.routeResponse(resp)
+	done()
+}
+
+// handleBroadcast delivers the broadcast locally and fans it out along
+// the spanning tree configured for the source node, never back out the
+// arrival link. If the TCCluster firmware forgets to prune TCCluster
+// links from the broadcast routes, interrupts leak across the cluster —
+// the failure the custom kernel in §VI exists to prevent.
+func (n *Northbridge) handleBroadcast(fromLink int, pkt *ht.Packet, done func()) {
+	n.cnt.Broadcasts++
+	if n.onBroadcast != nil {
+		n.onBroadcast(pkt)
+	}
+	src := uint8(pkt.SrcNode) & 0x7
+	mask := n.route[src].BcastLinks
+	for l := 0; l < MaxLinks; l++ {
+		if mask&(1<<l) == 0 || l == fromLink {
+			continue
+		}
+		n.forward(fromLink, l, pkt, func() {})
+	}
+	done()
+}
+
+// forward sends pkt out link idx. The ingress receive buffer is held
+// until the egress port ACCEPTS the packet into serialization (credits
+// granted), so backpressure propagates hop by hop through transit
+// nodes — a congested egress link fills the ingress buffers behind it.
+func (n *Northbridge) forward(fromLink, idx int, pkt *ht.Packet, done func()) {
+	prev := pkt.OnAccept
+	accept := func() {
+		if prev != nil {
+			prev()
+		}
+		done()
+	}
+	if idx < 0 || idx >= MaxLinks || n.links[idx] == nil {
+		n.cnt.DeadLinkDrops++
+		n.logf("drop %v: egress link %d not wired", pkt, idx)
+		accept()
+		return
+	}
+	pkt.OnAccept = accept
+	if err := n.links[idx].Send(pkt); err != nil {
+		n.cnt.DeadLinkDrops++
+		n.logf("drop %v: %v", pkt, err)
+		pkt.Accept()
+	} else {
+		n.cnt.PktsForwarded++
+	}
+}
+
+// ---- CPU-facing operations ---------------------------------------------
+
+// CPUWrite issues a sized write from the local cores. Posted writes
+// complete (for the store pipeline) once accepted by the SRQ; non-posted
+// writes invoke completion when TgtDone returns.
+func (n *Northbridge) CPUWrite(addr uint64, data []byte, posted bool, completion func(error)) {
+	if posted {
+		pkt, err := ht.NewPostedWrite(addr, data)
+		if err != nil {
+			completion(err)
+			return
+		}
+		// Posted completion is downstream acceptance: the data left the
+		// store path toward a link serializer or the local memory
+		// complex. This is the point a write-combining buffer drains.
+		pkt.OnAccept = func() { completion(nil) }
+		n.InjectFromCPU(pkt, nil)
+		return
+	}
+	tag, err := n.match.Alloc(func(*ht.Packet) { completion(nil) })
+	if err != nil {
+		n.cnt.TagExhausted++
+		completion(err)
+		return
+	}
+	pkt, err := ht.NewNonPostedWrite(addr, data)
+	if err != nil {
+		completion(err)
+		return
+	}
+	pkt.SrcTag = tag
+	n.InjectFromCPU(pkt, nil)
+}
+
+// CPURead issues a sized read from the local cores. For local DRAM the
+// memory controller answers; for anything remote, a tag is allocated and
+// the response must find its way home — which it cannot across a
+// TCCluster link, making the read hang until HangCheck notices.
+func (n *Northbridge) CPURead(addr uint64, nBytes int, cb func([]byte, error)) {
+	d := n.DecodeAddress(addr)
+	if d.Kind == DecideLocalDRAM {
+		_, at := n.xbar.Schedule(n.eng.Now(), n.par.XBarService)
+		n.eng.At(at+n.par.HopLatency, func() {
+			n.mc.Read(addr, nBytes, cb)
+		})
+		return
+	}
+	tag, err := n.match.Alloc(func(resp *ht.Packet) { cb(resp.Data, nil) })
+	if err != nil {
+		n.cnt.TagExhausted++
+		cb(nil, err)
+		return
+	}
+	pkt, err := ht.NewRead(addr, nBytes, tag)
+	if err != nil {
+		cb(nil, err)
+		return
+	}
+	n.InjectFromCPU(pkt, nil)
+}
+
+// CPUBroadcast issues a broadcast (interrupt-class) packet from the
+// local cores.
+func (n *Northbridge) CPUBroadcast(vector uint64) {
+	pkt := &ht.Packet{Cmd: ht.CmdBroadcast, Addr: vector &^ 0x3}
+	n.InjectFromCPU(pkt, nil)
+}

@@ -1,0 +1,98 @@
+package nb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RegisterImage is the config-space snapshot of one northbridge: the
+// 32-bit register words a BKDG-style firmware would actually read and
+// write. Dump/Load round-trips through the bit-packed images, so the
+// snapshot proves the packed encodings carry the full decode state —
+// it is also what a "warm kexec" style reconfiguration would persist.
+type RegisterImage struct {
+	NodeID    uint32
+	DRAMBase  [NumDRAMRanges]uint32
+	DRAMLimit [NumDRAMRanges]uint32
+	DRAMExt   [NumDRAMRanges]uint16
+	MMIOBase  [NumMMIORanges]uint32
+	MMIOLimit [NumMMIORanges]uint32
+	MMIOExt   [NumMMIORanges]uint16
+	Routes    [MaxNodes]uint32
+}
+
+// DumpRegisters packs the northbridge's decode state into register
+// images.
+func (n *Northbridge) DumpRegisters() RegisterImage {
+	var img RegisterImage
+	img.NodeID = uint32(n.nodeID)
+	for i, r := range n.dram {
+		img.DRAMBase[i], img.DRAMLimit[i], img.DRAMExt[i] = PackDRAMPair(r)
+	}
+	for i, r := range n.mmio {
+		img.MMIOBase[i], img.MMIOLimit[i], img.MMIOExt[i] = PackMMIOPair(r)
+	}
+	for i, r := range n.route {
+		img.Routes[i] = PackRouteEntry(r)
+	}
+	return img
+}
+
+// LoadRegisters restores a previously dumped register image.
+func (n *Northbridge) LoadRegisters(img RegisterImage) error {
+	if err := n.SetNodeID(uint8(img.NodeID & 0x7)); err != nil {
+		return err
+	}
+	for i := 0; i < NumDRAMRanges; i++ {
+		r := UnpackDRAMPair(img.DRAMBase[i], img.DRAMLimit[i], img.DRAMExt[i])
+		if !r.Enabled() {
+			n.dram[i] = DRAMRange{}
+			continue
+		}
+		if err := n.SetDRAMRange(i, r); err != nil {
+			return fmt.Errorf("nb: restore DRAM pair %d: %w", i, err)
+		}
+	}
+	for i := 0; i < NumMMIORanges; i++ {
+		r := UnpackMMIOPair(img.MMIOBase[i], img.MMIOLimit[i], img.MMIOExt[i])
+		if !r.Enabled() {
+			n.mmio[i] = MMIORange{}
+			continue
+		}
+		if err := n.SetMMIORange(i, r); err != nil {
+			return fmt.Errorf("nb: restore MMIO pair %d: %w", i, err)
+		}
+	}
+	for i := uint8(0); i < MaxNodes; i++ {
+		if err := n.SetRoute(i, UnpackRouteEntry(img.Routes[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the image like a firmware register dump.
+func (img RegisterImage) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "NodeID: %d\n", img.NodeID)
+	for i := 0; i < NumDRAMRanges; i++ {
+		if img.DRAMBase[i]&0x3 == 0 {
+			continue // disabled pair
+		}
+		fmt.Fprintf(&sb, "F1x%02X/F1x%02X DRAM[%d]: base=%08X limit=%08X ext=%04X\n",
+			0x40+8*i, 0x44+8*i, i, img.DRAMBase[i], img.DRAMLimit[i], img.DRAMExt[i])
+	}
+	for i := 0; i < NumMMIORanges; i++ {
+		if img.MMIOBase[i]&0x3 == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "F1x%02X/F1x%02X MMIO[%d]: base=%08X limit=%08X ext=%04X\n",
+			0x80+8*i, 0x84+8*i, i, img.MMIOBase[i], img.MMIOLimit[i], img.MMIOExt[i])
+	}
+	for i := 0; i < MaxNodes; i++ {
+		if img.Routes[i] != 0 {
+			fmt.Fprintf(&sb, "F0x%02X RouteNode%d: %08X\n", 0x40+4*i, i, img.Routes[i])
+		}
+	}
+	return sb.String()
+}

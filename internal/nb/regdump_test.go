@@ -1,0 +1,64 @@
+package nb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRegisterDumpRestoreRoundTrip(t *testing.T) {
+	p := newTCPair(t)
+	img := p.a.DumpRegisters()
+
+	// A factory-fresh northbridge restored from the image must decode
+	// identically to the original across the address space.
+	eng := sim.NewEngine()
+	clone := New(eng, "clone", nodeMem, DefaultParams())
+	if err := clone.LoadRegisters(img); err != nil {
+		t.Fatal(err)
+	}
+	if clone.NodeID() != p.a.NodeID() {
+		t.Errorf("NodeID %d != %d", clone.NodeID(), p.a.NodeID())
+	}
+	probes := []uint64{0, 0x40, nodeMem - 64, nodeMem, nodeMem + 0x1000,
+		2*nodeMem - 64, 2 * nodeMem, 1 << 40}
+	for _, addr := range probes {
+		want := p.a.DecodeAddress(addr)
+		got := clone.DecodeAddress(addr)
+		if want != got {
+			t.Errorf("decode(%#x): original %+v, restored %+v", addr, want, got)
+		}
+	}
+}
+
+func TestRegisterImageString(t *testing.T) {
+	p := newTCPair(t)
+	s := p.a.DumpRegisters().String()
+	for _, want := range []string{"NodeID: 0", "F1x40", "DRAM[0]", "F1x80", "MMIO[0]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("register dump missing %q:\n%s", want, s)
+		}
+	}
+	// Disabled pairs are suppressed.
+	if strings.Contains(s, "DRAM[7]") {
+		t.Error("disabled DRAM pair printed")
+	}
+}
+
+func TestLoadRegistersClearsStaleRanges(t *testing.T) {
+	p := newTCPair(t)
+	img := p.a.DumpRegisters()
+
+	eng := sim.NewEngine()
+	clone := New(eng, "clone", nodeMem, DefaultParams())
+	// Pre-populate a range that the image does not contain.
+	must(t, clone.SetNodeID(0))
+	must(t, clone.SetDRAMRange(5, DRAMRange{Base: 0x4000_0000, Limit: 0x4FFF_FFFF, DstNode: 0, RE: true, WE: true}))
+	if err := clone.LoadRegisters(img); err != nil {
+		t.Fatal(err)
+	}
+	if clone.DRAMRangeAt(5).Enabled() {
+		t.Error("stale DRAM pair survived a register restore")
+	}
+}

@@ -1,0 +1,236 @@
+// Package nb models the AMD K10 ("Shanghai") Opteron northbridge at the
+// level the TCCluster mechanisms operate on: the DRAM and MMIO base/limit
+// address-map registers, the NodeID-indexed routing table, the IO bridge
+// between the coherent and non-coherent worlds, the system request queue
+// and crossbar, the response-matching table whose tag/NodeID binding makes
+// cross-cluster reads impossible, and an on-chip DDR2 memory controller.
+//
+// Register images follow the layout style of the BIOS and Kernel
+// Developer's Guide (BKDG) for Family 10h: 32-bit base/limit pairs at
+// 16 MB granularity for DRAM and 64 KB for MMIO, with 8-bit extension
+// registers carrying physical-address bits [47:40].
+package nb
+
+import "fmt"
+
+// Address-map granularities (BKDG F1x40/F1x80 register families).
+const (
+	DRAMGranularity = 1 << 24 // 16 MB: DRAM base/limit hold addr[47:24]
+	MMIOGranularity = 1 << 16 // 64 KB: MMIO base/limit hold addr[47:16]
+
+	// PhysAddrBits is the implemented physical address width. The paper
+	// (§IV.D) derives the 256 TB global-address-space bound from it.
+	PhysAddrBits = 48
+	PhysAddrMask = 1<<PhysAddrBits - 1
+)
+
+// NumDRAMRanges and NumMMIORanges are the number of base/limit register
+// pairs the northbridge implements (8 of each on Family 10h).
+const (
+	NumDRAMRanges = 8
+	NumMMIORanges = 8
+)
+
+// MaxNodes is the number of NodeIDs addressable by the 3-bit DstNode
+// fields and the routing table: the 8-socket limit the paper's intro
+// cites for coherent Opteron systems.
+const MaxNodes = 8
+
+// ResetNodeID is the NodeID every processor holds out of reset; the BSP
+// uses it to recognize not-yet-enumerated nodes (paper §IV.E).
+const ResetNodeID = 7
+
+// MaxLinks is the number of HyperTransport links per Opteron package.
+const MaxLinks = 4
+
+// DRAMRange is the decoded form of one DRAM base/limit register pair.
+// An address a matches when RE/WE permit and Base <= a <= Limit
+// (limit is inclusive of the whole top granule, as in hardware).
+type DRAMRange struct {
+	Base    uint64 // must be 16 MB aligned
+	Limit   uint64 // inclusive; (Limit+1) must be 16 MB aligned
+	DstNode uint8  // home node of the range
+	RE, WE  bool   // read/write enable
+}
+
+// Enabled reports whether the range decodes at all.
+func (r DRAMRange) Enabled() bool { return r.RE || r.WE }
+
+// Contains reports whether the range decodes address a.
+func (r DRAMRange) Contains(a uint64) bool {
+	return r.Enabled() && a >= r.Base && a <= r.Limit
+}
+
+// Validate checks granularity and field-width constraints.
+func (r DRAMRange) Validate() error {
+	if !r.Enabled() {
+		return nil
+	}
+	if r.Base%DRAMGranularity != 0 {
+		return fmt.Errorf("nb: DRAM base %#x not 16MB aligned", r.Base)
+	}
+	if (r.Limit+1)%DRAMGranularity != 0 {
+		return fmt.Errorf("nb: DRAM limit %#x not at a 16MB boundary", r.Limit)
+	}
+	if r.Limit < r.Base {
+		return fmt.Errorf("nb: DRAM limit %#x below base %#x", r.Limit, r.Base)
+	}
+	if r.Limit > PhysAddrMask {
+		return fmt.Errorf("nb: DRAM limit %#x exceeds %d-bit space", r.Limit, PhysAddrBits)
+	}
+	if r.DstNode >= MaxNodes {
+		return fmt.Errorf("nb: DRAM DstNode %d exceeds 3 bits", r.DstNode)
+	}
+	return nil
+}
+
+// MMIORange is the decoded form of one MMIO base/limit register pair.
+// DstNode names the node owning the MMIO target; DstLink is consulted
+// directly — without a routing-table lookup — when DstNode equals the
+// local NodeID. That direct path is the mechanism TCCluster exploits by
+// making every node NodeID 0 and every remote range "locally owned"
+// (paper §IV.C).
+type MMIORange struct {
+	Base      uint64 // must be 64 KB aligned
+	Limit     uint64 // inclusive; (Limit+1) must be 64 KB aligned
+	DstNode   uint8
+	DstLink   uint8 // link index used when DstNode == local NodeID
+	NonPosted bool  // force writes to the non-posted channel
+	RE, WE    bool
+}
+
+// Enabled reports whether the range decodes at all.
+func (r MMIORange) Enabled() bool { return r.RE || r.WE }
+
+// Contains reports whether the range decodes address a.
+func (r MMIORange) Contains(a uint64) bool {
+	return r.Enabled() && a >= r.Base && a <= r.Limit
+}
+
+// Validate checks granularity and field-width constraints.
+func (r MMIORange) Validate() error {
+	if !r.Enabled() {
+		return nil
+	}
+	if r.Base%MMIOGranularity != 0 {
+		return fmt.Errorf("nb: MMIO base %#x not 64KB aligned", r.Base)
+	}
+	if (r.Limit+1)%MMIOGranularity != 0 {
+		return fmt.Errorf("nb: MMIO limit %#x not at a 64KB boundary", r.Limit)
+	}
+	if r.Limit < r.Base {
+		return fmt.Errorf("nb: MMIO limit %#x below base %#x", r.Limit, r.Base)
+	}
+	if r.Limit > PhysAddrMask {
+		return fmt.Errorf("nb: MMIO limit %#x exceeds %d-bit space", r.Limit, PhysAddrBits)
+	}
+	if r.DstNode >= MaxNodes {
+		return fmt.Errorf("nb: MMIO DstNode %d exceeds 3 bits", r.DstNode)
+	}
+	if r.DstLink >= MaxLinks {
+		return fmt.Errorf("nb: MMIO DstLink %d exceeds %d links", r.DstLink, MaxLinks)
+	}
+	return nil
+}
+
+// RouteEntry is one routing-table row, indexed by destination NodeID.
+// Each class of traffic can take a different path; BcastLinks is a link
+// bitmask because broadcasts fan out along a spanning tree. A link value
+// of RouteSelf means "accept locally".
+type RouteEntry struct {
+	ReqLink    uint8 // request routing (RQRte)
+	RespLink   uint8 // response routing (RPRte)
+	BcastLinks uint8 // broadcast fan-out bitmask (BCRte)
+}
+
+// RouteSelf as a link value routes traffic to the local node.
+const RouteSelf uint8 = 0x0F
+
+// --- Register image packing -------------------------------------------
+//
+// Firmware in this repository programs the northbridge through typed
+// setters, but the images below are what would land in config space; the
+// boot log and the register-dump tests use them, and they pin down the
+// exact bit meaning of every field.
+
+// PackDRAMPair packs a DRAMRange into (base, limit, ext) register images:
+//
+//	base : [31:16]=addr[39:24]  [1]=WE  [0]=RE
+//	limit: [31:16]=addr[39:24]  [2:0]=DstNode
+//	ext  : [7:0]=base addr[47:40]  [15:8]=limit addr[47:40]
+func PackDRAMPair(r DRAMRange) (base, limit uint32, ext uint16) {
+	base = uint32(r.Base>>24&0xFFFF) << 16
+	if r.WE {
+		base |= 2
+	}
+	if r.RE {
+		base |= 1
+	}
+	limit = uint32(r.Limit>>24&0xFFFF)<<16 | uint32(r.DstNode&0x7)
+	ext = uint16(r.Base>>40&0xFF) | uint16(r.Limit>>40&0xFF)<<8
+	return base, limit, ext
+}
+
+// UnpackDRAMPair is the inverse of PackDRAMPair. The limit register's
+// address field decodes to the top byte of the granule (inclusive limit).
+func UnpackDRAMPair(base, limit uint32, ext uint16) DRAMRange {
+	r := DRAMRange{
+		RE:      base&1 != 0,
+		WE:      base&2 != 0,
+		DstNode: uint8(limit & 0x7),
+	}
+	r.Base = uint64(base>>16)<<24 | uint64(ext&0xFF)<<40
+	r.Limit = uint64(limit>>16)<<24 | uint64(ext>>8)<<40 | (DRAMGranularity - 1)
+	return r
+}
+
+// PackMMIOPair packs an MMIORange into (base, limit, ext) images:
+//
+//	base : [31:8]=addr[39:16]  [1]=WE  [0]=RE
+//	limit: [31:8]=addr[39:16]  [2:0]=DstNode  [5:4]=DstLink  [7]=NP
+//	ext  : [7:0]=base addr[47:40]  [15:8]=limit addr[47:40]
+func PackMMIOPair(r MMIORange) (base, limit uint32, ext uint16) {
+	base = uint32(r.Base>>16&0xFFFFFF) << 8
+	if r.WE {
+		base |= 2
+	}
+	if r.RE {
+		base |= 1
+	}
+	limit = uint32(r.Limit>>16&0xFFFFFF)<<8 | uint32(r.DstNode&0x7) | uint32(r.DstLink&0x3)<<4
+	if r.NonPosted {
+		limit |= 1 << 7
+	}
+	ext = uint16(r.Base>>40&0xFF) | uint16(r.Limit>>40&0xFF)<<8
+	return base, limit, ext
+}
+
+// UnpackMMIOPair is the inverse of PackMMIOPair.
+func UnpackMMIOPair(base, limit uint32, ext uint16) MMIORange {
+	r := MMIORange{
+		RE:        base&1 != 0,
+		WE:        base&2 != 0,
+		DstNode:   uint8(limit & 0x7),
+		DstLink:   uint8(limit >> 4 & 0x3),
+		NonPosted: limit&(1<<7) != 0,
+	}
+	r.Base = uint64(base>>8)<<16 | uint64(ext&0xFF)<<40
+	r.Limit = uint64(limit>>8)<<16 | uint64(ext>>8)<<40 | (MMIOGranularity - 1)
+	return r
+}
+
+// PackRouteEntry packs a RouteEntry into a register image:
+//
+//	[3:0]=ReqLink  [7:4]=RespLink  [15:8]=BcastLinks
+func PackRouteEntry(r RouteEntry) uint32 {
+	return uint32(r.ReqLink&0xF) | uint32(r.RespLink&0xF)<<4 | uint32(r.BcastLinks)<<8
+}
+
+// UnpackRouteEntry is the inverse of PackRouteEntry.
+func UnpackRouteEntry(v uint32) RouteEntry {
+	return RouteEntry{
+		ReqLink:    uint8(v & 0xF),
+		RespLink:   uint8(v >> 4 & 0xF),
+		BcastLinks: uint8(v >> 8),
+	}
+}

@@ -1,0 +1,217 @@
+package nb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDRAMRangeContains(t *testing.T) {
+	r := DRAMRange{Base: 0x1000_0000, Limit: 0x1FFF_FFFF, DstNode: 2, RE: true, WE: true}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains(0x1000_0000) || !r.Contains(0x1FFF_FFFF) {
+		t.Error("range excludes its own bounds")
+	}
+	if r.Contains(0x0FFF_FFFF) || r.Contains(0x2000_0000) {
+		t.Error("range includes addresses outside bounds")
+	}
+	disabled := r
+	disabled.RE, disabled.WE = false, false
+	if disabled.Contains(0x1000_0000) {
+		t.Error("disabled range decodes")
+	}
+}
+
+func TestDRAMRangeValidate(t *testing.T) {
+	bad := []DRAMRange{
+		{Base: 0x1234, Limit: 0x0FFF_FFFF, RE: true},        // unaligned base
+		{Base: 0, Limit: 0x1000, RE: true},                  // unaligned limit
+		{Base: 0x2000_0000, Limit: 0x0FFF_FFFF, RE: true},   // limit < base
+		{Base: 0, Limit: 0x0FFF_FFFF, DstNode: 8, RE: true}, // DstNode too wide
+		{Base: 0, Limit: 1<<49 - 1, RE: true},               // beyond 48 bits
+	}
+	for i, r := range bad {
+		if r.Validate() == nil {
+			t.Errorf("case %d: invalid range accepted: %+v", i, r)
+		}
+	}
+	if err := (DRAMRange{}).Validate(); err != nil {
+		t.Errorf("disabled zero range rejected: %v", err)
+	}
+}
+
+func TestMMIORangeValidate(t *testing.T) {
+	good := MMIORange{Base: 0x1_0000, Limit: 0x1_FFFF, DstNode: 0, DstLink: 3, RE: true, WE: true}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.DstLink = 4
+	if bad.Validate() == nil {
+		t.Error("DstLink 4 accepted with 4 links")
+	}
+	bad = good
+	bad.Base = 0x8000
+	if bad.Validate() == nil {
+		t.Error("unaligned MMIO base accepted")
+	}
+}
+
+func TestPackDRAMPairKnownImage(t *testing.T) {
+	r := DRAMRange{Base: 0x1000_0000, Limit: 0x1FFF_FFFF, DstNode: 3, RE: true, WE: true}
+	base, limit, ext := PackDRAMPair(r)
+	// base[39:24] = 0x0010 -> bits [31:16]; RE|WE -> 0x3.
+	if base != 0x0010_0003 {
+		t.Errorf("base image = %#08x, want 0x00100003", base)
+	}
+	// limit[39:24] = 0x001F; DstNode=3.
+	if limit != 0x001F_0003 {
+		t.Errorf("limit image = %#08x, want 0x001F0003", limit)
+	}
+	if ext != 0 {
+		t.Errorf("ext image = %#x, want 0", ext)
+	}
+}
+
+func TestDRAMPairRoundTripProperty(t *testing.T) {
+	f := func(baseGran, limitGran uint32, dstNode uint8, re, we bool) bool {
+		// Construct a valid range from arbitrary granule indices.
+		b := uint64(baseGran) % (1 << 24) // addr[47:24] has 24 bits
+		l := uint64(limitGran) % (1 << 24)
+		if l < b {
+			b, l = l, b
+		}
+		r := DRAMRange{
+			Base:    b * DRAMGranularity,
+			Limit:   (l+1)*DRAMGranularity - 1,
+			DstNode: dstNode % 8,
+			RE:      re,
+			WE:      we,
+		}
+		if err := r.Validate(); err != nil {
+			return false
+		}
+		got := UnpackDRAMPair(PackDRAMPair(r))
+		return got == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMMIOPairRoundTripProperty(t *testing.T) {
+	f := func(baseGran, limitGran uint32, dstNode, dstLink uint8, np, re, we bool) bool {
+		b := uint64(baseGran) % (1 << 32) // addr[47:16] has 32 bits
+		l := uint64(limitGran) % (1 << 32)
+		if l < b {
+			b, l = l, b
+		}
+		r := MMIORange{
+			Base:      b * MMIOGranularity,
+			Limit:     (l+1)*MMIOGranularity - 1,
+			DstNode:   dstNode % 8,
+			DstLink:   dstLink % 4,
+			NonPosted: np,
+			RE:        re,
+			WE:        we,
+		}
+		if err := r.Validate(); err != nil {
+			return false
+		}
+		got := UnpackMMIOPair(PackMMIOPair(r))
+		return got == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteEntryRoundTrip(t *testing.T) {
+	f := func(req, resp, bcast uint8) bool {
+		r := RouteEntry{ReqLink: req % 16, RespLink: resp % 16, BcastLinks: bcast}
+		return UnpackRouteEntry(PackRouteEntry(r)) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryReadWriteRoundTrip(t *testing.T) {
+	m := NewMemory(1 << 20)
+	data := []byte("TCCluster remote store payload crossing a page boundary....")
+	off := uint64(memPageSize - 10) // straddles two pages
+	if err := m.Write(off, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := m.Read(off, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Errorf("read back %q, want %q", got, data)
+	}
+	if m.TouchedPages() != 2 {
+		t.Errorf("TouchedPages = %d, want 2", m.TouchedPages())
+	}
+}
+
+func TestMemoryReadsZeroUntouched(t *testing.T) {
+	m := NewMemory(1 << 20)
+	buf := []byte{0xFF, 0xFF, 0xFF}
+	if err := m.Read(12345, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("untouched memory not zero")
+		}
+	}
+}
+
+func TestMemoryBounds(t *testing.T) {
+	m := NewMemory(4096)
+	if err := m.Write(4090, make([]byte, 8)); err == nil {
+		t.Error("write past end accepted")
+	}
+	if err := m.Read(4096, make([]byte, 1)); err == nil {
+		t.Error("read at end accepted")
+	}
+	if err := m.Write(4088, make([]byte, 8)); err != nil {
+		t.Errorf("write at top rejected: %v", err)
+	}
+}
+
+func TestMemoryRoundTripProperty(t *testing.T) {
+	f := func(writes []struct {
+		Off  uint16
+		Data []byte
+	}) bool {
+		m := NewMemory(1 << 17)
+		shadow := make([]byte, 1<<17)
+		for _, w := range writes {
+			data := w.Data
+			if len(data) > 256 {
+				data = data[:256]
+			}
+			off := uint64(w.Off)
+			if err := m.Write(off, data); err != nil {
+				return false
+			}
+			copy(shadow[off:], data)
+		}
+		got := make([]byte, len(shadow))
+		if err := m.Read(0, got); err != nil {
+			return false
+		}
+		for i := range got {
+			if got[i] != shadow[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

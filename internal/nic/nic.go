@@ -1,0 +1,172 @@
+// Package nic models the interconnects TCCluster is compared against:
+// a Mellanox ConnectX-class InfiniBand adapter (the paper's §VI
+// baseline) and a classical kernel-stack Ethernet NIC. Both follow the
+// traditional NIC architecture the paper's §IV describes — doorbells,
+// descriptor fetch over the host bus, DMA on both ends — which is
+// exactly the latency TCCluster deletes.
+//
+// The InfiniBand parameters are calibrated to the paper's cited
+// numbers: ~1.4 us end-to-end latency, and a bandwidth curve of
+// ~200 MB/s at 64 B, ~1500 MB/s at 1 KB and ~2500 MB/s at 1 MB,
+// which a simple overhead+streaming pipeline model
+//
+//	time(n) = PerMessage + n/PeakBandwidth
+//
+// reproduces almost exactly.
+package nic
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Params describe one NIC technology.
+type Params struct {
+	Name string
+
+	// Latency components of a single small message, end to end.
+	PostOverhead sim.Time // verbs post / syscall + doorbell write
+	DMAFetch     sim.Time // descriptor + payload fetch over the host bus
+	NICPipeline  sim.Time // send-side NIC processing
+	Wire         sim.Time // serialization start + switch + propagation
+	RecvDMA      sim.Time // receive-side DMA into host memory
+	RecvDetect   sim.Time // completion-queue poll / interrupt
+
+	// Throughput model.
+	PerMessage sim.Time // per-message pipeline occupancy (gap between messages)
+	PeakBW     float64  // streaming bandwidth ceiling, bytes/second
+}
+
+// ConnectX returns the InfiniBand ConnectX-class parameter set.
+func ConnectX() Params {
+	return Params{
+		Name:         "ConnectX-IB",
+		PostOverhead: 200 * sim.Nanosecond,
+		DMAFetch:     400 * sim.Nanosecond,
+		NICPipeline:  250 * sim.Nanosecond,
+		Wire:         150 * sim.Nanosecond,
+		RecvDMA:      250 * sim.Nanosecond,
+		RecvDetect:   100 * sim.Nanosecond,
+		PerMessage:   312 * sim.Nanosecond,
+		PeakBW:       2.6e9,
+	}
+}
+
+// GigE returns a classical kernel-stack gigabit Ethernet parameter set.
+func GigE() Params {
+	return Params{
+		Name:         "GigE",
+		PostOverhead: 3 * sim.Microsecond, // syscall + TCP stack
+		DMAFetch:     1 * sim.Microsecond,
+		NICPipeline:  2 * sim.Microsecond,
+		Wire:         10 * sim.Microsecond, // store-and-forward switch
+		RecvDMA:      2 * sim.Microsecond,
+		RecvDetect:   7 * sim.Microsecond, // interrupt + wakeup
+		PerMessage:   4 * sim.Microsecond,
+		PeakBW:       0.117e9,
+	}
+}
+
+// TenGigE returns a 10-gigabit kernel-stack Ethernet parameter set.
+func TenGigE() Params {
+	return Params{
+		Name:         "10GigE",
+		PostOverhead: 2 * sim.Microsecond,
+		DMAFetch:     500 * sim.Nanosecond,
+		NICPipeline:  1 * sim.Microsecond,
+		Wire:         4 * sim.Microsecond,
+		RecvDMA:      1 * sim.Microsecond,
+		RecvDetect:   4 * sim.Microsecond,
+		PerMessage:   1500 * sim.Nanosecond,
+		PeakBW:       1.1e9,
+	}
+}
+
+// Latency returns the end-to-end latency of one n-byte message on an
+// otherwise idle fabric.
+func (p Params) Latency(n int) sim.Time {
+	ser := sim.Time(float64(n) / p.PeakBW * 1e12)
+	return p.PostOverhead + p.DMAFetch + p.NICPipeline + p.Wire + ser + p.RecvDMA + p.RecvDetect
+}
+
+// Bandwidth returns the sustained streaming bandwidth (bytes/second)
+// for back-to-back n-byte messages: the pipeline-occupancy model.
+func (p Params) Bandwidth(n int) float64 {
+	gap := float64(p.PerMessage) + float64(n)/p.PeakBW*1e12 // ps per message
+	return float64(n) / gap * 1e12
+}
+
+// Fabric is a timed multi-endpoint instance of one NIC technology on a
+// shared simulation engine, for examples and harnesses that race it
+// against the TCCluster model.
+type Fabric struct {
+	eng       *sim.Engine
+	par       Params
+	endpoints []*Endpoint
+}
+
+// Endpoint is one host adapter on the fabric.
+type Endpoint struct {
+	f        *Fabric
+	id       int
+	pipeline sim.Server // send-side occupancy (PerMessage + serialization)
+	onRecv   func(src, n int)
+
+	sent, recvd uint64
+	bytesSent   uint64
+}
+
+// NewFabric creates an empty fabric.
+func NewFabric(eng *sim.Engine, par Params) *Fabric {
+	return &Fabric{eng: eng, par: par}
+}
+
+// Params returns the technology parameters.
+func (f *Fabric) Params() Params { return f.par }
+
+// AddEndpoint attaches a new adapter and returns it.
+func (f *Fabric) AddEndpoint() *Endpoint {
+	e := &Endpoint{f: f, id: len(f.endpoints)}
+	f.endpoints = append(f.endpoints, e)
+	return e
+}
+
+// ID returns the endpoint's index on the fabric.
+func (e *Endpoint) ID() int { return e.id }
+
+// OnRecv installs the delivery callback.
+func (e *Endpoint) OnRecv(fn func(src, n int)) { e.onRecv = fn }
+
+// Stats returns (messages sent, messages received, bytes sent).
+func (e *Endpoint) Stats() (sent, recvd, bytesSent uint64) {
+	return e.sent, e.recvd, e.bytesSent
+}
+
+// Send queues one n-byte message to dst. sent fires when the send-side
+// pipeline accepts the next message (back-to-back streaming cadence);
+// the destination's OnRecv fires at delivery time.
+func (e *Endpoint) Send(dst int, n int, sent func()) error {
+	if dst < 0 || dst >= len(e.f.endpoints) || dst == e.id {
+		return fmt.Errorf("nic: invalid destination %d", dst)
+	}
+	p := e.f.par
+	ser := sim.Time(float64(n) / p.PeakBW * 1e12)
+	// The pipeline only gates message cadence (PerMessage + serialization
+	// occupancy); it does not add latency to an isolated message.
+	start, pipeDone := e.pipeline.Schedule(e.f.eng.Now()+p.PostOverhead, p.PerMessage+ser)
+	e.sent++
+	e.bytesSent += uint64(n)
+	peer := e.f.endpoints[dst]
+	src := e.id
+	e.f.eng.At(start+p.DMAFetch+p.NICPipeline+p.Wire+ser+p.RecvDMA+p.RecvDetect, func() {
+		peer.recvd++
+		if peer.onRecv != nil {
+			peer.onRecv(src, n)
+		}
+	})
+	if sent != nil {
+		e.f.eng.At(pipeDone, sent)
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package nic
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The ConnectX model must hit the paper's cited baseline numbers
+// (§II/§VI): ~1.4us latency; 200/1500/2500 MB/s at 64B/1KB/1MB.
+func TestConnectXMatchesPaperNumbers(t *testing.T) {
+	p := ConnectX()
+	lat := p.Latency(64)
+	if lat < 1300*sim.Nanosecond || lat > 1500*sim.Nanosecond {
+		t.Errorf("64B latency = %v, want ~1.4us", lat)
+	}
+	cases := []struct {
+		n      int
+		lo, hi float64 // MB/s band
+	}{
+		{64, 150, 250},
+		{1024, 1300, 1700},
+		{1 << 20, 2300, 2700},
+	}
+	for _, c := range cases {
+		mbs := p.Bandwidth(c.n) / 1e6
+		if mbs < c.lo || mbs > c.hi {
+			t.Errorf("bandwidth(%dB) = %.0f MB/s, want %.0f-%.0f", c.n, mbs, c.lo, c.hi)
+		}
+	}
+}
+
+func TestEthernetSlowerThanIB(t *testing.T) {
+	ib, ge, xge := ConnectX(), GigE(), TenGigE()
+	if ge.Latency(64) < 10*ib.Latency(64) {
+		t.Error("GigE latency should be at least 10x IB")
+	}
+	if xge.Latency(64) < 2*ib.Latency(64) {
+		t.Error("10GigE latency should exceed IB")
+	}
+	if ge.Bandwidth(1<<20) > 0.2e9 {
+		t.Errorf("GigE streaming = %.2f GB/s, want < 0.2", ge.Bandwidth(1<<20)/1e9)
+	}
+}
+
+func TestBandwidthMonotoneInSize(t *testing.T) {
+	p := ConnectX()
+	prev := 0.0
+	for n := 64; n <= 1<<22; n *= 2 {
+		bw := p.Bandwidth(n)
+		if bw <= prev {
+			t.Fatalf("bandwidth not monotone at %dB: %.0f <= %.0f", n, bw/1e6, prev/1e6)
+		}
+		prev = bw
+	}
+	if prev > p.PeakBW {
+		t.Errorf("bandwidth exceeds peak: %.0f > %.0f", prev, p.PeakBW)
+	}
+}
+
+func TestFabricDelivery(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, ConnectX())
+	a, b := f.AddEndpoint(), f.AddEndpoint()
+	var gotSrc, gotN int
+	var at sim.Time
+	b.OnRecv(func(src, n int) { gotSrc, gotN, at = src, n, eng.Now() })
+	if err := a.Send(b.ID(), 64, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if gotSrc != a.ID() || gotN != 64 {
+		t.Fatalf("delivery src=%d n=%d", gotSrc, gotN)
+	}
+	want := f.Params().Latency(64)
+	slack := 100 * sim.Nanosecond
+	if at < want-slack || at > want+slack {
+		t.Errorf("delivery at %v, want ~%v", at, want)
+	}
+}
+
+func TestFabricStreamingMatchesBandwidthModel(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, ConnectX())
+	a, b := f.AddEndpoint(), f.AddEndpoint()
+	const msgs = 200
+	const size = 1024
+	got := 0
+	var last sim.Time
+	b.OnRecv(func(_, _ int) {
+		got++
+		last = eng.Now()
+	})
+	var pump func(i int)
+	pump = func(i int) {
+		if i >= msgs {
+			return
+		}
+		if err := a.Send(b.ID(), size, func() { pump(i + 1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pump(0)
+	eng.Run()
+	if got != msgs {
+		t.Fatalf("delivered %d of %d", got, msgs)
+	}
+	bw := float64(msgs*size) / float64(last) * 1e12
+	model := f.Params().Bandwidth(size)
+	if bw < 0.7*model || bw > 1.3*model {
+		t.Errorf("fabric streaming %.0f MB/s, model %.0f MB/s", bw/1e6, model/1e6)
+	}
+	sent, _, bytes := a.Stats()
+	if sent != msgs || bytes != msgs*size {
+		t.Errorf("stats: sent=%d bytes=%d", sent, bytes)
+	}
+}
+
+func TestFabricInvalidDestination(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng, GigE())
+	a := f.AddEndpoint()
+	if err := a.Send(0, 64, nil); err == nil {
+		t.Error("self-send accepted")
+	}
+	if err := a.Send(5, 64, nil); err == nil {
+		t.Error("nonexistent destination accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package pgas_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/pgas"
+	"repro/internal/topology"
+)
+
+// Example shows the PGAS model of §IV.A: relaxed puts by remote store,
+// a fence for strict consistency, and a remote-store software barrier.
+func Example() {
+	topo, _ := topology.Chain(2)
+	cluster, err := core.New(topo, core.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	os := kernel.Install(cluster, kernel.Options{SMCDisabled: true})
+	space, err := pgas.New(os, pgas.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+
+	// Node 0 puts into node 1's segment, strictly ordered.
+	seg := space.Size() / 2
+	space.PutStrict(0, seg+64, []byte{1, 2, 3, 4, 5, 6, 7, 8}, func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	})
+	// Both nodes synchronize with the remote-store barrier.
+	for n := 0; n < 2; n++ {
+		space.Barrier(n, func(err error) {
+			if err != nil {
+				panic(err)
+			}
+		})
+	}
+	cluster.Run()
+
+	// Node 1 reads its own segment locally.
+	space.Get(1, seg+64, 8, func(data []byte, err error) {
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println("node 1 sees:", data)
+	})
+	cluster.Run()
+	// Output: node 1 sees: [1 2 3 4 5 6 7 8]
+}

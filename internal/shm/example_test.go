@@ -1,0 +1,31 @@
+package shm_test
+
+import (
+	"fmt"
+
+	"repro/internal/shm"
+)
+
+// Example runs the live backend: the TCCluster ring protocol on real
+// memory between real goroutines.
+func Example() {
+	s, r, err := shm.NewChannel(shm.DefaultParams())
+	if err != nil {
+		panic(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, s.MaxMessage())
+		n, err := r.Recv(buf)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s\n", buf[:n])
+	}()
+	if err := s.Send([]byte("rings on real memory")); err != nil {
+		panic(err)
+	}
+	<-done
+	// Output: rings on real memory
+}

@@ -1,0 +1,187 @@
+package shm
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	s, r, err := NewChannel(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("hello over the host interface")
+	var got []byte
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, s.MaxMessage())
+		n, err := r.Recv(buf)
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		got = append([]byte(nil), buf[:n]...)
+	}()
+	if err := s.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if !bytes.Equal(got, want) {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestManyMessagesOrderedAndIntact(t *testing.T) {
+	s, r, err := NewChannel(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, s.MaxMessage())
+		for i := 0; i < n; i++ {
+			ln, err := r.Recv(buf)
+			if err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			wantLen := 1 + (i*37)%700
+			if ln != wantLen {
+				t.Errorf("msg %d: len %d, want %d", i, ln, wantLen)
+				return
+			}
+			for j := 0; j < ln; j++ {
+				if buf[j] != byte(i+j) {
+					t.Errorf("msg %d byte %d corrupted", i, j)
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		payload := make([]byte, 1+(i*37)%700)
+		for j := range payload {
+			payload[j] = byte(i + j)
+		}
+		if err := s.Send(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if s.Stats().Wraps == 0 {
+		t.Error("ring never wrapped under 5000 messages")
+	}
+	if s.Stats().Messages != n || r.Stats().Messages != n {
+		t.Errorf("message counts: sent=%d recvd=%d", s.Stats().Messages, r.Stats().Messages)
+	}
+}
+
+func TestBackpressureStallsSender(t *testing.T) {
+	s, r, err := NewChannel(Params{RingBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// 100 x 64B frames >> 256B ring: sender must stall until the
+		// receiver drains.
+		for i := 0; i < 100; i++ {
+			if err := s.Send([]byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}
+	}()
+	buf := make([]byte, 64)
+	for i := 0; i < 100; i++ {
+		if _, err := r.Recv(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if s.Stats().Stalls == 0 {
+		t.Error("sender never stalled on a 256B ring")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, _, err := NewChannel(Params{RingBytes: 100}); err == nil {
+		t.Error("unaligned ring accepted")
+	}
+	s, r, _ := NewChannel(DefaultParams())
+	if err := s.Send(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if err := s.Send(make([]byte, s.MaxMessage()+1)); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	// Undersized receive buffer.
+	go func() { _ = s.Send(make([]byte, 100)) }()
+	if _, err := r.Recv(make([]byte, 10)); err == nil {
+		t.Error("undersized buffer accepted")
+	}
+}
+
+func TestFrameWords(t *testing.T) {
+	cases := map[int]uint64{1: 8, 55: 8, 56: 8, 57: 16, 120: 16, 121: 24}
+	for n, want := range cases {
+		if got := frameWords(n); got != want {
+			t.Errorf("frameWords(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Property: any sequence of payload sizes arrives intact and in order.
+func TestTransferProperty(t *testing.T) {
+	f := func(sizes []uint16, seed byte) bool {
+		if len(sizes) > 200 {
+			sizes = sizes[:200]
+		}
+		s, r, err := NewChannel(DefaultParams())
+		if err != nil {
+			return false
+		}
+		ok := true
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, s.MaxMessage())
+			for i, raw := range sizes {
+				want := 1 + int(raw)%1500
+				n, err := r.Recv(buf)
+				if err != nil || n != want {
+					ok = false
+					return
+				}
+				for j := 0; j < n; j++ {
+					if buf[j] != seed+byte(i*3+j) {
+						ok = false
+						return
+					}
+				}
+			}
+		}()
+		for i, raw := range sizes {
+			payload := make([]byte, 1+int(raw)%1500)
+			for j := range payload {
+				payload[j] = seed + byte(i*3+j)
+			}
+			if err := s.Send(payload); err != nil {
+				return false
+			}
+		}
+		wg.Wait()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with picosecond-resolution virtual time.
+//
+// The engine is the substrate for every timed model in this repository:
+// HyperTransport links, northbridge pipelines, memory controllers and the
+// baseline NIC models all schedule their work as events on a shared
+// Engine. Determinism is guaranteed by a strict (time, sequence) ordering
+// of events: two events scheduled for the same virtual instant fire in
+// the order they were scheduled.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, measured in picoseconds. Picoseconds
+// give headroom to represent sub-nanosecond link serialization quanta
+// (one 16-bit HT transfer at 5.2 GT/s lasts ~192 ps) without rounding.
+type Time int64
+
+// Duration units for constructing Time values.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanos returns t expressed in nanoseconds as a float.
+func (t Time) Nanos() float64 { return float64(t) / float64(Nanosecond) }
+
+// Micros returns t expressed in microseconds as a float.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds returns t expressed in seconds as a float.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string {
+	switch {
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.3gns", t.Nanos())
+	case t < Millisecond:
+		return fmt.Sprintf("%.4gus", t.Micros())
+	case t < Second:
+		return fmt.Sprintf("%.4gms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.4gs", t.Seconds())
+	}
+}
+
+// FromNanos converts a nanosecond count to a Time, rounding to the
+// nearest picosecond.
+func FromNanos(ns float64) Time { return Time(ns*1000 + 0.5) }
+
+// event is a scheduled callback. seq breaks ties between events at the
+// same virtual instant so execution order is deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+// Engine is not safe for concurrent use; the whole point is a single
+// deterministic timeline.
+type Engine struct {
+	now    Time
+	heap   eventHeap
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are waiting to execute.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling into the
+// past panics: a causal model must never rewind the clock.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d picoseconds after the current time.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events beyond the deadline stay pending.
+func (e *Engine) RunUntil(deadline Time) {
+	e.halted = false
+	for !e.halted && len(e.heap) > 0 && e.heap[0].at <= deadline {
+		e.Step()
+	}
+	if !e.halted && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor executes events for d picoseconds of virtual time from now.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// Halt stops Run/RunUntil after the currently executing event returns.
+// It is intended to be called from inside an event callback.
+func (e *Engine) Halt() { e.halted = true }

@@ -1,0 +1,60 @@
+package sim
+
+// Rand is a small deterministic PRNG (xorshift64*), used wherever a model
+// needs jitter or randomized workloads. It is seeded explicitly so every
+// simulation run is reproducible; math/rand's global state is never used.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a PRNG seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant because xorshift has an all-zeros fixed point.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Jitter returns base scaled by a random factor in [1-frac, 1+frac].
+func (r *Rand) Jitter(base Time, frac float64) Time {
+	if frac <= 0 {
+		return base
+	}
+	f := 1 + frac*(2*r.Float64()-1)
+	return Time(float64(base) * f)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

@@ -1,0 +1,49 @@
+package sim
+
+// Server models a work-conserving FIFO resource with a single service
+// channel: a link serializer, a DRAM controller port, a NIC DMA engine.
+// A job arriving at time a with service demand s starts at
+// max(a, freeAt) and completes s later. Server keeps only the scalar
+// horizon, so it is O(1) per job and exact for FIFO service.
+type Server struct {
+	freeAt Time
+	busy   Time // accumulated service time, for utilization accounting
+	jobs   uint64
+}
+
+// Schedule books a job arriving at 'arrival' needing 'service' time.
+// It returns the start and completion times and advances the horizon.
+func (s *Server) Schedule(arrival, service Time) (start, done Time) {
+	if service < 0 {
+		panic("sim: negative service time")
+	}
+	start = arrival
+	if s.freeAt > start {
+		start = s.freeAt
+	}
+	done = start + service
+	s.freeAt = done
+	s.busy += service
+	s.jobs++
+	return start, done
+}
+
+// FreeAt returns the earliest time a new arrival could begin service.
+func (s *Server) FreeAt() Time { return s.freeAt }
+
+// BusyTime returns the total service time booked so far.
+func (s *Server) BusyTime() Time { return s.busy }
+
+// Jobs returns the number of jobs booked so far.
+func (s *Server) Jobs() uint64 { return s.jobs }
+
+// Utilization returns busy time divided by the observation horizon.
+func (s *Server) Utilization(horizon Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(s.busy) / float64(horizon)
+}
+
+// Reset clears the server back to an idle state at time zero.
+func (s *Server) Reset() { *s = Server{} }

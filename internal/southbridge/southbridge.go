@@ -1,0 +1,100 @@
+// Package southbridge models the IO hub hanging off the BSP's
+// non-coherent link: the chip that provides the BIOS flash ROM the
+// firmware executes from during cache-as-RAM (CAR) mode. The paper's
+// boot sequence notes that in CAR mode "the system is comparatively
+// slow as the performance is limited by the read bandwidth of the ROM"
+// (§V) — this device supplies that bandwidth limit, answering sized
+// reads from a flash image with SPI-class latency.
+package southbridge
+
+import (
+	"fmt"
+
+	"repro/internal/ht"
+	"repro/internal/sim"
+)
+
+// ROMBase is the global physical address of the BIOS flash window: the
+// classic top-of-4GB reset-vector region.
+const ROMBase uint64 = 0xFFFF_0000
+
+// ROMWindow is the size of the flash window (one MMIO granule).
+const ROMWindow = 64 << 10
+
+// Params configure the device.
+type Params struct {
+	// ROMAccess is the latency of one sized read from flash (SPI serial
+	// interface): ~3 us per 64-byte access = ~20 MB/s.
+	ROMAccess sim.Time
+}
+
+// DefaultParams models a typical LPC/SPI flash part.
+func DefaultParams() Params {
+	return Params{ROMAccess: 3 * sim.Microsecond}
+}
+
+// Device is one southbridge with its flash ROM.
+type Device struct {
+	eng  *sim.Engine
+	par  Params
+	rom  []byte
+	port *ht.Port
+	srv  sim.Server
+
+	reads uint64
+}
+
+// New creates a southbridge holding the given flash image (max 64 KB).
+func New(eng *sim.Engine, image []byte, par Params) (*Device, error) {
+	if len(image) > ROMWindow {
+		return nil, fmt.Errorf("southbridge: %d-byte image exceeds the %d-byte flash window",
+			len(image), ROMWindow)
+	}
+	rom := make([]byte, ROMWindow)
+	copy(rom, image)
+	return &Device{eng: eng, par: par, rom: rom}, nil
+}
+
+// AttachTo connects the device to its side of the non-coherent link and
+// starts answering reads.
+func (d *Device) AttachTo(p *ht.Port) {
+	d.port = p
+	p.SetSink(func(pkt *ht.Packet, done func()) { d.handle(pkt, done) })
+}
+
+// Reads returns how many sized reads the flash has served.
+func (d *Device) Reads() uint64 { return d.reads }
+
+// ROM exposes the flash contents (tests compare fetched bytes).
+func (d *Device) ROM() []byte { return d.rom }
+
+func (d *Device) handle(pkt *ht.Packet, done func()) {
+	switch pkt.Cmd {
+	case ht.CmdRdSized:
+		off := pkt.Addr - ROMBase
+		n := (int(pkt.Count) + 1) * ht.DwordBytes
+		if pkt.Addr < ROMBase || off+uint64(n) > ROMWindow {
+			done() // master abort: outside the flash window
+			return
+		}
+		d.reads++
+		_, at := d.srv.Schedule(d.eng.Now(), d.par.ROMAccess)
+		requester := pkt.SrcNode
+		tag := pkt.SrcTag
+		data := append([]byte(nil), d.rom[off:off+uint64(n)]...)
+		d.eng.At(at, func() {
+			resp, err := ht.NewReadResponse(tag, data)
+			if err != nil {
+				return
+			}
+			resp.DstNode = requester
+			_ = d.port.Send(resp)
+		})
+		done()
+	case ht.CmdWrPosted, ht.CmdWrNP, ht.CmdBroadcast, ht.CmdFence, ht.CmdFlush:
+		// Legacy IO writes and system-management traffic are absorbed.
+		done()
+	default:
+		done()
+	}
+}

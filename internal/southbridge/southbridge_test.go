@@ -1,0 +1,104 @@
+package southbridge
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ht"
+	"repro/internal/sim"
+)
+
+func device(t *testing.T, image []byte) (*sim.Engine, *ht.Link, *Device) {
+	t.Helper()
+	eng := sim.NewEngine()
+	l := ht.NewLink(eng, ht.DefaultLinkConfig(ht.ClassProcessor, ht.ClassIODevice))
+	l.ColdReset()
+	eng.Run()
+	d, err := New(eng, image, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AttachTo(l.B())
+	return eng, l, d
+}
+
+func TestROMReadRoundTrip(t *testing.T) {
+	image := make([]byte, 256)
+	for i := range image {
+		image[i] = byte(i ^ 0xA5)
+	}
+	eng, l, d := device(t, image)
+
+	var got []byte
+	l.A().SetSink(func(p *ht.Packet, done func()) {
+		if p.Cmd == ht.CmdRdResp {
+			got = p.Data
+		}
+		done()
+	})
+	rd, err := ht.NewRead(ROMBase+64, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.SrcNode = 7
+	if err := l.A().Send(rd); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !bytes.Equal(got, image[64:128]) {
+		t.Fatalf("ROM read returned %v", got[:8])
+	}
+	if d.Reads() != 1 {
+		t.Errorf("reads = %d", d.Reads())
+	}
+}
+
+func TestROMReadLatencyIsFlashBound(t *testing.T) {
+	eng, l, _ := device(t, make([]byte, 4096))
+	var at sim.Time
+	l.A().SetSink(func(p *ht.Packet, done func()) {
+		at = eng.Now()
+		done()
+	})
+	rd, _ := ht.NewRead(ROMBase, 64, 1)
+	start := eng.Now()
+	_ = l.A().Send(rd)
+	eng.Run()
+	if lat := at - start; lat < DefaultParams().ROMAccess {
+		t.Errorf("ROM read completed in %v, below the %v flash access time", lat, DefaultParams().ROMAccess)
+	}
+}
+
+func TestOutOfWindowReadAborts(t *testing.T) {
+	eng, l, d := device(t, make([]byte, 64))
+	responded := false
+	l.A().SetSink(func(p *ht.Packet, done func()) {
+		responded = true
+		done()
+	})
+	rd, _ := ht.NewRead(ROMBase-64, 64, 2) // below the window
+	_ = l.A().Send(rd)
+	eng.Run()
+	if responded {
+		t.Error("out-of-window read got a response")
+	}
+	if d.Reads() != 0 {
+		t.Errorf("reads = %d", d.Reads())
+	}
+}
+
+func TestWritesAbsorbed(t *testing.T) {
+	eng, l, _ := device(t, make([]byte, 64))
+	w, _ := ht.NewPostedWrite(ROMBase, []byte{1, 2, 3, 4})
+	if err := l.A().Send(w); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run() // must quiesce without faults
+}
+
+func TestOversizedImageRejected(t *testing.T) {
+	eng := sim.NewEngine()
+	if _, err := New(eng, make([]byte, ROMWindow+1), DefaultParams()); err == nil {
+		t.Error("oversized flash image accepted")
+	}
+}

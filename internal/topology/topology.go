@@ -1,0 +1,401 @@
+// Package topology describes TCCluster interconnect topologies and the
+// routing functions that drive them, and validates the two constraints
+// the paper's architecture imposes:
+//
+//  1. Interval routability (§IV.D): the northbridge can only map single
+//     contiguous address intervals to each outgoing link, and it has a
+//     fixed number of MMIO base/limit register pairs. A topology+routing
+//     combination is only implementable if every node's remote address
+//     space decomposes into few enough contiguous intervals.
+//  2. Physical realizability (§IV.F): HT trace length is limited to 24
+//     inches on FR4 (more over coax), and all nodes must share a
+//     mesochronous clock, which favors balanced blade-rack placements.
+//
+// Nodes are identified by their index in address order: node i owns the
+// i-th slice of the global physical address space, which is what makes
+// interval routing meaningful.
+package topology
+
+import "fmt"
+
+// Neighbor links a local port to a peer node.
+type Neighbor struct {
+	Port int
+	Peer int
+}
+
+// Topology is an undirected interconnect graph with per-node ports and
+// a deterministic next-hop routing function.
+type Topology struct {
+	name     string
+	n        int
+	maxPorts int
+	ports    [][]int // ports[node][port] = peer, -1 if unwired
+	pos      [][2]int
+	route    func(t *Topology, src, dst int) int // returns egress port
+}
+
+// Name returns the topology's descriptive name.
+func (t *Topology) Name() string { return t.name }
+
+// N returns the number of nodes.
+func (t *Topology) N() int { return t.n }
+
+// MaxPorts returns the per-node port budget.
+func (t *Topology) MaxPorts() int { return t.maxPorts }
+
+// Peer returns the node wired to (node, port), or -1.
+func (t *Topology) Peer(node, port int) int {
+	if port < 0 || port >= len(t.ports[node]) {
+		return -1
+	}
+	return t.ports[node][port]
+}
+
+// Neighbors lists the wired ports of node.
+func (t *Topology) Neighbors(node int) []Neighbor {
+	var out []Neighbor
+	for p, peer := range t.ports[node] {
+		if peer >= 0 {
+			out = append(out, Neighbor{Port: p, Peer: peer})
+		}
+	}
+	return out
+}
+
+// NumLinks returns the number of undirected links.
+func (t *Topology) NumLinks() int {
+	n := 0
+	for node := range t.ports {
+		for _, peer := range t.ports[node] {
+			if peer > node {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Position returns the node's grid placement (blade/row), used by the
+// physical-constraint model.
+func (t *Topology) Position(node int) (x, y int) {
+	return t.pos[node][0], t.pos[node][1]
+}
+
+// NextHop returns the egress port at src toward dst. It panics if
+// src == dst; routing a packet to itself is a caller bug.
+func (t *Topology) NextHop(src, dst int) int {
+	if src == dst {
+		panic("topology: NextHop with src == dst")
+	}
+	return t.route(t, src, dst)
+}
+
+// portTo returns the port at a wired to b, or -1.
+func (t *Topology) portTo(a, b int) int {
+	for p, peer := range t.ports[a] {
+		if peer == b {
+			return p
+		}
+	}
+	return -1
+}
+
+func newTopology(name string, n, maxPorts int) *Topology {
+	t := &Topology{name: name, n: n, maxPorts: maxPorts}
+	t.ports = make([][]int, n)
+	for i := range t.ports {
+		t.ports[i] = make([]int, maxPorts)
+		for p := range t.ports[i] {
+			t.ports[i][p] = -1
+		}
+	}
+	t.pos = make([][2]int, n)
+	return t
+}
+
+func (t *Topology) wire(a, b int) error {
+	pa, pb := -1, -1
+	for p, peer := range t.ports[a] {
+		if peer == -1 {
+			pa = p
+			break
+		}
+	}
+	for p, peer := range t.ports[b] {
+		if peer == -1 {
+			pb = p
+			break
+		}
+	}
+	if pa == -1 || pb == -1 {
+		return fmt.Errorf("topology: no free port wiring %d-%d (budget %d)", a, b, t.maxPorts)
+	}
+	t.ports[a][pa] = b
+	t.ports[b][pb] = a
+	return nil
+}
+
+// OpteronPorts is the per-node port budget of a single-socket node: the
+// four HyperTransport links of an Opteron package, one of which the BSP
+// node must reserve for its southbridge.
+const OpteronPorts = 4
+
+// Chain builds a 1-D chain of n nodes: the shape of the paper's 2-node
+// prototype and its natural extension.
+func Chain(n int) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: chain needs >= 2 nodes, got %d", n)
+	}
+	t := newTopology(fmt.Sprintf("chain-%d", n), n, OpteronPorts)
+	for i := 0; i+1 < n; i++ {
+		if err := t.wire(i, i+1); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		t.pos[i] = [2]int{i, 0}
+	}
+	t.route = chainRoute
+	return t, nil
+}
+
+func chainRoute(t *Topology, src, dst int) int {
+	if dst < src {
+		return t.portTo(src, src-1)
+	}
+	return t.portTo(src, src+1)
+}
+
+// Ring builds a 1-D ring. Rings route shortest-arc, which makes them a
+// deliberate negative example: the channel-dependency cycle around the
+// ring is caught by the deadlock validator, and the wrapped arc needs an
+// extra address interval.
+func Ring(n int) (*Topology, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring needs >= 3 nodes, got %d", n)
+	}
+	t := newTopology(fmt.Sprintf("ring-%d", n), n, OpteronPorts)
+	for i := 0; i < n; i++ {
+		if err := t.wire(i, (i+1)%n); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		t.pos[i] = [2]int{i, 0}
+	}
+	t.route = ringRoute
+	return t, nil
+}
+
+func ringRoute(t *Topology, src, dst int) int {
+	n := t.n
+	fwd := (dst - src + n) % n
+	if fwd <= n-fwd {
+		return t.portTo(src, (src+1)%n)
+	}
+	return t.portTo(src, (src-1+n)%n)
+}
+
+// Mesh builds a w x h 2-D mesh with row-major node numbering and Y-first
+// dimension-order routing. Y-first is the choice that makes every node's
+// routing exactly four contiguous address intervals (everything below my
+// row, everything above my row, left in my row, right in my row) — the
+// form the northbridge's interval routing can express (paper §IV.D/§IV.F
+// "for an nxn mesh ...").
+func Mesh(w, h int) (*Topology, error) {
+	if w < 1 || h < 1 || w*h < 2 {
+		return nil, fmt.Errorf("topology: mesh %dx%d too small", w, h)
+	}
+	t := newTopology(fmt.Sprintf("mesh-%dx%d", w, h), w*h, OpteronPorts)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				if err := t.wire(id(x, y), id(x+1, y)); err != nil {
+					return nil, err
+				}
+			}
+			if y+1 < h {
+				if err := t.wire(id(x, y), id(x, y+1)); err != nil {
+					return nil, err
+				}
+			}
+			t.pos[id(x, y)] = [2]int{x, y}
+		}
+	}
+	t.route = func(t *Topology, src, dst int) int { return meshRoute(t, w, src, dst) }
+	return t, nil
+}
+
+func meshRoute(t *Topology, w, src, dst int) int {
+	sx, sy := src%w, src/w
+	dy := dst / w
+	switch {
+	case dy > sy:
+		return t.portTo(src, src+w) // south first
+	case dy < sy:
+		return t.portTo(src, src-w) // north first
+	case dst%w > sx:
+		return t.portTo(src, src+1) // east within the row
+	default:
+		return t.portTo(src, src-1) // west within the row
+	}
+}
+
+// Torus builds a w x h 2-D torus: a mesh with wraparound links in both
+// dimensions, routed Y-first along the shorter arc. Wrap arcs split the
+// contiguous destination runs, so a torus needs up to six address
+// intervals per node — it still fits the northbridge's MMIO register
+// file (barely), but unlike the mesh its channel dependencies are
+// cyclic: the deadlock checker rejects it for single-VC posted traffic,
+// the same reason shortest-arc rings fail.
+func Torus(w, h int) (*Topology, error) {
+	if w < 3 || h < 3 {
+		return nil, fmt.Errorf("topology: torus needs >= 3x3, got %dx%d", w, h)
+	}
+	t := newTopology(fmt.Sprintf("torus-%dx%d", w, h), w*h, OpteronPorts)
+	id := func(x, y int) int { return (y%h)*w + (x % w) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if err := t.wire(id(x, y), id(x+1, y)); err != nil {
+				return nil, err
+			}
+			if err := t.wire(id(x, y), id(x, y+1)); err != nil {
+				return nil, err
+			}
+			t.pos[id(x, y)] = [2]int{x, y}
+		}
+	}
+	t.route = func(t *Topology, src, dst int) int { return torusRoute(t, w, h, src, dst) }
+	return t, nil
+}
+
+func torusRoute(t *Topology, w, h, src, dst int) int {
+	sx, sy := src%w, src/w
+	dx, dy := dst%w, dst/w
+	if sy != dy {
+		// Y first, shorter arc.
+		down := (dy - sy + h) % h
+		if down <= h-down {
+			return t.portTo(src, ((sy+1)%h)*w+sx)
+		}
+		return t.portTo(src, ((sy-1+h)%h)*w+sx)
+	}
+	right := (dx - sx + w) % w
+	if right <= w-right {
+		return t.portTo(src, sy*w+(sx+1)%w)
+	}
+	return t.portTo(src, sy*w+(sx-1+w)%w)
+}
+
+// FullyConnected builds an all-to-all topology; with 4 ports per node
+// that caps at 5 nodes, mirroring the paper's observation that fully
+// connected systems stop at small counts (§III).
+func FullyConnected(n int) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: fully connected needs >= 2 nodes")
+	}
+	if n > OpteronPorts+1 {
+		return nil, fmt.Errorf("topology: fully connected %d nodes needs %d ports/node, Opteron has %d",
+			n, n-1, OpteronPorts)
+	}
+	t := newTopology(fmt.Sprintf("full-%d", n), n, OpteronPorts)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := t.wire(i, j); err != nil {
+				return nil, err
+			}
+		}
+		t.pos[i] = [2]int{i, 0}
+	}
+	t.route = func(t *Topology, src, dst int) int { return t.portTo(src, dst) }
+	return t, nil
+}
+
+// Hypercube builds a d-dimensional hypercube (d <= 4 with Opteron's four
+// links). Routing resolves the lowest differing dimension first, which
+// keeps paths loop-free.
+func Hypercube(d int) (*Topology, error) {
+	if d < 1 || d > OpteronPorts {
+		return nil, fmt.Errorf("topology: hypercube dimension %d out of range 1..%d", d, OpteronPorts)
+	}
+	n := 1 << d
+	t := newTopology(fmt.Sprintf("hypercube-%d", d), n, OpteronPorts)
+	for i := 0; i < n; i++ {
+		for b := 0; b < d; b++ {
+			j := i ^ (1 << b)
+			if j > i {
+				if err := t.wire(i, j); err != nil {
+					return nil, err
+				}
+			}
+		}
+		t.pos[i] = [2]int{i % 4, i / 4}
+	}
+	t.route = func(t *Topology, src, dst int) int {
+		diff := src ^ dst
+		b := 0
+		for diff&1 == 0 {
+			diff >>= 1
+			b++
+		}
+		return t.portTo(src, src^(1<<b))
+	}
+	return t, nil
+}
+
+// HopCount returns the number of links a packet crosses from src to dst
+// under the topology's routing. It returns -1 if routing loops or dead-
+// ends (which Validate reports in detail).
+func (t *Topology) HopCount(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	cur := src
+	for hops := 1; hops <= t.n; hops++ {
+		port := t.NextHop(cur, dst)
+		if port < 0 {
+			return -1
+		}
+		cur = t.Peer(cur, port)
+		if cur < 0 {
+			return -1
+		}
+		if cur == dst {
+			return hops
+		}
+	}
+	return -1
+}
+
+// Diameter returns the longest routed path in hops.
+func (t *Topology) Diameter() int {
+	d := 0
+	for s := 0; s < t.n; s++ {
+		for e := 0; e < t.n; e++ {
+			if h := t.HopCount(s, e); h > d {
+				d = h
+			}
+		}
+	}
+	return d
+}
+
+// AvgHops returns the mean routed distance over all ordered pairs.
+func (t *Topology) AvgHops() float64 {
+	total, pairs := 0, 0
+	for s := 0; s < t.n; s++ {
+		for e := 0; e < t.n; e++ {
+			if s == e {
+				continue
+			}
+			total += t.HopCount(s, e)
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(total) / float64(pairs)
+}

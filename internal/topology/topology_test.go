@@ -1,0 +1,259 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChainBasics(t *testing.T) {
+	c, err := Chain(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 8 || c.NumLinks() != 7 {
+		t.Fatalf("chain-8: N=%d links=%d", c.N(), c.NumLinks())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Diameter(); d != 7 {
+		t.Errorf("diameter = %d, want 7", d)
+	}
+	if h := c.HopCount(0, 7); h != 7 {
+		t.Errorf("HopCount(0,7) = %d, want 7", h)
+	}
+	if h := c.HopCount(3, 3); h != 0 {
+		t.Errorf("HopCount(3,3) = %d, want 0", h)
+	}
+}
+
+func TestChainIntervals(t *testing.T) {
+	c, _ := Chain(8)
+	// Interior node: everything below goes one way, everything above the
+	// other — exactly 2 intervals.
+	iv := c.Intervals(3)
+	if len(iv) != 2 {
+		t.Fatalf("chain interior intervals = %v, want 2 runs", iv)
+	}
+	if iv[0].Lo != 0 || iv[0].Hi != 2 || iv[1].Lo != 4 || iv[1].Hi != 7 {
+		t.Errorf("intervals = %v", iv)
+	}
+	// End node: a single interval.
+	if iv := c.Intervals(0); len(iv) != 1 {
+		t.Errorf("chain end intervals = %v, want 1 run", iv)
+	}
+	if c.MaxIntervals() != 2 {
+		t.Errorf("MaxIntervals = %d, want 2", c.MaxIntervals())
+	}
+}
+
+func TestMeshYFirstIsFourIntervals(t *testing.T) {
+	// The load-bearing property: Y-first dimension order + row-major
+	// numbering keeps every node at <= 4 contiguous intervals, matching
+	// the Opteron's 4 links and its handful of MMIO register pairs.
+	for _, dim := range [][2]int{{4, 4}, {8, 8}, {3, 5}, {16, 16}} {
+		m, err := Mesh(dim[0], dim[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if got := m.MaxIntervals(); got > 4 {
+			t.Errorf("%s: MaxIntervals = %d, want <= 4", m.Name(), got)
+		}
+		if err := m.CheckIntervalRoutable(7); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+func TestMeshDiameter(t *testing.T) {
+	m, _ := Mesh(8, 8)
+	if d := m.Diameter(); d != 14 {
+		t.Errorf("8x8 mesh diameter = %d, want 14", d)
+	}
+	if h := m.HopCount(0, 63); h != 14 {
+		t.Errorf("corner-to-corner hops = %d, want 14", h)
+	}
+}
+
+func TestMeshDeadlockFree(t *testing.T) {
+	m, _ := Mesh(4, 4)
+	ok, err := m.DeadlockFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("dimension-order mesh flagged as deadlocking")
+	}
+}
+
+func TestRingDeadlocks(t *testing.T) {
+	r, _ := Ring(6)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := r.DeadlockFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("shortest-arc ring not flagged: its channel dependencies form a cycle")
+	}
+}
+
+func TestRingWrapNeedsExtraInterval(t *testing.T) {
+	r, _ := Ring(8)
+	// Node 0's forward arc is contiguous [1..4] but the backward arc
+	// [5..7] is also contiguous; interior nodes see the wrap split.
+	if max := r.MaxIntervals(); max < 2 || max > 3 {
+		t.Errorf("ring MaxIntervals = %d, want 2-3", max)
+	}
+}
+
+func TestFullyConnected(t *testing.T) {
+	f, err := FullyConnected(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Diameter(); d != 1 {
+		t.Errorf("diameter = %d, want 1", d)
+	}
+	ok, _ := f.DeadlockFree()
+	if !ok {
+		t.Error("single-hop full mesh cannot deadlock")
+	}
+	if _, err := FullyConnected(6); err == nil {
+		t.Error("6-node full mesh accepted with 4 ports per node")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	h, err := Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 16 || h.NumLinks() != 32 {
+		t.Fatalf("hypercube-4: N=%d links=%d", h.N(), h.NumLinks())
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := h.Diameter(); d != 4 {
+		t.Errorf("diameter = %d, want 4", d)
+	}
+	ok, _ := h.DeadlockFree()
+	if !ok {
+		t.Error("dimension-order hypercube flagged as deadlocking")
+	}
+	if _, err := Hypercube(5); err == nil {
+		t.Error("hypercube-5 accepted with 4 ports")
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := Chain(1); err == nil {
+		t.Error("Chain(1) accepted")
+	}
+	if _, err := Ring(2); err == nil {
+		t.Error("Ring(2) accepted")
+	}
+	if _, err := Mesh(1, 1); err == nil {
+		t.Error("Mesh(1,1) accepted")
+	}
+}
+
+// Property: for any mesh, intervals at every node exactly cover all
+// remote destinations with no overlap, and each interval's port is
+// consistent with per-destination routing.
+func TestIntervalsCoverProperty(t *testing.T) {
+	f := func(w8, h8 uint8) bool {
+		w := int(w8%6) + 2
+		h := int(h8%6) + 2
+		m, err := Mesh(w, h)
+		if err != nil {
+			return false
+		}
+		for node := 0; node < m.N(); node++ {
+			covered := make([]bool, m.N())
+			for _, iv := range m.Intervals(node) {
+				for d := iv.Lo; d <= iv.Hi; d++ {
+					if d == node || covered[d] {
+						return false
+					}
+					covered[d] = true
+					if m.NextHop(node, d) != iv.Port {
+						return false
+					}
+				}
+			}
+			for d := 0; d < m.N(); d++ {
+				if d != node && !covered[d] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvgHops(t *testing.T) {
+	c, _ := Chain(2)
+	if got := c.AvgHops(); got != 1 {
+		t.Errorf("chain-2 AvgHops = %v, want 1", got)
+	}
+	f, _ := FullyConnected(4)
+	if got := f.AvgHops(); got != 1 {
+		t.Errorf("full-4 AvgHops = %v, want 1", got)
+	}
+}
+
+// §IV.F: a long chain laid out along one rack row blows the 24-inch FR4
+// budget; the same machine count as a balanced n x n mesh of blades
+// stays inside it.
+func TestPhysicalPlacementConstraints(t *testing.T) {
+	pm := DefaultPhysicalModel()
+
+	longChain, _ := Chain(64)
+	// Neighbor links are 1.2" — fine. But a chain snaked over rows is
+	// where it breaks; emulate the paper's point with a mesh vs a
+	// row-spanning link check using row pitch.
+	if err := pm.CheckPhysical(longChain); err != nil {
+		t.Errorf("adjacent-blade chain should be buildable: %v", err)
+	}
+
+	mesh, _ := Mesh(8, 8)
+	if err := pm.CheckPhysical(mesh); err != nil {
+		t.Errorf("8x8 blade mesh should be buildable on FR4: %v", err)
+	}
+	if got := pm.MaxLinkLengthInches(mesh); got != 7 {
+		t.Errorf("mesh max link = %.1f inches, want 7 (one row pitch)", got)
+	}
+
+	// A rack with 30-inch row pitch needs coax.
+	far := PhysicalModel{BladePitchInches: 1.2, RowPitchInches: 30, Medium: FR4}
+	if err := far.CheckPhysical(mesh); err == nil {
+		t.Error("30-inch row pitch accepted on FR4")
+	}
+	far.Medium = Coax
+	if err := far.CheckPhysical(mesh); err != nil {
+		t.Errorf("coax should tolerate 30-inch rows: %v", err)
+	}
+}
+
+func TestNextHopSelfPanics(t *testing.T) {
+	c, _ := Chain(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("NextHop(2,2) did not panic")
+		}
+	}()
+	c.NextHop(2, 2)
+}

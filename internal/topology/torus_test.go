@@ -1,0 +1,72 @@
+package topology
+
+import "testing"
+
+func TestTorusBasics(t *testing.T) {
+	tr, err := Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 16 || tr.NumLinks() != 32 {
+		t.Fatalf("torus-4x4: N=%d links=%d, want 16/32", tr.N(), tr.NumLinks())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Wraparound halves the diameter: floor(4/2)+floor(4/2) = 4.
+	if d := tr.Diameter(); d != 4 {
+		t.Errorf("diameter = %d, want 4", d)
+	}
+	mesh, _ := Mesh(4, 4)
+	if tr.AvgHops() >= mesh.AvgHops() {
+		t.Errorf("torus avg hops %.2f not below mesh %.2f", tr.AvgHops(), mesh.AvgHops())
+	}
+}
+
+func TestTorusUsesAllFourPorts(t *testing.T) {
+	tr, _ := Torus(3, 3)
+	for n := 0; n < tr.N(); n++ {
+		if got := len(tr.Neighbors(n)); got != 4 {
+			t.Errorf("node %d has %d neighbors, want 4", n, got)
+		}
+	}
+}
+
+// The wrap arcs fragment the destination runs: more intervals than a
+// mesh, but still within the 7 usable MMIO pairs.
+func TestTorusIntervalDemand(t *testing.T) {
+	for _, dim := range [][2]int{{4, 4}, {5, 5}, {8, 8}, {6, 4}} {
+		tr, err := Torus(dim[0], dim[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxIv := tr.MaxIntervals()
+		mesh, _ := Mesh(dim[0], dim[1])
+		if maxIv <= mesh.MaxIntervals() {
+			t.Errorf("%s: %d intervals not above the mesh's %d (wrap must fragment)",
+				tr.Name(), maxIv, mesh.MaxIntervals())
+		}
+		if err := tr.CheckIntervalRoutable(7); err != nil {
+			t.Errorf("%s: %v", tr.Name(), err)
+		}
+	}
+}
+
+// Shortest-arc wrap routing creates channel-dependency cycles: a torus
+// is NOT safe for single-VC posted traffic, unlike the mesh.
+func TestTorusDeadlocks(t *testing.T) {
+	tr, _ := Torus(4, 4)
+	ok, err := tr.DeadlockFree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("torus wrap cycles not flagged by the deadlock checker")
+	}
+}
+
+func TestTorusRejectsTinyDimensions(t *testing.T) {
+	if _, err := Torus(2, 4); err == nil {
+		t.Error("2-wide torus accepted (double links between the same pair)")
+	}
+}

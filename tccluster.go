@@ -1,0 +1,223 @@
+// Package tccluster is a full-system reproduction of
+//
+//	H. Litz, M. Thuermer, U. Bruening: "TCCluster: A Cluster
+//	Architecture Utilizing the Processor Host Interface as a Network
+//	Interconnect", IEEE CLUSTER 2010.
+//
+// TCCluster turns the AMD Opteron's HyperTransport processor interface
+// into the cluster interconnect itself: no NICs, no switches — a debug
+// register forces processor-to-processor links into non-coherent mode at
+// a warm reset, every node claims NodeID 0 so the northbridge's MMIO
+// base/limit registers route remote addresses straight out a link, and
+// all communication is remote posted stores into uncachable ring
+// buffers.
+//
+// Because the original artifact is BIOS firmware and a kernel driver for
+// 2010-era hardware, this library re-creates the entire stack as a
+// deterministic discrete-event simulation — HT links with credit flow
+// control and training, the register-accurate northbridge address maps,
+// write-combining CPU store paths, the coreboot-style boot sequence, the
+// custom-kernel driver model, and the polling message library — plus the
+// MPI and PGAS middleware the paper names as next steps, and a live
+// goroutine backend (LiveChannel) implementing the same ring protocol on
+// real memory for wall-clock benchmarks.
+//
+// Quick start:
+//
+//	topo, _ := tccluster.Chain(2)
+//	c, err := tccluster.New(topo, tccluster.DefaultConfig())
+//	if err != nil { ... }
+//	s, r, _ := c.OpenChannel(0, 1, tccluster.DefaultMsgParams())
+//	r.Recv(func(data []byte, err error) { fmt.Printf("%s\n", data) })
+//	s.Send([]byte("hello over the host interface"), func(error) {})
+//	c.Run()
+//
+// The cluster runs in virtual time: Run drains all pending events,
+// RunFor advances the clock by a bounded amount (use it when pollers may
+// spin forever, e.g. a barrier some node never enters).
+package tccluster
+
+import (
+	"repro/internal/core"
+	"repro/internal/ht"
+	"repro/internal/kernel"
+	"repro/internal/mpi"
+	"repro/internal/msg"
+	"repro/internal/pgas"
+	"repro/internal/shm"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Re-exported core types. Aliases keep the full method sets usable by
+// importers of this package.
+type (
+	// Topology is an interconnect graph with routing (see Chain, Mesh,
+	// Ring, FullyConnected, Hypercube).
+	Topology = topology.Topology
+	// Config selects memory size, sockets per node, link speed/width and
+	// the hardware model parameters.
+	Config = core.Config
+	// Node is one booted supernode.
+	Node = core.Node
+	// Time is virtual time in picoseconds.
+	Time = sim.Time
+	// LinkSpeed is an HT link clock (HT200..HT2600).
+	LinkSpeed = ht.Speed
+
+	// KernelOptions configure the per-node OS (SMC suppression, driver
+	// export window).
+	KernelOptions = kernel.Options
+	// Window is a driver mapping of local or remote memory.
+	Window = kernel.Window
+
+	// MsgParams configure a message channel (ring size, flow control,
+	// rendezvous region).
+	MsgParams = msg.Params
+	// Sender is the producing end of a message channel.
+	Sender = msg.Sender
+	// Receiver is the polling end of a message channel.
+	Receiver = msg.Receiver
+
+	// MPIConfig configures an MPI world.
+	MPIConfig = mpi.Config
+	// World is an MPI world over the cluster.
+	World = mpi.World
+	// Comm is one MPI rank's communicator.
+	Comm = mpi.Comm
+
+	// PGASConfig configures a global address space.
+	PGASConfig = pgas.Config
+	// Space is a partitioned global address space.
+	Space = pgas.Space
+
+	// LiveParams configure a live (goroutine) channel.
+	LiveParams = shm.Params
+	// LiveSender is the producing end of a live channel.
+	LiveSender = shm.Sender
+	// LiveReceiver is the consuming end of a live channel.
+	LiveReceiver = shm.Receiver
+)
+
+// Link clocks, re-exported. HT800 (1.6 Gbit/s/lane) is the prototype's
+// cable-limited rate; HT2600 is the Shanghai ceiling.
+const (
+	HT200  = ht.HT200
+	HT400  = ht.HT400
+	HT800  = ht.HT800
+	HT1000 = ht.HT1000
+	HT2400 = ht.HT2400
+	HT2600 = ht.HT2600
+)
+
+// Nanosecond and friends let callers express virtual durations.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
+
+// Topology constructors.
+var (
+	// Chain builds a 1-D chain (the prototype shape).
+	Chain = topology.Chain
+	// Ring builds a 1-D ring (a deliberate deadlock-checker example).
+	Ring = topology.Ring
+	// Mesh builds a w x h mesh with Y-first interval routing.
+	Mesh = topology.Mesh
+	// Torus builds a w x h torus (more intervals, deadlock-flagged).
+	Torus = topology.Torus
+	// FullyConnected builds an all-to-all graph (max 5 nodes).
+	FullyConnected = topology.FullyConnected
+	// Hypercube builds a d-dimensional hypercube (d <= 4).
+	Hypercube = topology.Hypercube
+)
+
+// DefaultConfig returns the prototype-faithful hardware configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultMsgParams returns the paper's message-library configuration
+// (4 KB rings).
+func DefaultMsgParams() MsgParams { return msg.DefaultParams() }
+
+// DefaultMPIConfig returns eager/rendezvous MPI defaults.
+func DefaultMPIConfig() MPIConfig { return mpi.DefaultConfig() }
+
+// DefaultPGASConfig returns a small symmetric global space.
+func DefaultPGASConfig() PGASConfig { return pgas.DefaultConfig() }
+
+// DefaultLiveParams returns the live backend's defaults.
+func DefaultLiveParams() LiveParams { return shm.DefaultParams() }
+
+// Reduction operators for MPI collectives.
+var (
+	Sum = mpi.Sum
+	Max = mpi.Max
+	Min = mpi.Min
+)
+
+// Float64s and ToFloat64s convert float vectors to and from message
+// payloads.
+var (
+	Float64s   = mpi.Float64s
+	ToFloat64s = mpi.ToFloat64s
+)
+
+// AnyTag matches any tag in Comm.Recv.
+const AnyTag = mpi.AnyTag
+
+// Cluster is a booted TCCluster with kernels installed on every node:
+// the top-level handle of this library.
+type Cluster struct {
+	*core.Cluster
+	os *kernel.OS
+}
+
+// New builds, boots and installs custom kernels (SMC disabled) on a
+// cluster over the given topology.
+func New(topo *Topology, cfg Config) (*Cluster, error) {
+	return NewWithKernel(topo, cfg, KernelOptions{SMCDisabled: true})
+}
+
+// NewWithKernel is New with explicit kernel options — a stock kernel
+// (SMCDisabled=false) reproduces the interrupt-leak failure mode the
+// paper's custom kernel exists to prevent.
+func NewWithKernel(topo *Topology, cfg Config, kopt KernelOptions) (*Cluster, error) {
+	c, err := core.New(topo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{Cluster: c, os: kernel.Install(c, kopt)}, nil
+}
+
+// OS exposes the kernel layer (drivers, mappings, SMC counters).
+func (c *Cluster) OS() *kernel.OS { return c.os }
+
+// Kernel returns node i's kernel.
+func (c *Cluster) Kernel(i int) *kernel.Kernel { return c.os.Kernel(i) }
+
+// OpenChannel opens a unidirectional message channel from node src to
+// node dst.
+func (c *Cluster) OpenChannel(src, dst int, par MsgParams) (*Sender, *Receiver, error) {
+	return msg.Open(c.os, src, dst, par)
+}
+
+// NewWorld opens an MPI world spanning all nodes.
+func (c *Cluster) NewWorld(cfg MPIConfig) (*World, error) {
+	return mpi.NewWorld(c.os, cfg)
+}
+
+// NewSpace creates a partitioned global address space spanning all
+// nodes.
+func (c *Cluster) NewSpace(cfg PGASConfig) (*Space, error) {
+	return pgas.New(c.os, cfg)
+}
+
+// NewLiveChannel creates a real-goroutine channel implementing the same
+// ring protocol on real memory (wall-clock benchmarking backend).
+func NewLiveChannel(par LiveParams) (*LiveSender, *LiveReceiver, error) {
+	return shm.NewChannel(par)
+}
+
+// Now returns the cluster's virtual time.
+func (c *Cluster) Now() Time { return c.Engine().Now() }
