@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all check fmt vet build test race bench
+
+all: check
+
+check: fmt vet build race bench
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Smoke-run every benchmark once: catches bit-rot in the harness without
+# waiting for statistically meaningful timings.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -262,6 +262,58 @@ func BenchmarkLiveStream64B(b *testing.B)  { benchLiveStream(b, 64) }
 func BenchmarkLiveStream512B(b *testing.B) { benchLiveStream(b, 512) }
 func BenchmarkLiveStream2KB(b *testing.B)  { benchLiveStream(b, 2048) }
 
+// --- Observability overhead ---------------------------------------------------
+//
+// Tracing disabled must cost only a nil check at each emission site:
+// compare NoTracer against Collector to see the delta, and NoTracer
+// against the seed-era numbers to confirm the instrumentation itself is
+// free.
+
+func benchSimPingPong(b *testing.B, opts ...tccluster.Option) {
+	b.Helper()
+	topo, err := tccluster.Chain(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sAB, rAB, err := c.OpenChannel(0, 1, tccluster.DefaultMsgParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sBA, rBA, err := c.OpenChannel(1, 0, tccluster.DefaultMsgParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		rAB.Recv(func(d []byte, err error) {
+			if err != nil {
+				return
+			}
+			rBA.Recv(func(_ []byte, err error) { done = err == nil })
+			sBA.Send(d, func(error) {})
+		})
+		sAB.Send(payload, func(error) {})
+		c.Run()
+		if !done {
+			b.Fatal("ping-pong round lost")
+		}
+	}
+}
+
+func BenchmarkSimPingPongNoTracer(b *testing.B) {
+	benchSimPingPong(b)
+}
+
+func BenchmarkSimPingPongCollector(b *testing.B) {
+	benchSimPingPong(b, tccluster.WithTracer(tccluster.NewCollector(1<<12)))
+}
+
 // --- E15: allreduce algorithm ablation ----------------------------------------
 
 func BenchmarkAllreduceAblation(b *testing.B) {

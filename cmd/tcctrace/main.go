@@ -1,57 +1,50 @@
 // Command tcctrace renders TCCluster fabric activity chronologically:
 // it boots a chain, runs a small ping-pong through the message library,
-// and prints every packet's serialization and delivery with virtual
-// timestamps — a waveform view of the NodeID-0 routed, write-only
-// network.
+// and exports the typed event stream the observability layer collects —
+// boot phases, packet serializations/deliveries, credit stalls — in one
+// of three formats:
+//
+//	text    a waveform-style listing with virtual timestamps (default)
+//	chrome  Chrome trace_event JSON for ui.perfetto.dev / chrome://tracing
+//	csv     one event per row, for spreadsheets and diffing
 //
 // Usage:
 //
-//	tcctrace [-nodes N] [-rounds R] [-size B]
+//	tcctrace [-nodes N] [-rounds R] [-size B] [-format text|chrome|csv] [-o FILE]
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
+	"strings"
 
 	tccluster "repro"
-	"repro/internal/ht"
 )
-
-type event struct {
-	at    tccluster.Time
-	order int
-	line  string
-}
 
 func main() {
 	nodes := flag.Int("nodes", 3, "chain length")
 	rounds := flag.Int("rounds", 2, "ping-pong rounds between the end nodes")
 	size := flag.Int("size", 48, "payload bytes")
+	format := flag.String("format", "text", "output format: text, chrome or csv")
+	out := flag.String("o", "", "output file (default stdout)")
+	buf := flag.Int("buf", 1<<16, "event buffer capacity")
 	flag.Parse()
+
+	switch *format {
+	case "text", "chrome", "csv":
+	default:
+		check(fmt.Errorf("unknown format %q (want text, chrome or csv)", *format))
+	}
 
 	topo, err := tccluster.Chain(*nodes)
 	check(err)
-	c, err := tccluster.New(topo, tccluster.DefaultConfig())
+	col := tccluster.NewCollector(*buf)
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(),
+		tccluster.WithTracer(col))
 	check(err)
-
-	var events []event
-	order := 0
-	for i, l := range c.ExternalLinks() {
-		name := fmt.Sprintf("link%d[n%d-n%d]", i, i, i+1)
-		l := l
-		l.SetTrace(func(ev, side string, pkt *ht.Packet) {
-			order++
-			events = append(events, event{
-				at:    c.Now(),
-				order: order,
-				line: fmt.Sprintf("%-16s %-2s %-2s %v",
-					name, side, ev, pkt),
-			})
-		})
-		_ = l
-	}
 
 	// Ping-pong between the two ends of the chain: every packet transits
 	// the middle nodes, visible on each link in turn.
@@ -97,24 +90,71 @@ func main() {
 		check(fmt.Errorf("only %d of %d rounds completed", done, *rounds))
 	}
 
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].at != events[j].at {
-			return events[i].at < events[j].at
-		}
-		return events[i].order < events[j].order
-	})
-	fmt.Printf("fabric trace: %d-node chain, %d rounds of %dB ping-pong (%d events)\n\n",
-		*nodes, *rounds, *size, len(events))
-	for _, e := range events {
-		fmt.Printf("[%12v] %s\n", e.at, e.line)
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		check(err)
+		defer f.Close()
+		w = f
 	}
 
-	fmt.Println("\nper-link totals:")
+	events := col.Events()
+	switch *format {
+	case "chrome":
+		check(tccluster.WriteChromeTrace(w, events))
+	case "csv":
+		check(tccluster.WriteCSVTrace(w, events))
+	default:
+		check(writeText(w, c, events, *nodes, *rounds, *size))
+	}
+	if col.Dropped() > 0 {
+		fmt.Fprintf(os.Stderr, "tcctrace: buffer kept %d of %d events (raise -buf)\n",
+			len(events), col.Total())
+	}
+}
+
+// writeText renders the waveform view: every event with its virtual
+// timestamp, link events labelled by the chain link they crossed, node
+// events by their node.
+func writeText(w io.Writer, c *tccluster.Cluster, events []tccluster.TraceEvent,
+	nodes, rounds, size int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "fabric trace: %d-node chain, %d rounds of %dB ping-pong (%d events)\n\n",
+		nodes, rounds, size, len(events))
+	side := func(s int) string {
+		if s == 0 {
+			return "A"
+		}
+		return "B"
+	}
+	for _, ev := range events {
+		var where, what string
+		if ev.Link >= 0 {
+			where = fmt.Sprintf("link%d[n%d-n%d]", ev.Link, ev.Link, ev.Link+1)
+			what = fmt.Sprintf("%s->%s %-16s", side(ev.Src), side(ev.Dst), ev.Kind)
+			if ev.Seq > 0 {
+				what += fmt.Sprintf(" seq=%d", ev.Seq)
+			}
+		} else {
+			where = fmt.Sprintf("n%d", ev.Node)
+			what = fmt.Sprintf("%-16s", ev.Kind)
+		}
+		if ev.Bytes > 0 {
+			what += fmt.Sprintf(" %dB", ev.Bytes)
+		}
+		if ev.Label != "" {
+			what += " " + ev.Label
+		}
+		fmt.Fprintf(bw, "[%12v] %-16s %s\n", ev.At, where, strings.TrimRight(what, " "))
+	}
+
+	fmt.Fprintln(bw, "\nper-link totals:")
 	for i, l := range c.ExternalLinks() {
 		a, b := l.A().Stats(), l.B().Stats()
-		fmt.Printf("  link%d: A sent %d pkts/%dB, B sent %d pkts/%dB\n",
+		fmt.Fprintf(bw, "  link%d: A sent %d pkts/%dB, B sent %d pkts/%dB\n",
 			i, a.PktsSent, a.BytesSent, b.PktsSent, b.BytesSent)
 	}
+	return bw.Flush()
 }
 
 func check(err error) {

@@ -4,12 +4,14 @@ import (
 	"fmt"
 
 	"repro/internal/cpu"
+	"repro/internal/errs"
 	"repro/internal/firmware"
 	"repro/internal/ht"
 	"repro/internal/nb"
 	"repro/internal/sim"
 	"repro/internal/southbridge"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Cluster is a booted TCCluster: supernodes wired per a topology, with
@@ -39,10 +41,10 @@ func New(topo *topology.Topology, cfg Config) (*Cluster, error) {
 		cfg = fillDefaults(cfg)
 	}
 	if cfg.SocketsPerNode < 1 || cfg.SocketsPerNode > nb.MaxNodes {
-		return nil, fmt.Errorf("core: %d sockets per node out of range 1..%d", cfg.SocketsPerNode, nb.MaxNodes)
+		return nil, fmt.Errorf("core: %d sockets per node out of range 1..%d: %w", cfg.SocketsPerNode, nb.MaxNodes, errs.ErrBadConfig)
 	}
 	if cfg.CoresPerSocket < 1 || cfg.CoresPerSocket > 8 {
-		return nil, fmt.Errorf("core: %d cores per socket out of range 1..8", cfg.CoresPerSocket)
+		return nil, fmt.Errorf("core: %d cores per socket out of range 1..8: %w", cfg.CoresPerSocket, errs.ErrBadConfig)
 	}
 	if err := topo.Validate(); err != nil {
 		return nil, err
@@ -51,8 +53,8 @@ func New(topo *topology.Topology, cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	if uint64(topo.N())*cfg.MemPerNode > 1<<nb.PhysAddrBits {
-		return nil, fmt.Errorf("core: %d nodes x %#x bytes exceeds the 48-bit physical space (256 TB, §IV.D)",
-			topo.N(), cfg.MemPerNode)
+		return nil, fmt.Errorf("core: %d nodes x %#x bytes exceeds the 48-bit physical space (256 TB, §IV.D): %w",
+			topo.N(), cfg.MemPerNode, errs.ErrBadConfig)
 	}
 
 	c := &Cluster{eng: sim.NewEngine(), cfg: cfg, topo: topo}
@@ -65,9 +67,11 @@ func New(topo *topology.Topology, cfg Config) (*Cluster, error) {
 	memPerSocket := cfg.MemPerNode / uint64(cfg.SocketsPerNode)
 	for i := 0; i < topo.N(); i++ {
 		m := firmware.NewMachine(c.eng, fmt.Sprintf("node%d", i))
+		m.SetTracer(cfg.Tracer, i)
 		free[i] = make([][]int, cfg.SocketsPerNode)
 		for s := 0; s < cfg.SocketsPerNode; s++ {
 			n := nb.New(c.eng, fmt.Sprintf("node%d.s%d", i, s), memPerSocket, cfg.NBParams)
+			n.SetTracer(cfg.Tracer, i)
 			cores := make([]*cpu.Core, cfg.CoresPerSocket)
 			for ci := range cores {
 				cores[ci] = cpu.NewCore(c.eng, n, cfg.CPUParams)
@@ -77,7 +81,7 @@ func New(topo *topology.Topology, cfg Config) (*Cluster, error) {
 		}
 		take := func(s int) (int, error) {
 			if len(free[i][s]) == 0 {
-				return 0, fmt.Errorf("core: node %d socket %d out of HT links", i, s)
+				return 0, fmt.Errorf("core: node %d socket %d out of HT links: %w", i, s, errs.ErrBadConfig)
 			}
 			l := free[i][s][0]
 			free[i][s] = free[i][s][1:]
@@ -171,8 +175,11 @@ func New(topo *topology.Topology, cfg Config) (*Cluster, error) {
 			}
 			pb := topo.NextHop(b, a) // b's port back toward a (direct neighbor)
 			sa, sb := extSlots[a][nbr.Port], extSlots[b][pb]
-			cable.ErrorSeed = uint64(len(c.extLinks) + 1) // distinct fault streams per cable
+			// Distinct fault streams per cable; Seed zero reproduces the
+			// historical default streams exactly.
+			cable.ErrorSeed = cfg.Seed + uint64(len(c.extLinks)+1)
 			l := ht.NewLink(c.eng, cable)
+			l.SetTracer(cfg.Tracer, len(c.extLinks))
 			if err := c.machines[a].Procs[sa.socket].NB.AttachLink(sa.link, l.A()); err != nil {
 				return nil, err
 			}
@@ -271,6 +278,64 @@ func (c *Cluster) Nodes() []*Node { return c.nodes }
 
 // ExternalLinks returns the TCCluster links, for stats inspection.
 func (c *Cluster) ExternalLinks() []*ht.Link { return c.extLinks }
+
+// Tracer returns the observability tracer the cluster was built with,
+// nil when tracing is disabled. Layers above core (kernel, msg, mpi)
+// reach the tracer through this accessor.
+func (c *Cluster) Tracer() trace.Tracer { return c.cfg.Tracer }
+
+// Metrics assembles an on-demand snapshot of the cluster's counters:
+// per-port statistics of every external TCCluster link, per-socket
+// northbridge counters, and — when the tracer is a *trace.Collector —
+// the event-derived metrics (packet latency histograms, stall counts)
+// merged on top. It works with tracing disabled too; the hardware
+// counters are always live.
+func (c *Cluster) Metrics() trace.Snapshot {
+	s := trace.NewSnapshot()
+	for i, l := range c.extLinks {
+		for side, p := range [2]*ht.Port{l.A(), l.B()} {
+			st := p.Stats()
+			put := func(name string, v uint64) {
+				if v != 0 {
+					s.Counters[trace.Key{Name: name, Node: side, Link: i}] = v
+				}
+			}
+			put("port.pkts_sent", st.PktsSent)
+			put("port.bytes_sent", st.BytesSent)
+			put("port.pkts_recv", st.PktsRecv)
+			put("port.bytes_recv", st.BytesRecv)
+			put("port.credit_stalls", st.CreditStalls)
+			put("port.send_errors", st.SendErrors)
+			put("port.crc_errors", st.CRCErrors)
+			put("port.retries", st.Retries)
+		}
+	}
+	for _, node := range c.nodes {
+		for si, p := range node.machine.Procs {
+			cnt := p.NB.Counters()
+			put := func(name string, v uint64) {
+				if v != 0 {
+					s.Counters[trace.Key{Name: name, Node: node.idx, Chan: si}] = v
+				}
+			}
+			put("nb.master_aborts", cnt.MasterAborts)
+			put("nb.orphan_responses", cnt.OrphanResponses)
+			put("nb.tag_exhausted", cnt.TagExhausted)
+			put("nb.dead_link_drops", cnt.DeadLinkDrops)
+			put("nb.pkts_from_cpu", cnt.PktsFromCPU)
+			put("nb.pkts_from_links", cnt.PktsFromLinks)
+			put("nb.pkts_to_dram", cnt.PktsToDRAM)
+			put("nb.pkts_forwarded", cnt.PktsForwarded)
+			put("nb.bridged_packets", cnt.BridgedPackets)
+			put("nb.broadcasts", cnt.Broadcasts)
+			put("nb.probes_issued", cnt.ProbesIssued)
+		}
+	}
+	if col, ok := c.cfg.Tracer.(*trace.Collector); ok && col != nil {
+		s.Merge(col.Metrics().Snapshot())
+	}
+	return s
+}
 
 // Run drains all pending simulation events.
 func (c *Cluster) Run() { c.eng.Run() }

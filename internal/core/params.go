@@ -12,6 +12,7 @@ import (
 	"repro/internal/ht"
 	"repro/internal/nb"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Calibration constants. Every timing number in the simulation descends
@@ -68,6 +69,18 @@ type Config struct {
 	// NBParams and CPUParams override the hardware models' defaults.
 	NBParams  nb.Params
 	CPUParams cpu.Params
+	// Seed perturbs every stochastic model in the cluster (currently the
+	// per-cable fault streams). Two clusters built from identical
+	// configurations — including Seed — evolve identically; this is the
+	// determinism contract the trace-replay regression test pins down.
+	// Seed zero reproduces the historical default streams.
+	Seed uint64
+	// Tracer, when non-nil, receives observability events from every
+	// layer: link packet serializations, credit stalls, northbridge
+	// routing faults, firmware boot phases, and (through the kernel) the
+	// message and MPI layers. Nil disables tracing at zero cost beyond a
+	// nil check per potential emission.
+	Tracer trace.Tracer
 }
 
 // DefaultConfig returns the prototype-faithful configuration.

@@ -1,0 +1,28 @@
+// Package errs defines the sentinel errors shared across the TCCluster
+// layers. Internal packages wrap them with %w so callers — including
+// users of the root tccluster package, which re-exports them — can
+// classify failures with errors.Is instead of string matching.
+package errs
+
+import "errors"
+
+var (
+	// ErrUnroutable marks a topology whose routing cannot reach every
+	// node, or needs more address intervals than the northbridge's MMIO
+	// register file provides.
+	ErrUnroutable = errors.New("unroutable topology")
+
+	// ErrRingFull marks exhaustion of ring-buffer capacity: the
+	// uncachable receive window cannot host another ring or
+	// flow-control slot.
+	ErrRingFull = errors.New("ring capacity exhausted")
+
+	// ErrDeadlockTopology marks a topology whose channel-dependency
+	// graph is cyclic: single-VC posted traffic over it can deadlock.
+	ErrDeadlockTopology = errors.New("topology permits deadlock")
+
+	// ErrBadConfig marks an invalid configuration value: out-of-range
+	// sizes, socket counts, ring parameters, or malformed topology
+	// constructor arguments.
+	ErrBadConfig = errors.New("bad configuration")
+)

@@ -14,6 +14,7 @@ import (
 	"repro/internal/nb"
 	"repro/internal/sim"
 	"repro/internal/southbridge"
+	"repro/internal/trace"
 )
 
 // Processor is one socket on a board: a northbridge plus its cores.
@@ -54,7 +55,9 @@ type Machine struct {
 
 	carMBs float64 // measured CAR fetch bandwidth, for the exit-CAR log
 
-	log *BootLog
+	log     *BootLog
+	tracer  trace.Tracer
+	traceID int
 }
 
 // NewMachine creates an empty machine. Wiring (sockets, links) is added
@@ -95,6 +98,13 @@ func (m *Machine) SetFlashDevice(d *southbridge.Device) { m.flash = d }
 
 // Log returns the boot log recorded so far.
 func (m *Machine) Log() *BootLog { return m.log }
+
+// SetTracer installs the cluster-wide observability tracer; every boot
+// phase recorded after this emits a KindBootPhase event with Node=id.
+func (m *Machine) SetTracer(tr trace.Tracer, id int) {
+	m.tracer = tr
+	m.traceID = id
+}
 
 // TCCLinkCount returns the number of designated TCCluster links.
 func (m *Machine) TCCLinkCount() int { return len(m.tcc) }
@@ -139,6 +149,13 @@ func (m *Machine) record(name, format string, args ...interface{}) {
 		At:     m.Eng.Now(),
 		Detail: fmt.Sprintf(format, args...),
 	})
+	if m.tracer != nil {
+		m.tracer.Emit(trace.Event{
+			At: m.Eng.Now(), Kind: trace.KindBootPhase,
+			Node: m.traceID, Link: -1,
+			Seq: uint64(len(m.log.Steps)), Label: name,
+		})
+	}
 }
 
 // Has reports whether a step with the given name was recorded.

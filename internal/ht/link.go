@@ -2,8 +2,10 @@ package ht
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Speed is an HT link clock in MHz. Signaling is DDR, so a lane carries
@@ -147,6 +149,22 @@ type PortStats struct {
 	Retries      uint64 // replay-buffer retransmissions
 }
 
+// portCounters is the live, race-safe backing store for PortStats. The
+// simulation mutates these from engine callbacks while the live (shm)
+// backend lets application goroutines read Stats() mid-run; atomics keep
+// that tear-free without a lock on the transmit path.
+type portCounters struct {
+	pktsSent     atomic.Uint64
+	bytesSent    atomic.Uint64
+	pktsRecv     atomic.Uint64
+	bytesRecv    atomic.Uint64
+	perVCSent    [NumVCs]atomic.Uint64
+	creditStalls atomic.Uint64
+	sendErrors   atomic.Uint64
+	crcErrors    atomic.Uint64
+	retries      atomic.Uint64
+}
+
 // Sink consumes delivered packets at a link end. done must be called
 // exactly once when the receive buffer is drained; credits flow back to
 // the transmitter only then, which is how receiver backpressure reaches
@@ -171,7 +189,7 @@ type Port struct {
 	tx      sim.Server
 	waitq   [NumVCs][]*Packet
 	sink    Sink
-	stats   PortStats
+	stats   portCounters
 }
 
 // Link is a bidirectional HyperTransport link between two ports.
@@ -190,6 +208,8 @@ type Link struct {
 	rand      *sim.Rand
 	log       func(string)
 	trace     func(event, side string, pkt *Packet)
+	tracer    trace.Tracer
+	traceID   int
 }
 
 // NewLink creates a link in the Down state. Call ColdReset to train it.
@@ -227,6 +247,14 @@ func (l *Link) SetLog(fn func(string)) { l.log = fn }
 // ("tx", transmitting side) and delivery ("rx", receiving side). The
 // cmd/tcctrace tool uses it to render fabric activity chronologically.
 func (l *Link) SetTrace(fn func(event, side string, pkt *Packet)) { l.trace = fn }
+
+// SetTracer installs the cluster-wide observability tracer for this
+// link, identified as Link=id in emitted events. A nil tracer (the
+// default) makes every emission site a single nil-check no-op.
+func (l *Link) SetTracer(tr trace.Tracer, id int) {
+	l.tracer = tr
+	l.traceID = id
+}
 
 func (l *Link) emitTrace(event, side string, pkt *Packet) {
 	if l.trace != nil {
@@ -294,8 +322,25 @@ func (p *Port) Peer() *Port { return p.link.ports[1-p.side] }
 // Link returns the link this port belongs to.
 func (p *Port) Link() *Link { return p.link }
 
-// Stats returns a copy of the port's traffic counters.
-func (p *Port) Stats() PortStats { return p.stats }
+// Stats returns a copy of the port's traffic counters. It is safe to
+// call concurrently with a running simulation (live backend): each
+// counter is loaded atomically.
+func (p *Port) Stats() PortStats {
+	s := PortStats{
+		PktsSent:     p.stats.pktsSent.Load(),
+		BytesSent:    p.stats.bytesSent.Load(),
+		PktsRecv:     p.stats.pktsRecv.Load(),
+		BytesRecv:    p.stats.bytesRecv.Load(),
+		CreditStalls: p.stats.creditStalls.Load(),
+		SendErrors:   p.stats.sendErrors.Load(),
+		CRCErrors:    p.stats.crcErrors.Load(),
+		Retries:      p.stats.retries.Load(),
+	}
+	for vc := range s.PerVCSent {
+		s.PerVCSent[vc] = p.stats.perVCSent[vc].Load()
+	}
+	return s
+}
 
 // SetSink installs the packet consumer for this end.
 func (p *Port) SetSink(s Sink) { p.sink = s }
@@ -328,17 +373,24 @@ func (p *Port) bufferCfg() BufferConfig {
 // the peer's Sink; ordering within a VC is preserved. Send fails when
 // the link is not active.
 func (p *Port) Send(pkt *Packet) error {
-	if p.link.state != StateActive {
-		p.stats.SendErrors++
-		return fmt.Errorf("ht: send on %v link (state %v)", p.link.typ, p.link.state)
+	l := p.link
+	if l.state != StateActive {
+		p.stats.sendErrors.Add(1)
+		return fmt.Errorf("ht: send on %v link (state %v)", l.typ, l.state)
 	}
 	if err := pkt.Validate(); err != nil {
-		p.stats.SendErrors++
+		p.stats.sendErrors.Add(1)
 		return err
 	}
 	vc := pkt.Cmd.VC()
 	if len(p.waitq[vc]) > 0 || !p.credits.CanSend(pkt) {
-		p.stats.CreditStalls++
+		p.stats.creditStalls.Add(1)
+		if l.tracer != nil {
+			l.tracer.Emit(trace.Event{
+				At: l.eng.Now(), Kind: trace.KindCreditStall, Node: -1,
+				Link: l.traceID, Src: p.side, Dst: 1 - p.side,
+			})
+		}
 	}
 	p.waitq[vc] = append(p.waitq[vc], pkt)
 	p.pump()
@@ -397,20 +449,34 @@ func (p *Port) transmit(pkt *Packet) {
 	// retries book consecutive slots.
 	attempts := sim.Time(0)
 	for l.cfg.ErrorRate > 0 && l.rand.Float64() < l.cfg.ErrorRate {
-		p.stats.CRCErrors++
-		p.stats.Retries++
+		p.stats.crcErrors.Add(1)
+		p.stats.retries.Add(1)
 		attempts += ser + l.cfg.RetryPenalty
 	}
 	_, done := p.tx.Schedule(l.eng.Now(), attempts+ser)
-	p.stats.PktsSent++
-	p.stats.BytesSent += uint64(wire)
-	p.stats.PerVCSent[pkt.Cmd.VC()]++
+	seq := p.stats.pktsSent.Add(1)
+	p.stats.bytesSent.Add(uint64(wire))
+	p.stats.perVCSent[pkt.Cmd.VC()].Add(1)
 	l.emitTrace("tx", p.name, pkt)
+	if l.tracer != nil {
+		l.tracer.Emit(trace.Event{
+			At: l.eng.Now(), Kind: trace.KindPacketSent, Node: -1,
+			Link: l.traceID, Src: p.side, Dst: 1 - p.side,
+			Seq: seq, Bytes: wire, Label: pkt.String(),
+		})
+	}
 	peer := p.Peer()
 	l.eng.At(done+l.cfg.Flight, func() {
 		l.emitTrace("rx", peer.name, pkt)
-		peer.stats.PktsRecv++
-		peer.stats.BytesRecv += uint64(wire)
+		if l.tracer != nil {
+			l.tracer.Emit(trace.Event{
+				At: l.eng.Now(), Kind: trace.KindPacketDelivered, Node: -1,
+				Link: l.traceID, Src: p.side, Dst: 1 - p.side,
+				Seq: seq, Bytes: wire,
+			})
+		}
+		peer.stats.pktsRecv.Add(1)
+		peer.stats.bytesRecv.Add(uint64(wire))
 		released := false
 		release := func() {
 			if released {

@@ -1,6 +1,7 @@
 package ht
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/sim"
@@ -356,5 +357,50 @@ func TestPortAccessorsAndLogs(t *testing.T) {
 	l.ForceDown()
 	if l.RawBandwidth() != 0 {
 		t.Error("down link has bandwidth")
+	}
+}
+
+// Port.Stats must be safe to call from a monitoring goroutine while the
+// simulation mutates the counters (run with -race).
+func TestStatsSafeUnderConcurrentReaders(t *testing.T) {
+	eng := sim.NewEngine()
+	l := trainedLink(t, eng, DefaultLinkConfig(ClassProcessor, ClassIODevice))
+	l.B().SetSink(func(p *Packet, done func()) { done() })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = l.A().Stats()
+				_ = l.B().Stats()
+			}
+		}
+	}()
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		p, err := NewPostedWrite(uint64(i*64), make([]byte, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.A().Send(p); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := l.A().Stats().PktsSent; got != n {
+		t.Fatalf("PktsSent = %d, want %d", got, n)
+	}
+	if got := l.B().Stats().PktsRecv; got != n {
+		t.Fatalf("PktsRecv = %d, want %d", got, n)
 	}
 }

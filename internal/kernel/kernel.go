@@ -12,7 +12,9 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/errs"
 	"repro/internal/ht"
+	"repro/internal/trace"
 )
 
 // Options configure one node's kernel.
@@ -90,6 +92,10 @@ func newKernel(o *OS, n *core.Node, opt Options) *Kernel {
 // Cluster returns the underlying cluster.
 func (o *OS) Cluster() *core.Cluster { return o.cluster }
 
+// Tracer returns the cluster's observability tracer (nil when tracing
+// is disabled). The message and MPI layers reach it through here.
+func (o *OS) Tracer() trace.Tracer { return o.cluster.Tracer() }
+
 // Kernel returns node i's kernel.
 func (o *OS) Kernel(i int) *Kernel { return o.kernels[i] }
 
@@ -133,8 +139,8 @@ func (k *Kernel) AllocUC(size uint64) (uint64, error) {
 	need := pages * PageSize
 	ucTop := k.os.cluster.Config().UCWindow
 	if k.ucAllocNext+need > ucTop {
-		return 0, fmt.Errorf("kernel: UC window exhausted (%d of %d bytes used, need %d)",
-			k.ucAllocNext, ucTop, need)
+		return 0, fmt.Errorf("kernel: UC window exhausted (%d of %d bytes used, need %d): %w",
+			k.ucAllocNext, ucTop, need, errs.ErrRingFull)
 	}
 	off := k.ucAllocNext
 	k.ucAllocNext += need

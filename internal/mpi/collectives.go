@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
 
 // Collective op identifiers for the internal tag space.
 const (
@@ -69,10 +73,26 @@ func (c *Comm) Barrier(done func(error)) {
 		done(nil)
 		return
 	}
+	if c.epochs == nil {
+		c.epochs = make(map[int]int)
+	}
+	epoch := uint64(c.epochs[opBarrier])
+	if c.w.tracer != nil {
+		c.w.tracer.Emit(trace.Event{
+			At: c.w.eng.Now(), Kind: trace.KindBarrierEnter,
+			Node: c.rank, Link: -1, Seq: epoch,
+		})
+	}
 	var round func(k, dist int)
 	round = func(k, dist int) {
 		if dist >= n {
 			c.bumpEpoch(opBarrier)
+			if c.w.tracer != nil {
+				c.w.tracer.Emit(trace.Event{
+					At: c.w.eng.Now(), Kind: trace.KindBarrierExit,
+					Node: c.rank, Link: -1, Seq: epoch,
+				})
+			}
 			done(nil)
 			return
 		}

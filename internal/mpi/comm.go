@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/msg"
+	"repro/internal/trace"
 )
 
 // Comm is one rank's endpoint: point-to-point operations plus the
@@ -203,6 +204,12 @@ func (c *Comm) sendRndv(dst, tag int, data []byte, done func(error)) {
 	}
 	c.rndvBusy[dst] = true
 	c.stats.RndvSends++
+	if c.w.tracer != nil {
+		c.w.tracer.Emit(trace.Event{
+			At: c.w.eng.Now(), Kind: trace.KindRendezvousStart,
+			Node: c.rank, Link: -1, Src: c.rank, Dst: dst, Bytes: len(data),
+		})
+	}
 	c.senders[dst].Put(0, data, func(err error) {
 		if err != nil {
 			c.rndvBusy[dst] = false
@@ -235,6 +242,12 @@ func (c *Comm) drainRndvQueue(dst int) {
 	// Complete the waiter whose transfer was just acked.
 	if ws := c.rndvWaiters[dst]; len(ws) > 0 {
 		c.rndvWaiters[dst] = ws[1:]
+		if c.w.tracer != nil {
+			c.w.tracer.Emit(trace.Event{
+				At: c.w.eng.Now(), Kind: trace.KindRendezvousDone,
+				Node: c.rank, Link: -1, Src: c.rank, Dst: dst,
+			})
+		}
 		ws[0](nil)
 	}
 	if q := c.rndvQueue[dst]; len(q) > 0 && !c.rndvBusy[dst] {

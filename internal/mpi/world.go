@@ -13,6 +13,8 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // AnyTag matches any tag in Recv.
@@ -41,9 +43,11 @@ func DefaultConfig() Config {
 // World is the set of ranks (one per cluster node) and their N*(N-1)
 // unidirectional channels.
 type World struct {
-	cfg   Config
-	n     int
-	comms []*Comm
+	cfg    Config
+	n      int
+	comms  []*Comm
+	eng    *sim.Engine
+	tracer trace.Tracer
 }
 
 // NewWorld opens channels between every pair of nodes and starts the
@@ -63,7 +67,7 @@ func NewWorld(os *kernel.OS, cfg Config) (*World, error) {
 			cfg.EagerLimit, cfg.Msg.MaxMessage()-envelopeHeader)
 	}
 	n := os.Cluster().N()
-	w := &World{cfg: cfg, n: n}
+	w := &World{cfg: cfg, n: n, eng: os.Cluster().Engine(), tracer: os.Tracer()}
 	for rank := 0; rank < n; rank++ {
 		w.comms = append(w.comms, newComm(w, rank))
 	}

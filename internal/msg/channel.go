@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Open establishes a unidirectional message channel from node src to
@@ -69,6 +70,7 @@ func Open(os *kernel.OS, src, dst int, par Params) (*Sender, *Receiver, error) {
 	s := &Sender{
 		eng: eng, par: par, src: src, dst: dst,
 		ring: sendWin, fc: fcLocal, bulk: bulkSend,
+		tracer: os.Tracer(),
 	}
 	r := &Receiver{
 		eng: eng, par: par, src: src, dst: dst,
@@ -103,6 +105,7 @@ type Sender struct {
 	consumed uint64 // last flow-control value observed
 	seq      uint32
 	stats    Stats
+	tracer   trace.Tracer
 
 	// Sends are serialized: a CPU core issues one store stream at a
 	// time, and ring offsets are claimed in issue order.
@@ -194,6 +197,12 @@ func (s *Sender) reserve(fs uint64, cont func(error)) {
 		}
 		// Ring full: poll the local UC flow-control slot.
 		s.stats.FCStalls++
+		if s.tracer != nil {
+			s.tracer.Emit(trace.Event{
+				At: s.eng.Now(), Kind: trace.KindRingFull, Node: s.src,
+				Link: -1, Src: s.src, Dst: s.dst, Bytes: int(need),
+			})
+		}
 		s.fc.Read(0, 8, func(d []byte, err error) {
 			if err != nil {
 				cont(err)

@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/errs"
 	"repro/internal/sim"
 )
 
@@ -90,14 +91,14 @@ func (p *Params) validate() error {
 		p.RingBytes = 4096
 	}
 	if p.RingBytes%frameAlign != 0 || p.RingBytes < 64 {
-		return fmt.Errorf("msg: ring size %d invalid", p.RingBytes)
+		return fmt.Errorf("msg: ring size %d invalid: %w", p.RingBytes, errs.ErrBadConfig)
 	}
 	if p.FCThreshold == 0 {
 		p.FCThreshold = p.RingBytes / 4
 	}
 	if p.FCThreshold > p.RingBytes/2 {
-		return fmt.Errorf("msg: flow-control threshold %d exceeds half the ring (%d): senders could stall forever",
-			p.FCThreshold, p.RingBytes)
+		return fmt.Errorf("msg: flow-control threshold %d exceeds half the ring (%d): senders could stall forever: %w",
+			p.FCThreshold, p.RingBytes, errs.ErrBadConfig)
 	}
 	return nil
 }

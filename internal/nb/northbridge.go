@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ht"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Params are the pipeline timing parameters of the northbridge.
@@ -110,6 +111,8 @@ type Northbridge struct {
 	onWrite     func(addr uint64, n int) // local-DRAM store visibility hook
 	onBroadcast func(p *ht.Packet)       // delivered broadcast (interrupts)
 	log         func(string)
+	tracer      trace.Tracer
+	traceID     int
 }
 
 // New creates a northbridge with memSize bytes of local DRAM. The NodeID
@@ -166,6 +169,14 @@ func (n *Northbridge) SetBroadcastHook(fn func(*ht.Packet)) { n.onBroadcast = fn
 
 // SetLog installs a diagnostic logger.
 func (n *Northbridge) SetLog(fn func(string)) { n.log = fn }
+
+// SetTracer installs the cluster-wide observability tracer, identifying
+// this northbridge as Node=id in emitted events. Nil disables tracing;
+// every emission site is a single nil check.
+func (n *Northbridge) SetTracer(tr trace.Tracer, id int) {
+	n.tracer = tr
+	n.traceID = id
+}
 
 func (n *Northbridge) logf(format string, args ...interface{}) {
 	if n.log != nil {
@@ -315,6 +326,12 @@ func (n *Northbridge) handleRequest(fromLink int, pkt *ht.Packet, done func()) {
 		n.forward(fromLink, int(d.Link), pkt, done)
 	default:
 		n.cnt.MasterAborts++
+		if n.tracer != nil {
+			n.tracer.Emit(trace.Event{
+				At: n.eng.Now(), Kind: trace.KindMasterAbort,
+				Node: n.traceID, Link: -1, Label: pkt.String(),
+			})
+		}
 		n.logf("master abort: %v", pkt)
 		pkt.Accept() // never hold a WC buffer hostage to a decode fault
 		done()
@@ -461,6 +478,14 @@ func (n *Northbridge) forward(fromLink, idx int, pkt *ht.Packet, done func()) {
 		pkt.Accept()
 	} else {
 		n.cnt.PktsForwarded++
+		if n.tracer != nil && fromLink >= 0 {
+			// Only transit traffic is interesting here; CPU-originated
+			// packets already appear as link-level sends.
+			n.tracer.Emit(trace.Event{
+				At: n.eng.Now(), Kind: trace.KindForward,
+				Node: n.traceID, Link: -1, Src: fromLink, Dst: idx,
+			})
+		}
 	}
 }
 

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+
+	"repro/internal/errs"
 )
 
 const (
@@ -47,6 +49,25 @@ type Stats struct {
 	Stalls   uint64 // spins waiting for ring space
 }
 
+// counters is the atomic backing store for Stats: the owning endpoint
+// goroutine mutates them while monitors (benchmark harnesses, live
+// metric scrapes) call Stats() concurrently.
+type counters struct {
+	messages atomic.Uint64
+	bytes    atomic.Uint64
+	wraps    atomic.Uint64
+	stalls   atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Messages: c.messages.Load(),
+		Bytes:    c.bytes.Load(),
+		Wraps:    c.wraps.Load(),
+		Stalls:   c.stalls.Load(),
+	}
+}
+
 // channel is the shared state: the ring lives "in the receiver's
 // memory", the consumed counter "in the sender's".
 type channel struct {
@@ -60,7 +81,7 @@ type Sender struct {
 	ch    *channel
 	sent  uint64
 	seq   uint32
-	stats Stats
+	stats counters
 }
 
 // Receiver is the consuming endpoint. Not safe for concurrent use.
@@ -68,7 +89,7 @@ type Receiver struct {
 	ch        *channel
 	recvd     uint64
 	expectSeq uint32
-	stats     Stats
+	stats     counters
 }
 
 // NewChannel creates a connected sender/receiver pair.
@@ -77,7 +98,7 @@ func NewChannel(par Params) (*Sender, *Receiver, error) {
 		par.RingBytes = 4096
 	}
 	if par.RingBytes < 128 || par.RingBytes%64 != 0 {
-		return nil, nil, fmt.Errorf("shm: ring size %d invalid", par.RingBytes)
+		return nil, nil, fmt.Errorf("shm: ring size %d invalid: %w", par.RingBytes, errs.ErrBadConfig)
 	}
 	ch := &channel{ring: make([]uint64, par.RingBytes/wordBytes)}
 	return &Sender{ch: ch}, &Receiver{ch: ch}, nil
@@ -86,11 +107,13 @@ func NewChannel(par Params) (*Sender, *Receiver, error) {
 // MaxMessage is the largest payload Send accepts.
 func (s *Sender) MaxMessage() int { return len(s.ch.ring)*wordBytes - 2*64 }
 
-// Stats returns a copy of the sender's counters.
-func (s *Sender) Stats() Stats { return s.stats }
+// Stats returns a copy of the sender's counters. Safe to call from any
+// goroutine while the sender is active.
+func (s *Sender) Stats() Stats { return s.stats.snapshot() }
 
-// Stats returns a copy of the receiver's counters.
-func (r *Receiver) Stats() Stats { return r.stats }
+// Stats returns a copy of the receiver's counters. Safe to call from
+// any goroutine while the receiver is active.
+func (r *Receiver) Stats() Stats { return r.stats.snapshot() }
 
 func frameWords(n int) uint64 {
 	words := headerWord + (n+wordBytes-1)/wordBytes
@@ -113,14 +136,14 @@ func (s *Sender) Send(payload []byte) error {
 		need += ringWords - off
 	}
 	for ringWords-(s.sent-s.ch.consumed.Load()) < need {
-		s.stats.Stalls++
+		s.stats.stalls.Add(1)
 		runtime.Gosched()
 	}
 	if off+fw > ringWords {
 		// Wrap marker: release-store, then account the padding.
 		atomic.StoreUint64(&s.ch.ring[off], header(wrapMark, s.seq))
 		s.sent += ringWords - off
-		s.stats.Wraps++
+		s.stats.wraps.Add(1)
 		off = 0
 	}
 	// Payload words first (plain stores), header released last — the
@@ -140,8 +163,8 @@ func (s *Sender) Send(payload []byte) error {
 	}
 	atomic.StoreUint64(&s.ch.ring[off], header(uint32(len(payload)), s.seq))
 	s.sent += fw
-	s.stats.Messages++
-	s.stats.Bytes += uint64(len(payload))
+	s.stats.messages.Add(1)
+	s.stats.bytes.Add(uint64(len(payload)))
 	return nil
 }
 
@@ -162,7 +185,7 @@ func (r *Receiver) Recv(buf []byte) (int, error) {
 			atomic.StoreUint64(&r.ch.ring[off], 0)
 			r.recvd += ringWords - off
 			r.ch.consumed.Store(r.recvd)
-			r.stats.Wraps++
+			r.stats.wraps.Add(1)
 		default:
 			if int(length) > len(buf) {
 				return 0, fmt.Errorf("shm: %d-byte message exceeds %d-byte buffer", length, len(buf))
@@ -192,8 +215,8 @@ func (r *Receiver) Recv(buf []byte) (int, error) {
 			atomic.StoreUint64(&r.ch.ring[off], 0)
 			r.recvd += fw
 			r.ch.consumed.Store(r.recvd)
-			r.stats.Messages++
-			r.stats.Bytes += uint64(length)
+			r.stats.messages.Add(1)
+			r.stats.bytes.Add(uint64(length))
 			return int(length), nil
 		}
 	}

@@ -185,3 +185,53 @@ func TestTransferProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Stats must be safe to call from a monitoring goroutine while both
+// endpoints are live (run with -race).
+func TestStatsSafeUnderConcurrentReaders(t *testing.T) {
+	s, r, err := NewChannel(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = s.Stats()
+				_ = r.Stats()
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, s.MaxMessage())
+		for i := 0; i < n; i++ {
+			if _, err := r.Recv(buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	payload := make([]byte, 96)
+	for i := 0; i < n; i++ {
+		if err := s.Send(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := s.Stats().Messages; got != n {
+		t.Fatalf("sender Messages = %d, want %d", got, n)
+	}
+	if got := r.Stats().Messages; got != n {
+		t.Fatalf("receiver Messages = %d, want %d", got, n)
+	}
+}

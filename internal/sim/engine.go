@@ -83,6 +83,11 @@ func (h *eventHeap) Pop() interface{} {
 	return e
 }
 
+// Probe observes the engine's virtual clock. A nil probe disables
+// observation; a non-nil one is invoked each time the clock advances to
+// a new timestamp (not per event — simultaneous events share one call).
+type Probe func(now Time)
+
 // Engine is a discrete-event simulator. The zero value is ready to use.
 // Engine is not safe for concurrent use; the whole point is a single
 // deterministic timeline.
@@ -92,6 +97,7 @@ type Engine struct {
 	seq    uint64
 	fired  uint64
 	halted bool
+	probe  Probe
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -124,6 +130,11 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// SetProbe installs the clock observer (nil disables). The observability
+// layer uses it to watch virtual-time progress; the hot path pays one
+// nil check per executed event when no probe is installed.
+func (e *Engine) SetProbe(p Probe) { e.probe = p }
+
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
@@ -131,6 +142,9 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.heap).(event)
+	if e.probe != nil && ev.at != e.now {
+		e.probe(ev.at)
+	}
 	e.now = ev.at
 	e.fired++
 	ev.fn()

@@ -1,6 +1,10 @@
 package topology
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/errs"
+)
 
 // Interval is a contiguous run of destination nodes [Lo, Hi] routed out
 // of one port. In the TCCluster address map each interval becomes one
@@ -49,8 +53,8 @@ func (t *Topology) MaxIntervals() int {
 func (t *Topology) CheckIntervalRoutable(maxRanges int) error {
 	for node := 0; node < t.n; node++ {
 		if c := len(t.Intervals(node)); c > maxRanges {
-			return fmt.Errorf("topology: node %d needs %d address intervals, northbridge has %d MMIO ranges",
-				node, c, maxRanges)
+			return fmt.Errorf("topology: node %d needs %d address intervals, northbridge has %d MMIO ranges: %w",
+				node, c, maxRanges, errs.ErrUnroutable)
 		}
 	}
 	return nil
@@ -65,7 +69,8 @@ func (t *Topology) Validate() error {
 				continue
 			}
 			if t.HopCount(s, d) < 0 {
-				return fmt.Errorf("topology: routing from %d to %d loops or dead-ends", s, d)
+				return fmt.Errorf("topology: routing from %d to %d loops or dead-ends: %w",
+					s, d, errs.ErrUnroutable)
 			}
 		}
 	}
@@ -145,6 +150,22 @@ func (t *Topology) DeadlockFree() (bool, error) {
 		}
 	}
 	return true, nil
+}
+
+// CheckDeadlockFree is the error-typed form of DeadlockFree: it returns
+// nil for an acyclic channel-dependency graph and an error wrapping
+// errs.ErrDeadlockTopology (or the underlying validation failure) when
+// single-VC posted traffic over this routing could deadlock.
+func (t *Topology) CheckDeadlockFree() error {
+	ok, err := t.DeadlockFree()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("topology: %s has a cyclic channel-dependency graph: %w",
+			t.name, errs.ErrDeadlockTopology)
+	}
+	return nil
 }
 
 // ---- physical constraints (paper §IV.F) --------------------------------
@@ -231,8 +252,8 @@ func (pm PhysicalModel) CheckPhysical(t *Topology) error {
 				continue
 			}
 			if l := pm.LinkLengthInches(t, node, nb.Peer); l > limit {
-				return fmt.Errorf("topology: link %d-%d is %.1f inches, %v limit is %.0f",
-					node, nb.Peer, l, pm.Medium, limit)
+				return fmt.Errorf("topology: link %d-%d is %.1f inches, %v limit is %.0f: %w",
+					node, nb.Peer, l, pm.Medium, limit, errs.ErrBadConfig)
 			}
 		}
 	}

@@ -16,7 +16,11 @@
 // interval routing meaningful.
 package topology
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/errs"
+)
 
 // Neighbor links a local port to a peer node.
 type Neighbor struct {
@@ -129,7 +133,7 @@ func (t *Topology) wire(a, b int) error {
 		}
 	}
 	if pa == -1 || pb == -1 {
-		return fmt.Errorf("topology: no free port wiring %d-%d (budget %d)", a, b, t.maxPorts)
+		return fmt.Errorf("topology: no free port wiring %d-%d (budget %d): %w", a, b, t.maxPorts, errs.ErrBadConfig)
 	}
 	t.ports[a][pa] = b
 	t.ports[b][pb] = a
@@ -145,7 +149,7 @@ const OpteronPorts = 4
 // prototype and its natural extension.
 func Chain(n int) (*Topology, error) {
 	if n < 2 {
-		return nil, fmt.Errorf("topology: chain needs >= 2 nodes, got %d", n)
+		return nil, fmt.Errorf("topology: chain needs >= 2 nodes, got %d: %w", n, errs.ErrBadConfig)
 	}
 	t := newTopology(fmt.Sprintf("chain-%d", n), n, OpteronPorts)
 	for i := 0; i+1 < n; i++ {
@@ -173,7 +177,7 @@ func chainRoute(t *Topology, src, dst int) int {
 // extra address interval.
 func Ring(n int) (*Topology, error) {
 	if n < 3 {
-		return nil, fmt.Errorf("topology: ring needs >= 3 nodes, got %d", n)
+		return nil, fmt.Errorf("topology: ring needs >= 3 nodes, got %d: %w", n, errs.ErrBadConfig)
 	}
 	t := newTopology(fmt.Sprintf("ring-%d", n), n, OpteronPorts)
 	for i := 0; i < n; i++ {
@@ -205,7 +209,7 @@ func ringRoute(t *Topology, src, dst int) int {
 // "for an nxn mesh ...").
 func Mesh(w, h int) (*Topology, error) {
 	if w < 1 || h < 1 || w*h < 2 {
-		return nil, fmt.Errorf("topology: mesh %dx%d too small", w, h)
+		return nil, fmt.Errorf("topology: mesh %dx%d too small: %w", w, h, errs.ErrBadConfig)
 	}
 	t := newTopology(fmt.Sprintf("mesh-%dx%d", w, h), w*h, OpteronPorts)
 	id := func(x, y int) int { return y*w + x }
@@ -252,7 +256,7 @@ func meshRoute(t *Topology, w, src, dst int) int {
 // the same reason shortest-arc rings fail.
 func Torus(w, h int) (*Topology, error) {
 	if w < 3 || h < 3 {
-		return nil, fmt.Errorf("topology: torus needs >= 3x3, got %dx%d", w, h)
+		return nil, fmt.Errorf("topology: torus needs >= 3x3, got %dx%d: %w", w, h, errs.ErrBadConfig)
 	}
 	t := newTopology(fmt.Sprintf("torus-%dx%d", w, h), w*h, OpteronPorts)
 	id := func(x, y int) int { return (y%h)*w + (x % w) }
@@ -294,11 +298,11 @@ func torusRoute(t *Topology, w, h, src, dst int) int {
 // connected systems stop at small counts (§III).
 func FullyConnected(n int) (*Topology, error) {
 	if n < 2 {
-		return nil, fmt.Errorf("topology: fully connected needs >= 2 nodes")
+		return nil, fmt.Errorf("topology: fully connected needs >= 2 nodes: %w", errs.ErrBadConfig)
 	}
 	if n > OpteronPorts+1 {
-		return nil, fmt.Errorf("topology: fully connected %d nodes needs %d ports/node, Opteron has %d",
-			n, n-1, OpteronPorts)
+		return nil, fmt.Errorf("topology: fully connected %d nodes needs %d ports/node, Opteron has %d: %w",
+			n, n-1, OpteronPorts, errs.ErrBadConfig)
 	}
 	t := newTopology(fmt.Sprintf("full-%d", n), n, OpteronPorts)
 	for i := 0; i < n; i++ {
@@ -318,7 +322,7 @@ func FullyConnected(n int) (*Topology, error) {
 // keeps paths loop-free.
 func Hypercube(d int) (*Topology, error) {
 	if d < 1 || d > OpteronPorts {
-		return nil, fmt.Errorf("topology: hypercube dimension %d out of range 1..%d", d, OpteronPorts)
+		return nil, fmt.Errorf("topology: hypercube dimension %d out of range 1..%d: %w", d, OpteronPorts, errs.ErrBadConfig)
 	}
 	n := 1 << d
 	t := newTopology(fmt.Sprintf("hypercube-%d", d), n, OpteronPorts)

@@ -39,6 +39,7 @@ package tccluster
 
 import (
 	"repro/internal/core"
+	"repro/internal/errs"
 	"repro/internal/ht"
 	"repro/internal/kernel"
 	"repro/internal/mpi"
@@ -47,6 +48,7 @@ import (
 	"repro/internal/shm"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Re-exported core types. Aliases keep the full method sets usable by
@@ -97,7 +99,54 @@ type (
 	LiveSender = shm.Sender
 	// LiveReceiver is the consuming end of a live channel.
 	LiveReceiver = shm.Receiver
+
+	// Tracer consumes observability events from every layer of the
+	// cluster. Install one with WithTracer; nil (the default) disables
+	// tracing at the cost of one branch per potential emission.
+	Tracer = trace.Tracer
+	// Collector is the standard Tracer: a bounded ring buffer with
+	// derived metrics and Chrome-trace/CSV export.
+	Collector = trace.Collector
+	// TraceEvent is one typed observation (packet sent, credit stall,
+	// barrier enter, boot phase ...).
+	TraceEvent = trace.Event
+	// TraceKind tags a TraceEvent.
+	TraceKind = trace.Kind
+	// MetricKey identifies one metric (name plus node/link/channel).
+	MetricKey = trace.Key
+	// MetricsSnapshot is a point-in-time copy of every counter, gauge
+	// and histogram — what Cluster.Metrics returns.
+	MetricsSnapshot = trace.Snapshot
 )
+
+// Typed sentinel errors. Constructors and channel operations wrap these
+// with %w, so callers classify failures with errors.Is instead of
+// matching message strings.
+var (
+	// ErrUnroutable: the topology's routing cannot reach every node, or
+	// needs more address intervals than the northbridge provides.
+	ErrUnroutable = errs.ErrUnroutable
+	// ErrRingFull: the uncachable receive window cannot host another
+	// ring or flow-control slot (endpoint scalability, paper §IV.A).
+	ErrRingFull = errs.ErrRingFull
+	// ErrDeadlockTopology: single-VC posted traffic over this routing
+	// could deadlock (cyclic channel-dependency graph).
+	ErrDeadlockTopology = errs.ErrDeadlockTopology
+	// ErrBadConfig: an out-of-range size, socket count, ring parameter
+	// or malformed topology-constructor argument.
+	ErrBadConfig = errs.ErrBadConfig
+)
+
+// NewCollector returns a Collector keeping the most recent capacity
+// events (minimum 16).
+func NewCollector(capacity int) *Collector { return trace.NewCollector(capacity) }
+
+// WriteChromeTrace renders events as Chrome trace_event JSON, viewable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing.
+var WriteChromeTrace = trace.WriteChrome
+
+// WriteCSVTrace renders events as CSV, one event per row.
+var WriteCSVTrace = trace.WriteCSV
 
 // Link clocks, re-exported. HT800 (1.6 Gbit/s/lane) is the prototype's
 // cable-limited rate; HT2600 is the Shanghai ceiling.
@@ -173,21 +222,68 @@ type Cluster struct {
 	os *kernel.OS
 }
 
-// New builds, boots and installs custom kernels (SMC disabled) on a
-// cluster over the given topology.
-func New(topo *Topology, cfg Config) (*Cluster, error) {
-	return NewWithKernel(topo, cfg, KernelOptions{SMCDisabled: true})
+// Option customizes New beyond the hardware Config: kernel selection,
+// observability, seeding. Options apply in order, so a later option
+// overrides an earlier one.
+type Option func(*buildOptions)
+
+type buildOptions struct {
+	cfg  Config
+	kopt KernelOptions
 }
 
-// NewWithKernel is New with explicit kernel options — a stock kernel
+// WithKernelOptions selects the per-node OS configuration. The default
+// is the paper's custom kernel (SMCDisabled=true); a stock kernel
 // (SMCDisabled=false) reproduces the interrupt-leak failure mode the
-// paper's custom kernel exists to prevent.
-func NewWithKernel(topo *Topology, cfg Config, kopt KernelOptions) (*Cluster, error) {
-	c, err := core.New(topo, cfg)
+// custom kernel exists to prevent.
+func WithKernelOptions(kopt KernelOptions) Option {
+	return func(b *buildOptions) { b.kopt = kopt }
+}
+
+// WithTracer installs an observability tracer — typically a Collector —
+// receiving typed events from every layer: link serializations, credit
+// stalls, routing faults, ring-full stalls, MPI barriers/rendezvous and
+// firmware boot phases. See Cluster.Metrics for the aggregate view.
+func WithTracer(t Tracer) Option {
+	return func(b *buildOptions) { b.cfg.Tracer = t }
+}
+
+// WithSeed perturbs the cluster's stochastic models (cable fault
+// streams). Identical topology+Config+Seed produce byte-identical
+// event streams. Seed zero is the default streams.
+func WithSeed(seed uint64) Option {
+	return func(b *buildOptions) { b.cfg.Seed = seed }
+}
+
+// New builds, boots and installs kernels on a cluster over the given
+// topology. With no options it boots the paper's custom kernel (SMC
+// disabled) with tracing off:
+//
+//	c, err := tccluster.New(topo, cfg)
+//
+// Options select the kernel, tracing and seeding:
+//
+//	col := tccluster.NewCollector(1 << 16)
+//	c, err := tccluster.New(topo, cfg,
+//		tccluster.WithTracer(col),
+//		tccluster.WithSeed(42))
+func New(topo *Topology, cfg Config, opts ...Option) (*Cluster, error) {
+	b := buildOptions{cfg: cfg, kopt: KernelOptions{SMCDisabled: true}}
+	for _, opt := range opts {
+		opt(&b)
+	}
+	c, err := core.New(topo, b.cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{Cluster: c, os: kernel.Install(c, kopt)}, nil
+	return &Cluster{Cluster: c, os: kernel.Install(c, b.kopt)}, nil
+}
+
+// NewWithKernel is New with explicit kernel options.
+//
+// Deprecated: use New(topo, cfg, WithKernelOptions(kopt)).
+func NewWithKernel(topo *Topology, cfg Config, kopt KernelOptions) (*Cluster, error) {
+	return New(topo, cfg, WithKernelOptions(kopt))
 }
 
 // OS exposes the kernel layer (drivers, mappings, SMC counters).
