@@ -10,6 +10,7 @@
 //	tccbench -bench bw       [-max 65536]
 //	tccbench -bench bibw
 //	tccbench -bench allreduce [-nodes 8]
+//	tccbench -bench monitor  [-out BENCH_monitor.json]
 package main
 
 import (
@@ -22,9 +23,10 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "latency", "latency | bw | bibw | allreduce")
+	bench := flag.String("bench", "latency", "latency | bw | bibw | allreduce | monitor")
 	maxSize := flag.Int("max", 4096, "largest message size to sweep")
 	nodes := flag.Int("nodes", 4, "cluster size (allreduce)")
+	out := flag.String("out", "", "JSON output path (monitor benchmark)")
 	flag.Parse()
 
 	switch *bench {
@@ -36,6 +38,8 @@ func main() {
 		runBW(*maxSize, true)
 	case "allreduce":
 		runAllreduce(*nodes)
+	case "monitor":
+		runMonitorBench(*out)
 	default:
 		fmt.Fprintf(os.Stderr, "tccbench: unknown benchmark %q\n", *bench)
 		os.Exit(2)

@@ -1,0 +1,189 @@
+// Command tcctop is a live terminal dashboard over a running cluster's
+// monitor endpoint (tccluster.WithMonitor): per-link utilization and
+// stall rates, per-node routing health, MPI phase, and active watchdog
+// alerts, refreshed in place like top(1).
+//
+// Usage:
+//
+//	tcctop -addr 127.0.0.1:9120            # poll until interrupted
+//	tcctop -addr 127.0.0.1:9120 -once      # print a single frame
+//	tcctop -addr 127.0.0.1:9120 -interval 500ms -n 20
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/monitor"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9120", "monitor endpoint host:port")
+	interval := flag.Duration("interval", time.Second, "poll interval")
+	frames := flag.Int("n", 0, "number of frames to render (0 = until interrupted)")
+	once := flag.Bool("once", false, "render a single frame and exit")
+	flag.Parse()
+
+	if *once {
+		*frames = 1
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	url := "http://" + *addr + "/metrics.json"
+	for i := 0; *frames == 0 || i < *frames; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		st, err := fetch(client, url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tcctop: %v\n", err)
+			os.Exit(1)
+		}
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear and home: refresh in place
+		}
+		fmt.Print(render(st))
+	}
+}
+
+func fetch(c *http.Client, url string) (*monitor.Status, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st monitor.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return &st, nil
+}
+
+// render lays out one full dashboard frame. It is a pure function of
+// the status document so tests can pin the layout.
+func render(st *monitor.Status) string {
+	var b strings.Builder
+	virt := time.Duration(st.VirtualPS) * time.Nanosecond / 1000
+	fmt.Fprintf(&b, "tcctop — TCCluster live dashboard   status %s   vtime %v   samples %d   alerts %d\n\n",
+		strings.ToUpper(st.Status), virt, st.Samples, len(st.Alerts))
+
+	renderLinks(&b, st)
+	renderNodes(&b, st)
+	renderMPI(&b, st)
+	renderAlerts(&b, st)
+	return b.String()
+}
+
+// counterTotal sums counters matching name; pick filters by dimension.
+func counterTotal(cs []monitor.MetricJSON, name string, pick func(monitor.MetricJSON) bool) uint64 {
+	var n uint64
+	for _, c := range cs {
+		if c.Name == name && (pick == nil || pick(c)) {
+			n += c.Value
+		}
+	}
+	return n
+}
+
+func onLink(id int) func(monitor.MetricJSON) bool {
+	return func(c monitor.MetricJSON) bool { return c.Link == id }
+}
+
+func onNode(id int) func(monitor.MetricJSON) bool {
+	return func(c monitor.MetricJSON) bool { return c.Node == id }
+}
+
+func renderLinks(b *strings.Builder, st *monitor.Status) {
+	if st.Window == nil || len(st.Window.Links) == 0 {
+		fmt.Fprintf(b, "LINKS: no sampling window yet\n\n")
+		return
+	}
+	w := st.Window
+	durPS := w.EndPS - w.StartPS
+	fmt.Fprintf(b, "LINK  STATE         UTIL              TX/win  STALL/win  P99 LAT\n")
+	for _, l := range w.Links {
+		tx := counterTotal(w.Counters, "port.pkts_sent", onLink(l.ID))
+		bytes := counterTotal(w.Counters, "port.bytes_sent", onLink(l.ID))
+		stalls := counterTotal(w.Counters, "port.credit_stalls", onLink(l.ID))
+		util := 0.0
+		if l.Bandwidth > 0 && durPS > 0 {
+			secs := float64(durPS) / 1e12
+			// Two directions share the counter sum; capacity is per
+			// direction, so normalize against both.
+			util = float64(bytes) / (l.Bandwidth * 2 * secs)
+		}
+		p99 := "-"
+		for _, h := range st.Histograms {
+			if h.Name == "link.packet_latency_ps" && h.Link == l.ID && h.Count > 0 {
+				p99 = fmt.Sprintf("%.0fns", h.P99/1000)
+			}
+		}
+		fmt.Fprintf(b, "%-5d %-13s %s %4.0f%%  %6d  %9d  %s\n",
+			l.ID, l.State, bar(util, 10), util*100, tx, stalls, p99)
+	}
+	fmt.Fprintln(b)
+}
+
+func renderNodes(b *strings.Builder, st *monitor.Status) {
+	maxNode := -1
+	for _, c := range st.Counters {
+		if strings.HasPrefix(c.Name, "nb.") && c.Node > maxNode {
+			maxNode = c.Node
+		}
+	}
+	if maxNode < 0 {
+		return
+	}
+	fmt.Fprintf(b, "NODE  FWD      TO-DRAM  ABORTS  DEADDROP  RINGFULL\n")
+	for n := 0; n <= maxNode; n++ {
+		fmt.Fprintf(b, "%-5d %-8d %-8d %-7d %-9d %d\n", n,
+			counterTotal(st.Counters, "nb.pkts_forwarded", onNode(n)),
+			counterTotal(st.Counters, "nb.pkts_to_dram", onNode(n)),
+			counterTotal(st.Counters, "nb.master_aborts", onNode(n)),
+			counterTotal(st.Counters, "nb.dead_link_drops", onNode(n)),
+			counterTotal(st.Counters, "chan.ring_full", onNode(n)))
+	}
+	fmt.Fprintln(b)
+}
+
+func renderMPI(b *strings.Builder, st *monitor.Status) {
+	enter := counterTotal(st.Counters, "events.barrier-enter", nil)
+	exit := counterTotal(st.Counters, "events.barrier-exit", nil)
+	rndv := counterTotal(st.Counters, "events.rendezvous-start", nil)
+	if enter == 0 && rndv == 0 {
+		return
+	}
+	phase := "compute"
+	if enter > exit {
+		phase = fmt.Sprintf("barrier (%d ranks inside)", enter-exit)
+	}
+	fmt.Fprintf(b, "MPI   phase %-28s barriers %d   rendezvous %d\n\n",
+		phase, exit, rndv)
+}
+
+func renderAlerts(b *strings.Builder, st *monitor.Status) {
+	if len(st.Alerts) == 0 {
+		fmt.Fprintf(b, "ALERTS: none (total raised %d)\n", st.AlertsTotal)
+		return
+	}
+	fmt.Fprintf(b, "ALERTS (%d active, %d total)\n", len(st.Alerts), st.AlertsTotal)
+	for _, a := range st.Alerts {
+		fmt.Fprintf(b, " !! [%s] %s (since %dps)\n", a.Rule, a.Message, int64(a.RaisedAt))
+	}
+}
+
+// bar renders a fixed-width utilization meter.
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	fill := int(frac*float64(width) + 0.5)
+	return "[" + strings.Repeat("#", fill) + strings.Repeat("-", width-fill) + "]"
+}

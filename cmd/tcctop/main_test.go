@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/monitor"
+)
+
+func testStatus() *monitor.Status {
+	return &monitor.Status{
+		Status:     "degraded",
+		VirtualPS:  2_000_000_000, // 2 ms
+		Samples:    20,
+		IntervalPS: 100_000_000,
+		Counters: []monitor.MetricJSON{
+			{Name: "nb.pkts_forwarded", Node: 1, Value: 512},
+			{Name: "nb.pkts_to_dram", Node: 1, Value: 300},
+			{Name: "nb.master_aborts", Node: 1, Value: 2},
+			{Name: "nb.dead_link_drops", Node: 1, Value: 7},
+			{Name: "chan.ring_full", Node: 1, Chan: 0, Value: 4},
+			{Name: "events.barrier-enter", Value: 6},
+			{Name: "events.barrier-exit", Value: 4},
+			{Name: "events.rendezvous-start", Value: 3},
+		},
+		Histograms: []monitor.HistJSON{
+			{Name: "link.packet_latency_ps", Link: 0, Count: 100, P99: 250_000},
+		},
+		Window: &monitor.WindowJSON{
+			Index:   19,
+			StartPS: 1_900_000_000,
+			EndPS:   2_000_000_000, // 100 us window
+			Counters: []monitor.MetricJSON{
+				{Name: "port.pkts_sent", Link: 0, Value: 40},
+				{Name: "port.bytes_sent", Link: 0, Value: 32_000},
+				{Name: "port.credit_stalls", Link: 0, Value: 5},
+			},
+			Links: []monitor.LinkStatus{
+				{ID: 0, State: "active", Type: "ncHT", Width: 16, SpeedMHz: 800,
+					Bandwidth: 3.2e9},
+			},
+		},
+		Alerts: []monitor.Alert{
+			{Rule: "dead-link", Message: "link 1: 12 send attempts, no deliveries",
+				RaisedAt: 1_500_000_000},
+		},
+		AlertsTotal: 2,
+	}
+}
+
+func TestRenderFullFrame(t *testing.T) {
+	out := render(testStatus())
+	for _, want := range []string{
+		"tcctop",
+		"DEGRADED",
+		"samples 20",
+		"LINK  STATE",
+		"active",
+		"250ns", // p99 of 250000 ps
+		"NODE  FWD",
+		"512",
+		"MPI   phase",
+		"barrier (2 ranks inside)",
+		"rendezvous 3",
+		"ALERTS (1 active, 2 total)",
+		"dead-link",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	// Utilization: 32000 bytes over 100 us against 3.2 GB/s per direction
+	// = 32000 / (3.2e9 * 2 * 1e-4) = 5%.
+	if !strings.Contains(out, " 5%") {
+		t.Errorf("frame missing 5%% link utilization:\n%s", out)
+	}
+}
+
+func TestRenderEmptyStatus(t *testing.T) {
+	out := render(&monitor.Status{Status: "ok"})
+	if !strings.Contains(out, "no sampling window yet") {
+		t.Errorf("empty status frame missing placeholder:\n%s", out)
+	}
+	if !strings.Contains(out, "ALERTS: none") {
+		t.Errorf("empty status frame missing alert line:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	cases := map[float64]string{
+		0:    "[----------]",
+		0.5:  "[#####-----]",
+		1:    "[##########]",
+		1.7:  "[##########]", // clamped
+		-0.2: "[----------]", // clamped
+	}
+	for frac, want := range cases {
+		if got := bar(frac, 10); got != want {
+			t.Errorf("bar(%v) = %q, want %q", frac, got, want)
+		}
+	}
+}

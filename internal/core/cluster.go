@@ -337,6 +337,60 @@ func (c *Cluster) Metrics() trace.Snapshot {
 	return s
 }
 
+// SetSampleHook installs fn to be called from inside the simulation
+// loop the first time virtual time reaches or passes each multiple of
+// every. The hook rides the engine's clock probe, so it adds no events
+// of its own: installing it never keeps Run from draining, and a
+// cluster that stops scheduling work simply stops sampling. When the
+// clock jumps across several boundaries in one step (an idle gap), the
+// boundaries collapse into a single call — sampling cost is bounded by
+// event activity, never the other way around. A nil fn or non-positive
+// every uninstalls the hook.
+func (c *Cluster) SetSampleHook(every sim.Time, fn func(now sim.Time)) {
+	if fn == nil || every <= 0 {
+		c.eng.SetProbe(nil, 0)
+		return
+	}
+	next := c.eng.Now() + every
+	c.eng.SetProbe(func(now sim.Time) sim.Time {
+		for next <= now {
+			next += every
+		}
+		fn(now)
+		return next
+	}, next)
+}
+
+// LinkStatus describes one external TCCluster link for the monitoring
+// layer: training state and the bandwidth implied by the trained width
+// and clock.
+type LinkStatus struct {
+	ID        int
+	State     string
+	Type      string
+	Width     int
+	SpeedMHz  int
+	Bandwidth float64 // unidirectional bytes/s, 0 while down
+}
+
+// LinkStatuses reports every external link's live status. It reads
+// link training state, so it must be called from the simulation
+// goroutine (the monitor calls it inside the sample hook).
+func (c *Cluster) LinkStatuses() []LinkStatus {
+	out := make([]LinkStatus, len(c.extLinks))
+	for i, l := range c.extLinks {
+		out[i] = LinkStatus{
+			ID:        i,
+			State:     l.State().String(),
+			Type:      l.Type().String(),
+			Width:     l.Width(),
+			SpeedMHz:  int(l.Speed()),
+			Bandwidth: l.RawBandwidth(),
+		}
+	}
+	return out
+}
+
 // Run drains all pending simulation events.
 func (c *Cluster) Run() { c.eng.Run() }
 

@@ -2,6 +2,7 @@ package nb
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/ht"
 	"repro/internal/sim"
@@ -80,6 +81,25 @@ type Counters struct {
 	ProbesIssued    uint64
 }
 
+// counters is the live, race-safe backing store for Counters. The
+// simulation increments these from engine callbacks while the monitor's
+// HTTP scrape path reads Counters() from its own goroutine; atomics keep
+// that tear-free without a lock in the routing pipeline (same pattern as
+// ht.portCounters).
+type counters struct {
+	masterAborts    atomic.Uint64
+	orphanResponses atomic.Uint64
+	tagExhausted    atomic.Uint64
+	deadLinkDrops   atomic.Uint64
+	pktsFromCPU     atomic.Uint64
+	pktsFromLinks   atomic.Uint64
+	pktsToDRAM      atomic.Uint64
+	pktsForwarded   atomic.Uint64
+	bridgedPackets  atomic.Uint64
+	broadcasts      atomic.Uint64
+	probesIssued    atomic.Uint64
+}
+
 // CoherencyHook lets a coherence-protocol model observe memory traffic
 // at the point the real fabric would issue probes. The hook returns the
 // number of probes it put on the wire so the northbridge can count them.
@@ -105,7 +125,7 @@ type Northbridge struct {
 	xbar  sim.Server
 	mc    *MemoryController
 	match *MatchTable
-	cnt   Counters
+	cnt   counters
 
 	coherency   CoherencyHook
 	onWrite     func(addr uint64, n int) // local-DRAM store visibility hook
@@ -146,8 +166,24 @@ func (n *Northbridge) SetNodeID(id uint8) error {
 	return nil
 }
 
-// Counters returns a copy of the counters.
-func (n *Northbridge) Counters() Counters { return n.cnt }
+// Counters returns a copy of the counters. It is safe to call
+// concurrently with a running simulation: each counter is loaded
+// atomically.
+func (n *Northbridge) Counters() Counters {
+	return Counters{
+		MasterAborts:    n.cnt.masterAborts.Load(),
+		OrphanResponses: n.cnt.orphanResponses.Load(),
+		TagExhausted:    n.cnt.tagExhausted.Load(),
+		DeadLinkDrops:   n.cnt.deadLinkDrops.Load(),
+		PktsFromCPU:     n.cnt.pktsFromCPU.Load(),
+		PktsFromLinks:   n.cnt.pktsFromLinks.Load(),
+		PktsToDRAM:      n.cnt.pktsToDRAM.Load(),
+		PktsForwarded:   n.cnt.pktsForwarded.Load(),
+		BridgedPackets:  n.cnt.bridgedPackets.Load(),
+		Broadcasts:      n.cnt.broadcasts.Load(),
+		ProbesIssued:    n.cnt.probesIssued.Load(),
+	}
+}
 
 // MemController returns the node's memory controller.
 func (n *Northbridge) MemController() *MemoryController { return n.mc }
@@ -285,7 +321,7 @@ func (n *Northbridge) DecodeAddress(a uint64) Decision {
 // link-level receive buffer (flow-control credit) once the packet has
 // drained out of the northbridge.
 func (n *Northbridge) receive(idx int, pkt *ht.Packet, done func()) {
-	n.cnt.PktsFromLinks++
+	n.cnt.pktsFromLinks.Add(1)
 	_, at := n.xbar.Schedule(n.eng.Now(), n.par.XBarService)
 	n.eng.At(at+n.par.HopLatency, func() { n.dispatch(idx, pkt, done) })
 }
@@ -294,7 +330,7 @@ func (n *Northbridge) receive(idx int, pkt *ht.Packet, done func()) {
 // queue. done, if non-nil, is invoked when the packet has left the SRQ
 // (posted semantics).
 func (n *Northbridge) InjectFromCPU(pkt *ht.Packet, done func()) {
-	n.cnt.PktsFromCPU++
+	n.cnt.pktsFromCPU.Add(1)
 	pkt.SrcNode = int(n.nodeID)
 	_, at := n.xbar.Schedule(n.eng.Now(), n.par.XBarService)
 	n.eng.At(at+n.par.HopLatency, func() {
@@ -325,7 +361,7 @@ func (n *Northbridge) handleRequest(fromLink int, pkt *ht.Packet, done func()) {
 	case DecideDirectLink, DecideRouteLink:
 		n.forward(fromLink, int(d.Link), pkt, done)
 	default:
-		n.cnt.MasterAborts++
+		n.cnt.masterAborts.Add(1)
 		if n.tracer != nil {
 			n.tracer.Emit(trace.Event{
 				At: n.eng.Now(), Kind: trace.KindMasterAbort,
@@ -341,21 +377,21 @@ func (n *Northbridge) handleRequest(fromLink int, pkt *ht.Packet, done func()) {
 // deliverToDRAM lands a request on the local memory controller, crossing
 // the IO bridge first when it arrived over a non-coherent link.
 func (n *Northbridge) deliverToDRAM(fromLink int, pkt *ht.Packet, done func()) {
-	n.cnt.PktsToDRAM++
+	n.cnt.pktsToDRAM.Add(1)
 	pkt.Accept() // data has left the store path into the memory complex
 	delay := sim.Time(0)
 	fromIO := fromLink >= 0 && !n.LinkIsCoherent(fromLink)
 	if fromIO {
 		// ncHT packets are converted to coherent packets by the IO
 		// bridge before they may touch memory (paper §IV.C).
-		n.cnt.BridgedPackets++
+		n.cnt.bridgedPackets.Add(1)
 		delay = n.par.IOBridgeLatency
 	}
 	n.eng.After(delay, func() {
 		if n.coherency != nil {
-			n.cnt.ProbesIssued += uint64(n.coherency.OnLocalAccess(
+			n.cnt.probesIssued.Add(uint64(n.coherency.OnLocalAccess(
 				pkt.Addr, (int(pkt.Count)+1)*ht.DwordBytes,
-				pkt.Cmd.HasData(), fromIO))
+				pkt.Cmd.HasData(), fromIO)))
 		}
 		switch pkt.Cmd {
 		case ht.CmdWrPosted, ht.CmdCWrBlk:
@@ -364,7 +400,7 @@ func (n *Northbridge) deliverToDRAM(fromLink int, pkt *ht.Packet, done func()) {
 			// poller wake-up) waits the full DRAM latency.
 			n.mc.WriteAccepted(pkt.Addr, pkt.Data, done, func(err error) {
 				if err != nil {
-					n.cnt.MasterAborts++
+					n.cnt.masterAborts.Add(1)
 					n.logf("DRAM write fault at %#x: %v", pkt.Addr, err)
 				} else if n.onWrite != nil {
 					n.onWrite(pkt.Addr, len(pkt.Data))
@@ -384,7 +420,7 @@ func (n *Northbridge) deliverToDRAM(fromLink int, pkt *ht.Packet, done func()) {
 			nBytes := (int(pkt.Count) + 1) * ht.DwordBytes
 			n.mc.Read(pkt.Addr, nBytes, func(data []byte, err error) {
 				if err != nil {
-					n.cnt.MasterAborts++
+					n.cnt.masterAborts.Add(1)
 					n.logf("DRAM read fault at %#x: %v", pkt.Addr, err)
 					done()
 					return
@@ -403,7 +439,7 @@ func (n *Northbridge) deliverToDRAM(fromLink int, pkt *ht.Packet, done func()) {
 			// is already strictly ordered, so these complete immediately.
 			done()
 		default:
-			n.cnt.MasterAborts++
+			n.cnt.masterAborts.Add(1)
 			n.logf("unhandled request %v at DRAM", pkt)
 			done()
 		}
@@ -418,7 +454,7 @@ func (n *Northbridge) deliverToDRAM(fromLink int, pkt *ht.Packet, done func()) {
 func (n *Northbridge) routeResponse(resp *ht.Packet) {
 	if uint8(resp.DstNode) == n.nodeID {
 		if err := n.match.Complete(resp); err != nil {
-			n.cnt.OrphanResponses++
+			n.cnt.orphanResponses.Add(1)
 			n.logf("%v", err)
 		}
 		return
@@ -438,7 +474,7 @@ func (n *Northbridge) handleResponse(fromLink int, resp *ht.Packet, done func())
 // links from the broadcast routes, interrupts leak across the cluster —
 // the failure the custom kernel in §VI exists to prevent.
 func (n *Northbridge) handleBroadcast(fromLink int, pkt *ht.Packet, done func()) {
-	n.cnt.Broadcasts++
+	n.cnt.broadcasts.Add(1)
 	if n.onBroadcast != nil {
 		n.onBroadcast(pkt)
 	}
@@ -466,18 +502,18 @@ func (n *Northbridge) forward(fromLink, idx int, pkt *ht.Packet, done func()) {
 		done()
 	}
 	if idx < 0 || idx >= MaxLinks || n.links[idx] == nil {
-		n.cnt.DeadLinkDrops++
+		n.cnt.deadLinkDrops.Add(1)
 		n.logf("drop %v: egress link %d not wired", pkt, idx)
 		accept()
 		return
 	}
 	pkt.OnAccept = accept
 	if err := n.links[idx].Send(pkt); err != nil {
-		n.cnt.DeadLinkDrops++
+		n.cnt.deadLinkDrops.Add(1)
 		n.logf("drop %v: %v", pkt, err)
 		pkt.Accept()
 	} else {
-		n.cnt.PktsForwarded++
+		n.cnt.pktsForwarded.Add(1)
 		if n.tracer != nil && fromLink >= 0 {
 			// Only transit traffic is interesting here; CPU-originated
 			// packets already appear as link-level sends.
@@ -510,7 +546,7 @@ func (n *Northbridge) CPUWrite(addr uint64, data []byte, posted bool, completion
 	}
 	tag, err := n.match.Alloc(func(*ht.Packet) { completion(nil) })
 	if err != nil {
-		n.cnt.TagExhausted++
+		n.cnt.tagExhausted.Add(1)
 		completion(err)
 		return
 	}
@@ -538,7 +574,7 @@ func (n *Northbridge) CPURead(addr uint64, nBytes int, cb func([]byte, error)) {
 	}
 	tag, err := n.match.Alloc(func(resp *ht.Packet) { cb(resp.Data, nil) })
 	if err != nil {
-		n.cnt.TagExhausted++
+		n.cnt.tagExhausted.Add(1)
 		cb(nil, err)
 		return
 	}

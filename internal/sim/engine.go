@@ -83,21 +83,24 @@ func (h *eventHeap) Pop() interface{} {
 	return e
 }
 
-// Probe observes the engine's virtual clock. A nil probe disables
-// observation; a non-nil one is invoked each time the clock advances to
-// a new timestamp (not per event — simultaneous events share one call).
-type Probe func(now Time)
+// Probe observes the engine's virtual clock. An armed probe is invoked
+// the first time the clock advances to or past its wake time and
+// returns the next wake time (a time not after now disarms it). The
+// engine holds the wake time itself, so between wake-ups the hot path
+// pays one integer compare per executed event, never a dynamic call.
+type Probe func(now Time) Time
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 // Engine is not safe for concurrent use; the whole point is a single
 // deterministic timeline.
 type Engine struct {
-	now    Time
-	heap   eventHeap
-	seq    uint64
-	fired  uint64
-	halted bool
-	probe  Probe
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	fired   uint64
+	halted  bool
+	probe   Probe
+	probeAt Time // next probe wake time, meaningful while probe != nil
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -130,10 +133,14 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
-// SetProbe installs the clock observer (nil disables). The observability
-// layer uses it to watch virtual-time progress; the hot path pays one
-// nil check per executed event when no probe is installed.
-func (e *Engine) SetProbe(p Probe) { e.probe = p }
+// SetProbe arms the clock observer to fire once the clock reaches wake
+// (nil disarms). The observability layer uses it to sample virtual-time
+// windows; the hot path pays one nil check per executed event when no
+// probe is armed and one integer compare when one is.
+func (e *Engine) SetProbe(p Probe, wake Time) {
+	e.probe = p
+	e.probeAt = wake
+}
 
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
@@ -142,8 +149,12 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.heap).(event)
-	if e.probe != nil && ev.at != e.now {
-		e.probe(ev.at)
+	if e.probe != nil && ev.at >= e.probeAt {
+		if next := e.probe(ev.at); next > ev.at {
+			e.probeAt = next
+		} else {
+			e.probe = nil
+		}
 	}
 	e.now = ev.at
 	e.fired++

@@ -316,3 +316,42 @@ func TestEventOrderingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEngineProbeWakeSemantics(t *testing.T) {
+	e := NewEngine()
+	var wakes []Time
+	// Arm at 100ns, re-arm every 100ns: events at 40, 80 must not wake
+	// the probe; 120 crosses the first boundary; 130 is inside the next
+	// window; 250 crosses again.
+	e.SetProbe(func(now Time) Time {
+		wakes = append(wakes, now)
+		next := Time(100 * Nanosecond)
+		for next <= now {
+			next += 100 * Nanosecond
+		}
+		return next
+	}, 100*Nanosecond)
+	for _, at := range []Time{40, 80, 120, 130, 250} {
+		e.At(at*Nanosecond, func() {})
+	}
+	e.Run()
+	want := []Time{120 * Nanosecond, 250 * Nanosecond}
+	if len(wakes) != len(want) || wakes[0] != want[0] || wakes[1] != want[1] {
+		t.Fatalf("probe wakes = %v, want %v", wakes, want)
+	}
+}
+
+func TestEngineProbeDisarmsOnStaleWake(t *testing.T) {
+	e := NewEngine()
+	calls := 0
+	e.SetProbe(func(now Time) Time {
+		calls++
+		return 0 // not after now: disarm
+	}, 10*Nanosecond)
+	e.At(20*Nanosecond, func() {})
+	e.At(30*Nanosecond, func() {})
+	e.Run()
+	if calls != 1 {
+		t.Fatalf("disarmed probe fired %d times, want 1", calls)
+	}
+}

@@ -1,0 +1,36 @@
+package sim
+
+import "testing"
+
+func TestServerFIFOSchedule(t *testing.T) {
+	var s Server
+	start, done := s.Schedule(10*Nanosecond, 5*Nanosecond)
+	if start != 10*Nanosecond || done != 15*Nanosecond {
+		t.Fatalf("first job start/done = %v/%v, want 10ns/15ns", start, done)
+	}
+	// Arrives while busy: queued behind the horizon.
+	start, done = s.Schedule(12*Nanosecond, 5*Nanosecond)
+	if start != 15*Nanosecond || done != 20*Nanosecond {
+		t.Fatalf("queued job start/done = %v/%v, want 15ns/20ns", start, done)
+	}
+	if s.Jobs() != 2 || s.BusyTime() != 10*Nanosecond {
+		t.Fatalf("jobs/busy = %d/%v, want 2/10ns", s.Jobs(), s.BusyTime())
+	}
+}
+
+// Regression: Utilization over a zero or negative horizon must report 0,
+// not +Inf/NaN or a negative ratio — monitoring dashboards divide by
+// whatever horizon they are handed.
+func TestServerUtilizationZeroHorizonGuard(t *testing.T) {
+	var s Server
+	s.Schedule(0, 8*Nanosecond)
+	if u := s.Utilization(0); u != 0 {
+		t.Fatalf("Utilization(0) = %v, want 0", u)
+	}
+	if u := s.Utilization(-5 * Nanosecond); u != 0 {
+		t.Fatalf("Utilization(-5ns) = %v, want 0", u)
+	}
+	if u := s.Utilization(16 * Nanosecond); u != 0.5 {
+		t.Fatalf("Utilization(16ns) = %v, want 0.5", u)
+	}
+}

@@ -117,6 +117,19 @@ func WriteChrome(w io.Writer, events []Event) error {
 			named[pid] = fmt.Sprintf("node%d", ev.Node)
 			out = append(out, chromeEvent{Name: ev.Kind.String(), Ph: "i",
 				Ts: micros(int64(ev.At)), Pid: pid, Tid: tidMsg, S: "t"})
+		case KindAlert, KindAlertResolved:
+			// Alerts land on the lane of whatever they scope to: a link
+			// process when Link is set, a node process otherwise.
+			pid, tid := nodePIDBase, tidMsg
+			if ev.Link >= 0 {
+				pid, tid = linkPIDBase+ev.Link, 0
+				named[pid] = fmt.Sprintf("link%d", ev.Link)
+			} else if ev.Node >= 0 {
+				pid = nodePIDBase + ev.Node
+				named[pid] = fmt.Sprintf("node%d", ev.Node)
+			}
+			out = append(out, chromeEvent{Name: ev.Kind.String() + ": " + ev.Label,
+				Ph: "i", Ts: micros(int64(ev.At)), Pid: pid, Tid: tid, S: "g"})
 		}
 	}
 	// Unmatched sends (still in flight at capture end) become instants.

@@ -109,6 +109,54 @@ func (s HistogramSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
+// Quantile estimates the p-quantile of the distribution (0 <= p <= 1).
+// Bucket i spans [2^(i-1), 2^i); the estimate interpolates linearly
+// inside the bucket holding the target rank and is clamped to the exact
+// observed [Min, Max], so single-valued and tight distributions come
+// back exact rather than smeared across a power-of-two bucket. Out of
+// range p is clamped; an empty histogram reports 0.
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	if s.Count == 0 || math.IsNaN(p) {
+		return 0
+	}
+	if p <= 0 {
+		return float64(s.Min)
+	}
+	if p >= 1 {
+		return float64(s.Max)
+	}
+	target := p * float64(s.Count)
+	cum := 0.0
+	for i := 0; i < histBuckets; i++ {
+		n := float64(s.Buckets[i])
+		if n == 0 {
+			continue
+		}
+		if cum+n < target {
+			cum += n
+			continue
+		}
+		if i == 0 { // bucket 0 holds only the value 0
+			return clampF(0, float64(s.Min), float64(s.Max))
+		}
+		lo := float64(uint64(1) << (i - 1))
+		hi := lo * 2
+		frac := (target - cum) / n
+		return clampF(lo+frac*(hi-lo), float64(s.Min), float64(s.Max))
+	}
+	return float64(s.Max)
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(),
 		Buckets: map[int]uint64{}}

@@ -61,6 +61,13 @@ const (
 	// KindMasterAbort fires when an address decodes to nothing — a
 	// routing fault (Node = supernode index).
 	KindMasterAbort
+	// KindAlert fires when a monitor watchdog rule raises an alert
+	// (Label = rule name and detail, Node/Link = the alert's scope,
+	// -1 when unscoped).
+	KindAlert
+	// KindAlertResolved fires when the condition behind a previously
+	// raised alert clears (same Label/Node/Link as the KindAlert).
+	KindAlertResolved
 )
 
 func (k Kind) String() string {
@@ -87,6 +94,10 @@ func (k Kind) String() string {
 		return "forward"
 	case KindMasterAbort:
 		return "master-abort"
+	case KindAlert:
+		return "alert"
+	case KindAlertResolved:
+		return "alert-resolved"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -196,6 +207,10 @@ func (c *Collector) observe(ev Event) {
 		}
 	case KindRendezvousStart:
 		c.metrics.Counter(Key{Name: "mpi.rendezvous", Node: ev.Node}).Add(1)
+	case KindAlert:
+		c.metrics.Counter(Key{Name: "alerts.raised"}).Add(1)
+	case KindAlertResolved:
+		c.metrics.Counter(Key{Name: "alerts.resolved"}).Add(1)
 	}
 }
 

@@ -1,0 +1,290 @@
+// End-to-end test of the live-monitoring subsystem: a cluster built
+// WithMonitor serves valid Prometheus text over real HTTP while the
+// simulation runs, counters only ever move forward between scrapes, the
+// watchdog detects an injected dead link, and the auto-dump captures
+// the flight-recorder windows leading into the incident.
+package tccluster_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	tccluster "repro"
+)
+
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\} [-+0-9.eE]+$`)
+
+// scrapeMetrics fetches /metrics, validates every line against the
+// Prometheus 0.0.4 text format, and returns each counter series value.
+func scrapeMetrics(t *testing.T, addr string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics Content-Type %q lacks text-format version", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := map[string]float64{}
+	isCounter := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSuffix(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			isCounter[f[2]] = f[3] == "counter"
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed Prometheus line: %q", line)
+		}
+		name := line[:strings.IndexByte(line, '{')]
+		if isCounter[name] {
+			var v float64
+			series := line[:strings.LastIndexByte(line, ' ')]
+			fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%g", &v)
+			counters[series] = v
+		}
+	}
+	return counters
+}
+
+func TestMonitorEndToEnd(t *testing.T) {
+	topo, err := tccluster.Chain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dumpPath := filepath.Join(t.TempDir(), "incident.json")
+	alerts := make(chan tccluster.Alert, 64)
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(),
+		tccluster.WithTracer(tccluster.NewCollector(1<<14)),
+		tccluster.WithMonitor("127.0.0.1:0",
+			tccluster.MonitorSampleEvery(20*tccluster.Microsecond),
+			tccluster.MonitorOnAlert(func(a tccluster.Alert) {
+				select {
+				case alerts <- a:
+				default:
+				}
+			}),
+			tccluster.MonitorAutoDump(dumpPath)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	addr := c.Monitor().Addr()
+	if addr == "" {
+		t.Fatal("WithMonitor(addr) did not bind a listener")
+	}
+
+	// Traffic across both links of the chain: 0 -> 2 echoed back by 2.
+	s02, r02, err := c.OpenChannel(0, 2, tccluster.DefaultMsgParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s20, r20, err := c.OpenChannel(2, 0, tccluster.DefaultMsgParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var echo func()
+	echo = func() {
+		r02.Recv(func(d []byte, err error) {
+			if err != nil {
+				return
+			}
+			s20.Send(d, func(error) {})
+			echo()
+		})
+	}
+	echo()
+	runRounds := func(rounds int) {
+		done := 0
+		var round func(i int)
+		round = func(i int) {
+			if i >= rounds {
+				return
+			}
+			r20.Recv(func(_ []byte, err error) {
+				if err != nil {
+					return
+				}
+				done++
+				round(i + 1)
+			})
+			s02.Send(make([]byte, 256), func(error) {})
+		}
+		round(0)
+		c.RunFor(5 * tccluster.Millisecond)
+		if done != rounds {
+			t.Fatalf("completed %d of %d rounds", done, rounds)
+		}
+	}
+
+	// Scrape concurrently with the running simulation: the scrape path
+	// must be race-free against the sim goroutine (this test runs under
+	// -race in CI) and must not perturb it.
+	var wg sync.WaitGroup
+	scrapeErrs := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		client := &http.Client{Timeout: 5 * time.Second}
+		for i := 0; i < 10; i++ {
+			for _, path := range []string{"/metrics", "/metrics.json", "/health"} {
+				resp, err := client.Get("http://" + addr + path)
+				if err != nil {
+					select {
+					case scrapeErrs <- err:
+					default:
+					}
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}()
+	runRounds(100)
+	wg.Wait()
+	select {
+	case err := <-scrapeErrs:
+		t.Fatalf("concurrent scrape failed: %v", err)
+	default:
+	}
+
+	first := scrapeMetrics(t, addr)
+	if len(first) == 0 {
+		t.Fatal("no counter series scraped")
+	}
+	for _, want := range []string{"tcc_port_pkts_sent", "tcc_port_pkts_recv", "tcc_nb_pkts_forwarded"} {
+		found := false
+		for series := range first {
+			if strings.HasPrefix(series, want+"{") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %s series in scrape", want)
+		}
+	}
+	runRounds(100)
+	second := scrapeMetrics(t, addr)
+	for series, v1 := range first {
+		v2, ok := second[series]
+		if !ok {
+			t.Errorf("counter series %s disappeared between scrapes", series)
+			continue
+		}
+		if v2 < v1 {
+			t.Errorf("counter %s went backwards: %g -> %g", series, v1, v2)
+		}
+	}
+
+	// Inject a dead link (cable pull). Keep virtual time moving with the
+	// still-polling receivers so sampling windows keep closing; the
+	// dead-link rule needs its sustain count of down windows.
+	c.ExternalLinks()[0].ForceDown()
+	for i := 0; i < 4; i++ {
+		s02.Send(make([]byte, 64), func(error) {}) // failing send attempts
+	}
+	c.RunFor(2 * tccluster.Millisecond)
+
+	var dead *tccluster.Alert
+drain:
+	for {
+		select {
+		case a := <-alerts:
+			if a.Rule == "dead-link" && a.Active() {
+				dead = &a
+				break drain
+			}
+		default:
+			break drain
+		}
+	}
+	if dead == nil {
+		t.Fatal("watchdog did not raise a dead-link alert after ForceDown")
+	}
+
+	// The monitor must now report degraded health...
+	resp, err := http.Get("http://" + addr + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/health status %d with an active alert, want 503", resp.StatusCode)
+	}
+	// ...and list the alert.
+	resp, err = http.Get("http://" + addr + "/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Active []tccluster.Alert `json:"active"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range doc.Active {
+		if a.Rule == "dead-link" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/alerts active = %+v, want a dead-link alert", doc.Active)
+	}
+
+	// The auto-dump captured the windows leading INTO the incident.
+	raw, err := os.ReadFile(dumpPath)
+	if err != nil {
+		t.Fatalf("auto-dump file missing: %v", err)
+	}
+	var dump struct {
+		Reason  string `json:"reason"`
+		Windows []struct {
+			StartPS int64 `json:"start_ps"`
+			EndPS   int64 `json:"end_ps"`
+		} `json:"windows"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("auto-dump is not valid JSON: %v", err)
+	}
+	if !strings.HasPrefix(dump.Reason, "alert:") {
+		t.Fatalf("dump reason %q, want alert trigger", dump.Reason)
+	}
+	if len(dump.Windows) < 2 {
+		t.Fatalf("dump has %d windows, want pre-incident history", len(dump.Windows))
+	}
+	if got := tccluster.Time(dump.Windows[0].StartPS); got >= dead.RaisedAt {
+		t.Fatalf("oldest dumped window starts at %v, not before the alert at %v",
+			got, dead.RaisedAt)
+	}
+
+	r02.Stop()
+	r20.Stop()
+	c.Run()
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/errs"
 	"repro/internal/ht"
 	"repro/internal/kernel"
+	"repro/internal/monitor"
 	"repro/internal/mpi"
 	"repro/internal/msg"
 	"repro/internal/pgas"
@@ -117,6 +118,20 @@ type (
 	// MetricsSnapshot is a point-in-time copy of every counter, gauge
 	// and histogram — what Cluster.Metrics returns.
 	MetricsSnapshot = trace.Snapshot
+
+	// Monitor is the live-monitoring subsystem: /metrics HTTP endpoint,
+	// flight recorder, alert watchdog. Install one with WithMonitor.
+	Monitor = monitor.Monitor
+	// MonitorOption customizes WithMonitor (sampling window, recorder
+	// depth, watchdog rules, alert callbacks, auto-dump path).
+	MonitorOption = monitor.Option
+	// Alert is one raised watchdog incident.
+	Alert = monitor.Alert
+	// WatchdogRule is a pluggable health rule evaluated against each
+	// sampling window.
+	WatchdogRule = monitor.Rule
+	// RecorderWindow is one closed flight-recorder sampling window.
+	RecorderWindow = monitor.Window
 )
 
 // Typed sentinel errors. Constructors and channel operations wrap these
@@ -219,7 +234,8 @@ const AnyTag = mpi.AnyTag
 // the top-level handle of this library.
 type Cluster struct {
 	*core.Cluster
-	os *kernel.OS
+	os  *kernel.OS
+	mon *monitor.Monitor
 }
 
 // Option customizes New beyond the hardware Config: kernel selection,
@@ -228,8 +244,11 @@ type Cluster struct {
 type Option func(*buildOptions)
 
 type buildOptions struct {
-	cfg  Config
-	kopt KernelOptions
+	cfg         Config
+	kopt        KernelOptions
+	monitorOn   bool
+	monitorAddr string
+	monitorOpts []MonitorOption
 }
 
 // WithKernelOptions selects the per-node OS configuration. The default
@@ -255,6 +274,54 @@ func WithSeed(seed uint64) Option {
 	return func(b *buildOptions) { b.cfg.Seed = seed }
 }
 
+// WithMonitor starts the live-monitoring subsystem on the cluster: an
+// HTTP server on addr exposing /metrics (Prometheus text), /metrics.json
+// (the document cmd/tcctop polls), /health, /alerts and /dump; a flight
+// recorder sampling snapshot deltas into a bounded ring; and an alert
+// watchdog evaluating health rules (dead link, credit-stall storm,
+// ring-full burst, master-abort storm) against every sampling window.
+// An empty addr enables sampling, recording and watchdogs without
+// listening anywhere. Call Cluster.Close when done to stop the server:
+//
+//	c, err := tccluster.New(topo, cfg,
+//		tccluster.WithTracer(tccluster.NewCollector(1<<16)),
+//		tccluster.WithMonitor("127.0.0.1:9120",
+//			tccluster.MonitorSampleEvery(50*tccluster.Microsecond),
+//			tccluster.MonitorAutoDump("incident.json")))
+func WithMonitor(addr string, opts ...MonitorOption) Option {
+	return func(b *buildOptions) {
+		b.monitorOn = true
+		b.monitorAddr = addr
+		b.monitorOpts = opts
+	}
+}
+
+// Monitor sub-options, re-exported so callers configure WithMonitor
+// without importing internal packages.
+var (
+	// MonitorSampleEvery sets the virtual-time width of one sampling
+	// window (default 100 us).
+	MonitorSampleEvery = monitor.WithSampleEvery
+	// MonitorWindows bounds the flight recorder's retained windows.
+	MonitorWindows = monitor.WithRecorderWindows
+	// MonitorRules replaces the default watchdog rule set.
+	MonitorRules = monitor.WithRules
+	// MonitorOnAlert registers an alert raise/resolve callback. It runs
+	// on the simulation goroutine; keep it short.
+	MonitorOnAlert = monitor.WithAlertCallback
+	// MonitorAutoDump dumps the flight recorder to a file whenever an
+	// alert is raised.
+	MonitorAutoDump = monitor.WithAutoDump
+)
+
+// Watchdog rule constructors, re-exported for MonitorRules.
+var (
+	DeadLinkRule    = monitor.DeadLinkRule
+	CreditStallRule = monitor.CreditStallRule
+	RingFullRule    = monitor.RingFullRule
+	MasterAbortRule = monitor.MasterAbortRule
+)
+
 // New builds, boots and installs kernels on a cluster over the given
 // topology. With no options it boots the paper's custom kernel (SMC
 // disabled) with tracing off:
@@ -276,7 +343,49 @@ func New(topo *Topology, cfg Config, opts ...Option) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{Cluster: c, os: kernel.Install(c, b.kopt)}, nil
+	cl := &Cluster{Cluster: c, os: kernel.Install(c, b.kopt)}
+	if b.monitorOn {
+		mopts := append([]MonitorOption{
+			monitor.WithLinkStatus(func() []monitor.LinkStatus {
+				return monitorLinkStatuses(c)
+			}),
+			monitor.WithTracer(b.cfg.Tracer),
+		}, b.monitorOpts...)
+		cl.mon = monitor.New(c, mopts...)
+		c.SetSampleHook(cl.mon.Interval(), cl.mon.OnSample)
+		if b.monitorAddr != "" {
+			if err := cl.mon.Serve(b.monitorAddr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cl, nil
+}
+
+// monitorLinkStatuses adapts core's link reporting to the monitor's
+// core-agnostic type.
+func monitorLinkStatuses(c *core.Cluster) []monitor.LinkStatus {
+	ls := c.LinkStatuses()
+	out := make([]monitor.LinkStatus, len(ls))
+	for i, l := range ls {
+		out[i] = monitor.LinkStatus{ID: l.ID, State: l.State, Type: l.Type,
+			Width: l.Width, SpeedMHz: l.SpeedMHz, Bandwidth: l.Bandwidth}
+	}
+	return out
+}
+
+// Monitor returns the live-monitoring subsystem, nil unless the cluster
+// was built WithMonitor.
+func (c *Cluster) Monitor() *Monitor { return c.mon }
+
+// Close releases live resources (the monitor's HTTP listener). It is
+// safe on clusters built without a monitor, and safe to call more than
+// once.
+func (c *Cluster) Close() error {
+	if c.mon == nil {
+		return nil
+	}
+	return c.mon.Close()
 }
 
 // NewWithKernel is New with explicit kernel options.
