@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt fmt-check vet build test race test-race bench bench-smoke bench-json
+.PHONY: all check fmt fmt-check vet build test race test-race bench bench-smoke bench-json bench-engine
 
 all: check
 
@@ -39,3 +39,10 @@ bench:
 # WithTracer alone.
 bench-json:
 	$(GO) run ./cmd/tccbench -bench monitor -out BENCH_monitor.json
+
+# Regenerate the event-core numbers: paired ladder-vs-heap runs over a
+# synthetic self-clocking workload plus Fig. 6/Fig. 7-shaped full-stack
+# workloads. Fails if the two queues diverge on event count or final
+# virtual time.
+bench-engine:
+	$(GO) run ./cmd/tccbench -bench engine -out BENCH_engine.json

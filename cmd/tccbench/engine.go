@@ -1,0 +1,261 @@
+// Engine benchmark: paired new-vs-legacy event-queue measurements over
+// a synthetic self-clocking workload and two full-stack workloads
+// shaped like the paper's Fig. 6 (posted-store bandwidth) and Fig. 7
+// (message ping-pong). Emits BENCH_engine.json with events/sec,
+// ns/event, allocs/event and the ladder:heap speedup ratio, and
+// cross-checks that both queues reach the same virtual time with the
+// same event count — the determinism contract.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	tccluster "repro"
+	"repro/internal/sim"
+)
+
+type engineRun struct {
+	Queue          string  `json:"queue"` // "ladder" or "heap"
+	Events         uint64  `json:"events"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	FinalVirtualNs float64 `json:"final_virtual_ns"`
+}
+
+type engineWorkload struct {
+	Name    string    `json:"name"`
+	Ladder  engineRun `json:"ladder"`
+	Heap    engineRun `json:"heap"`
+	Speedup float64   `json:"speedup_events_per_sec"` // ladder / heap
+}
+
+type engineReport struct {
+	GoVersion string           `json:"go_version"`
+	Workloads []engineWorkload `json:"workloads"`
+}
+
+// measured wraps one benchmark run: the workload body advances the
+// engine, and we record wall time, fired events, allocations and the
+// final virtual time around it.
+func measured(queue string, fired func() uint64, now func() sim.Time, body func()) engineRun {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	startFired := fired()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	body()
+	wall := time.Since(t0).Seconds()
+	runtime.ReadMemStats(&m1)
+	events := fired() - startFired
+	r := engineRun{
+		Queue:          queue,
+		Events:         events,
+		WallSeconds:    wall,
+		FinalVirtualNs: now().Nanos(),
+	}
+	if events > 0 {
+		r.EventsPerSec = float64(events) / wall
+		r.NsPerEvent = wall * 1e9 / float64(events)
+		r.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(events)
+	}
+	return r
+}
+
+// benchTicker is the synthetic workload's handler: it reschedules
+// itself forever at a fixed period, so every Step is one pop + one
+// push — the queue's steady state.
+type benchTicker struct{ period sim.Time }
+
+func (t *benchTicker) OnEvent(e *sim.Engine, _ sim.EventArg) {
+	e.ScheduleAfter(t.period, t, sim.EventArg{})
+}
+
+// selfClockRun drives a pure-engine workload: 64 tickers with co-prime
+// periods spanning near-bucket and far-heap horizons.
+func selfClockRun(legacy bool, events uint64) engineRun {
+	eng := sim.NewEngine()
+	queue := "ladder"
+	if legacy {
+		eng = sim.NewLegacyEngine()
+		queue = "heap"
+	}
+	for i := 0; i < 64; i++ {
+		period := sim.Time(300+i*37) * sim.Picosecond
+		if i%16 == 15 {
+			period = sim.Time(3+i) * sim.Microsecond // far-horizon tickers
+		}
+		t := &benchTicker{period: period}
+		eng.ScheduleAfter(t.period, t, sim.EventArg{})
+	}
+	return measured(queue, eng.Fired, eng.Now, func() {
+		for eng.Fired() < events {
+			eng.Step()
+		}
+	})
+}
+
+// pingpongRun is the Fig. 7 shape: message-library ping-pong between
+// two nodes, timing the run phase (boot events excluded).
+func pingpongRun(legacy bool, rounds int) engineRun {
+	queue := "ladder"
+	var opts []tccluster.Option
+	if legacy {
+		queue = "heap"
+		opts = append(opts, tccluster.WithLegacyEventQueue())
+	}
+	topo, err := tccluster.Chain(2)
+	check(err)
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(), opts...)
+	check(err)
+	sAB, rAB, err := c.OpenChannel(0, 1, tccluster.DefaultMsgParams())
+	check(err)
+	sBA, rBA, err := c.OpenChannel(1, 0, tccluster.DefaultMsgParams())
+	check(err)
+	var serve func()
+	serve = func() {
+		rAB.Recv(func(d []byte, err error) {
+			if err != nil {
+				return
+			}
+			sBA.Send(d, func(error) {})
+			serve()
+		})
+	}
+	serve()
+	completed := 0
+	var round func(i int)
+	round = func(i int) {
+		if i >= rounds {
+			return
+		}
+		rBA.Recv(func(_ []byte, err error) {
+			if err != nil {
+				return
+			}
+			completed++
+			round(i + 1)
+		})
+		sAB.Send(make([]byte, 64), func(error) {})
+	}
+	eng := c.Engine()
+	r := measured(queue, eng.Fired, eng.Now, func() {
+		round(0)
+		c.RunFor(10 * tccluster.Millisecond)
+		rAB.Stop()
+		rBA.Stop()
+		c.Run()
+	})
+	if completed != rounds {
+		check(fmt.Errorf("engine bench: pingpong %d of %d rounds", completed, rounds))
+	}
+	return r
+}
+
+// postStoreRun is the Fig. 6 shape: a stream of small posted stores
+// into the neighbor's DRAM, fenced at the end.
+func postStoreRun(legacy bool, iters int) engineRun {
+	queue := "ladder"
+	var opts []tccluster.Option
+	if legacy {
+		queue = "heap"
+		opts = append(opts, tccluster.WithLegacyEventQueue())
+	}
+	topo, err := tccluster.Chain(2)
+	check(err)
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(), opts...)
+	check(err)
+	src := c.Node(0).Core()
+	base := c.Node(1).MemBase() + 8<<20
+	payload := make([]byte, 64)
+	fenced := false
+	var step func(i int)
+	step = func(i int) {
+		if i >= iters {
+			src.Sfence(func() { fenced = true })
+			return
+		}
+		src.StoreBlock(base+uint64(i%8)*64, payload, func(err error) {
+			check(err)
+			step(i + 1)
+		})
+	}
+	eng := c.Engine()
+	r := measured(queue, eng.Fired, eng.Now, func() {
+		step(0)
+		c.Run()
+	})
+	if !fenced {
+		check(fmt.Errorf("engine bench: posted-store stream never fenced"))
+	}
+	return r
+}
+
+// checkPaired enforces the determinism contract on a full-stack pair:
+// both queues must fire the same number of events and land on the same
+// virtual time.
+func checkPaired(w engineWorkload) {
+	if w.Ladder.Events != w.Heap.Events || w.Ladder.FinalVirtualNs != w.Heap.FinalVirtualNs {
+		check(fmt.Errorf("engine bench: %s diverged: ladder %d events / %.0f ns vs heap %d events / %.0f ns",
+			w.Name, w.Ladder.Events, w.Ladder.FinalVirtualNs, w.Heap.Events, w.Heap.FinalVirtualNs))
+	}
+}
+
+func runEngineBench(out, cpuprofile, memprofile string) {
+	if out == "" {
+		out = "BENCH_engine.json"
+	}
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+
+	pair := func(name string, run func(legacy bool) engineRun) engineWorkload {
+		w := engineWorkload{Name: name, Heap: run(true), Ladder: run(false)}
+		if w.Heap.EventsPerSec > 0 {
+			w.Speedup = w.Ladder.EventsPerSec / w.Heap.EventsPerSec
+		}
+		return w
+	}
+
+	rep := engineReport{GoVersion: runtime.Version()}
+
+	w := pair("selfclock", func(legacy bool) engineRun { return selfClockRun(legacy, 2_000_000) })
+	rep.Workloads = append(rep.Workloads, w)
+
+	w = pair("pingpong-64B", func(legacy bool) engineRun { return pingpongRun(legacy, 500) })
+	checkPaired(w)
+	rep.Workloads = append(rep.Workloads, w)
+
+	w = pair("posted-store-64B", func(legacy bool) engineRun { return postStoreRun(legacy, 4096) })
+	checkPaired(w)
+	rep.Workloads = append(rep.Workloads, w)
+
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		check(err)
+		runtime.GC()
+		check(pprof.WriteHeapProfile(f))
+		f.Close()
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	check(err)
+	check(os.WriteFile(out, append(data, '\n'), 0o644))
+
+	fmt.Printf("tccbench engine (%s)\n", rep.GoVersion)
+	for _, w := range rep.Workloads {
+		fmt.Printf("  %-18s ladder %8.0f ev/s %7.1f ns/ev %6.2f allocs/ev | heap %8.0f ev/s | speedup %.2fx\n",
+			w.Name, w.Ladder.EventsPerSec, w.Ladder.NsPerEvent, w.Ladder.AllocsPerEvent,
+			w.Heap.EventsPerSec, w.Speedup)
+	}
+	fmt.Printf("wrote %s\n", out)
+}

@@ -11,6 +11,7 @@
 //	tccbench -bench bibw
 //	tccbench -bench allreduce [-nodes 8]
 //	tccbench -bench monitor  [-out BENCH_monitor.json]
+//	tccbench -bench engine   [-out BENCH_engine.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -23,10 +24,12 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "latency", "latency | bw | bibw | allreduce | monitor")
+	bench := flag.String("bench", "latency", "latency | bw | bibw | allreduce | monitor | engine")
 	maxSize := flag.Int("max", 4096, "largest message size to sweep")
 	nodes := flag.Int("nodes", 4, "cluster size (allreduce)")
-	out := flag.String("out", "", "JSON output path (monitor benchmark)")
+	out := flag.String("out", "", "JSON output path (monitor and engine benchmarks)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (engine benchmark)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file (engine benchmark)")
 	flag.Parse()
 
 	switch *bench {
@@ -40,6 +43,8 @@ func main() {
 		runAllreduce(*nodes)
 	case "monitor":
 		runMonitorBench(*out)
+	case "engine":
+		runEngineBench(*out, *cpuprofile, *memprofile)
 	default:
 		fmt.Fprintf(os.Stderr, "tccbench: unknown benchmark %q\n", *bench)
 		os.Exit(2)

@@ -1,0 +1,282 @@
+// Cross-queue determinism suite: every example topology run twice —
+// once on the ladder queue, once on the legacy container/heap queue —
+// must fire the same number of events, land on the same virtual time,
+// and leave identical per-link counters. This is the contract that
+// makes the ladder queue a drop-in replacement: (time, seq) ordering is
+// preserved exactly, so results match to the picosecond.
+package tccluster_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	tccluster "repro"
+	"repro/internal/ht"
+)
+
+// queueFingerprint is everything a workload run must reproduce exactly
+// under both event queues.
+type queueFingerprint struct {
+	fired uint64
+	now   tccluster.Time
+	links []ht.PortStats // A then B stats for each external link
+}
+
+func fingerprint(c *tccluster.Cluster) queueFingerprint {
+	fp := queueFingerprint{fired: c.Engine().Fired(), now: c.Now()}
+	for _, l := range c.ExternalLinks() {
+		fp.links = append(fp.links, l.A().Stats(), l.B().Stats())
+	}
+	return fp
+}
+
+// quickstartRun mirrors examples/quickstart: a two-node chain passing a
+// few messages each way through the message library.
+func quickstartRun(t *testing.T, opts ...tccluster.Option) queueFingerprint {
+	t.Helper()
+	topo, err := tccluster.Chain(2)
+	mustOK(t, err)
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(), opts...)
+	mustOK(t, err)
+	s, r, err := c.OpenChannel(0, 1, tccluster.DefaultMsgParams())
+	mustOK(t, err)
+	got := 0
+	var serve func()
+	serve = func() {
+		r.Recv(func(d []byte, err error) {
+			if err != nil {
+				return
+			}
+			got++
+			serve()
+		})
+	}
+	serve()
+	for i := 0; i < 5; i++ {
+		s.Send([]byte(fmt.Sprintf("msg %d", i)), func(err error) { mustOK(t, err) })
+	}
+	c.RunFor(tccluster.Millisecond)
+	r.Stop()
+	c.Run()
+	if got != 5 {
+		t.Fatalf("quickstart: received %d of 5 messages", got)
+	}
+	return fingerprint(c)
+}
+
+// allreduceRun mirrors examples/allreduce: an MPI world on a chain
+// reducing a vector from every rank.
+func allreduceRun(t *testing.T, opts ...tccluster.Option) queueFingerprint {
+	t.Helper()
+	topo, err := tccluster.Chain(4)
+	mustOK(t, err)
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(), opts...)
+	mustOK(t, err)
+	w, err := c.NewWorld(tccluster.DefaultMPIConfig())
+	mustOK(t, err)
+	pending := 4
+	for rk := 0; rk < 4; rk++ {
+		vec := []float64{float64(rk), float64(rk * 2), float64(rk * 3)}
+		w.Rank(rk).Allreduce(vec, tccluster.Sum, func(_ []float64, err error) {
+			mustOK(t, err)
+			pending--
+		})
+	}
+	c.Run()
+	if pending != 0 {
+		t.Fatalf("allreduce: %d ranks incomplete", pending)
+	}
+	return fingerprint(c)
+}
+
+// haloRun mirrors examples/heat2d and examples/cg: neighbor SendRecv
+// halo exchanges plus a reduction, the stencil-solver communication
+// pattern.
+func haloRun(t *testing.T, opts ...tccluster.Option) queueFingerprint {
+	t.Helper()
+	topo, err := tccluster.Chain(3)
+	mustOK(t, err)
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(), opts...)
+	mustOK(t, err)
+	w, err := c.NewWorld(tccluster.DefaultMPIConfig())
+	mustOK(t, err)
+	exchanged := 0
+	for rk := 0; rk < 3; rk++ {
+		comm := w.Rank(rk)
+		row := tccluster.Float64s([]float64{float64(rk), 1, 2, 3})
+		if rk > 0 {
+			comm.SendRecv(rk-1, 7, row, func(_ []byte, err error) {
+				mustOK(t, err)
+				exchanged++
+			})
+		}
+		if rk < 2 {
+			comm.SendRecv(rk+1, 7, row, func(_ []byte, err error) {
+				mustOK(t, err)
+				exchanged++
+			})
+		}
+	}
+	c.Run()
+	if exchanged != 4 {
+		t.Fatalf("halo: %d of 4 exchanges completed", exchanged)
+	}
+	pending := 3
+	for rk := 0; rk < 3; rk++ {
+		w.Rank(rk).Allreduce([]float64{float64(rk)}, tccluster.Sum, func(_ []float64, err error) {
+			mustOK(t, err)
+			pending--
+		})
+	}
+	c.Run()
+	if pending != 0 {
+		t.Fatalf("halo: %d reductions incomplete", pending)
+	}
+	return fingerprint(c)
+}
+
+// pgasRun mirrors examples/pgas: strict puts into neighbor segments
+// with barriers, then gets.
+func pgasRun(t *testing.T, opts ...tccluster.Option) queueFingerprint {
+	t.Helper()
+	const nodes = 4
+	topo, err := tccluster.Chain(nodes)
+	mustOK(t, err)
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(), opts...)
+	mustOK(t, err)
+	sp, err := c.NewSpace(tccluster.DefaultPGASConfig())
+	mustOK(t, err)
+	segBytes := sp.Size() / nodes
+	done := 0
+	for n := 0; n < nodes; n++ {
+		n := n
+		dst := (n + 1) % nodes
+		blk := make([]byte, 64)
+		for i := range blk {
+			blk[i] = byte(n*31 + i)
+		}
+		sp.PutStrict(n, uint64(dst)*segBytes+uint64(n)*64, blk, func(err error) {
+			mustOK(t, err)
+			sp.Barrier(n, func(err error) {
+				mustOK(t, err)
+				done++
+			})
+		})
+	}
+	c.Run()
+	if done != nodes {
+		t.Fatalf("pgas: %d of %d put+barrier sequences completed", done, nodes)
+	}
+	reads := 0
+	for n := 0; n < nodes; n++ {
+		sp.Get(n, uint64(n)*segBytes, 8, func(_ []byte, err error) {
+			mustOK(t, err)
+			reads++
+		})
+	}
+	c.Run()
+	if reads != nodes {
+		t.Fatalf("pgas: %d of %d local gets completed", reads, nodes)
+	}
+	return fingerprint(c)
+}
+
+// meshRun mirrors examples/cluster16: a 4x4 mesh with every node
+// streaming posted stores into its right neighbor's DRAM.
+func meshRun(t *testing.T, opts ...tccluster.Option) queueFingerprint {
+	t.Helper()
+	topo, err := tccluster.Mesh(4, 4)
+	mustOK(t, err)
+	cfg := tccluster.DefaultConfig()
+	cfg.SocketsPerNode = 2 // interior mesh nodes need 4 external links
+	c, err := tccluster.New(topo, cfg, opts...)
+	mustOK(t, err)
+	stored := 0
+	for i := 0; i < c.N(); i++ {
+		dst := (i + 1) % c.N()
+		base := c.Node(dst).MemBase() + 8<<20
+		c.Node(i).Core().StoreBlock(base+uint64(i)*64, make([]byte, 64), func(err error) {
+			mustOK(t, err)
+			stored++
+		})
+	}
+	c.Run()
+	if stored != c.N() {
+		t.Fatalf("mesh: %d of %d stores retired", stored, c.N())
+	}
+	return fingerprint(c)
+}
+
+// lossyRun mirrors examples/failures' lossy-cable scenario: a seeded
+// fault stream forcing CRC retries, the stochastic path that most
+// easily diverges if event ordering shifts.
+func lossyRun(t *testing.T, opts ...tccluster.Option) queueFingerprint {
+	t.Helper()
+	topo, err := tccluster.Chain(2)
+	mustOK(t, err)
+	cfg := tccluster.DefaultConfig()
+	cfg.CableErrorRate = 0.2
+	cfg.Seed = 7
+	c, err := tccluster.New(topo, cfg, opts...)
+	mustOK(t, err)
+	base := c.Node(1).MemBase() + 8<<20
+	stored := 0
+	var step func(i int)
+	step = func(i int) {
+		if i >= 50 {
+			return
+		}
+		c.Node(0).Core().StoreBlock(base+uint64(i%8)*64, make([]byte, 64), func(err error) {
+			mustOK(t, err)
+			stored++
+			step(i + 1)
+		})
+	}
+	step(0)
+	c.Run()
+	if stored != 50 {
+		t.Fatalf("lossy: %d of 50 stores retired", stored)
+	}
+	return fingerprint(c)
+}
+
+// TestLadderMatchesLegacyOnAllExampleTopologies is the determinism
+// gate: for each example-shaped workload, the ladder and heap queues
+// must agree on event count, final virtual time, and every per-link
+// counter.
+func TestLadderMatchesLegacyOnAllExampleTopologies(t *testing.T) {
+	scenarios := []struct {
+		name string
+		run  func(*testing.T, ...tccluster.Option) queueFingerprint
+	}{
+		{"quickstart-chain2", quickstartRun},
+		{"allreduce-chain4", allreduceRun},
+		{"halo-chain3", haloRun},
+		{"pgas-chain4", pgasRun},
+		{"cluster16-mesh4x4", meshRun},
+		{"failures-lossy-chain2", lossyRun},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			ladder := sc.run(t)
+			heap := sc.run(t, tccluster.WithLegacyEventQueue())
+			if ladder.fired != heap.fired {
+				t.Errorf("event count diverged: ladder %d, heap %d", ladder.fired, heap.fired)
+			}
+			if ladder.now != heap.now {
+				t.Errorf("final virtual time diverged: ladder %v, heap %v", ladder.now, heap.now)
+			}
+			if !reflect.DeepEqual(ladder.links, heap.links) {
+				t.Errorf("per-link counters diverged:\nladder: %+v\nheap:   %+v", ladder.links, heap.links)
+			}
+		})
+	}
+}
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

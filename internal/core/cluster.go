@@ -57,7 +57,11 @@ func New(topo *topology.Topology, cfg Config) (*Cluster, error) {
 			topo.N(), cfg.MemPerNode, errs.ErrBadConfig)
 	}
 
-	c := &Cluster{eng: sim.NewEngine(), cfg: cfg, topo: topo}
+	eng := sim.NewEngine()
+	if cfg.LegacyEventQueue {
+		eng = sim.NewLegacyEngine()
+	}
+	c := &Cluster{eng: eng, cfg: cfg, topo: topo}
 
 	type slot struct{ socket, link int }
 	extSlots := make([]map[int]slot, topo.N()) // node -> topology port -> (socket, link)

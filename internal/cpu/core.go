@@ -76,8 +76,51 @@ type Core struct {
 	wcSeq    uint64
 	inflight int      // WC/UC posted writes awaiting downstream acceptance
 	stalled  []func() // stores waiting for a free WC buffer
+	ucFree   *ucRec   // free list of uncached-load records
 
 	cnt Counters
+}
+
+// ucRec carries one in-flight uncached load: the caller's callback plus
+// the DRAM result parked while the UC read overhead elapses. Records
+// are pooled and the completion closure is built once per record (it
+// survives recycles), so a steady-state poll loop allocates nothing
+// here — the receive path is one of these per ring peek.
+type ucRec struct {
+	next *ucRec
+	cb   func([]byte, error)
+	data []byte
+	err  error
+	done func([]byte, error)
+}
+
+func (c *Core) getUC() *ucRec {
+	rec := c.ucFree
+	if rec == nil {
+		rec = &ucRec{}
+		rec.done = func(data []byte, err error) {
+			rec.data, rec.err = data, err
+			c.eng.ScheduleAfter(c.par.UCReadOverhead, c, sim.EventArg{Ptr: rec})
+		}
+		return rec
+	}
+	c.ucFree = rec.next
+	rec.next = nil
+	return rec
+}
+
+func (c *Core) putUC(rec *ucRec) {
+	rec.cb, rec.data, rec.err = nil, nil, nil
+	rec.next = c.ucFree
+	c.ucFree = rec
+}
+
+// OnEvent completes an uncached load after its fixed read overhead.
+func (c *Core) OnEvent(_ *sim.Engine, arg sim.EventArg) {
+	rec := arg.Ptr.(*ucRec)
+	cb, data, err := rec.cb, rec.data, rec.err
+	c.putUC(rec)
+	cb(data, err)
 }
 
 // NewCore creates a core attached to node. The MTRR default type is
@@ -329,7 +372,9 @@ func (c *Core) flushWCBuf(b *wcBuf) {
 	}
 	pending := len(runs)
 	for _, r := range runs {
-		data := append([]byte(nil), b.data[r[0]:r[1]]...)
+		// CPUWrite copies the data into its packet before returning, so
+		// the buffer's bytes can be handed over without a staging copy.
+		data := b.data[r[0]:r[1]]
 		addr := b.line + uint64(r[0])
 		c.inflight++
 		c.cnt.WCPacketsSent++
@@ -455,9 +500,9 @@ func (c *Core) loadUC(addr uint64, n int, cb func([]byte, error)) {
 		cb(nil, fmt.Errorf("%w: UC load from non-coherent address %#x", ErrStranded, addr))
 		return
 	}
-	c.node.CPURead(addr, n, func(data []byte, err error) {
-		c.eng.After(c.par.UCReadOverhead, func() { cb(data, err) })
-	})
+	rec := c.getUC()
+	rec.cb = cb
+	c.node.CPURead(addr, n, rec.done)
 }
 
 // StoreBlock stores an arbitrary dword-granular extent, splitting it
@@ -561,6 +606,13 @@ func (c *Core) LoadStream(addr uint64, n int, done func([]byte, error)) {
 
 // LoadBlock reads an arbitrary dword-granular extent line by line.
 func (c *Core) LoadBlock(addr uint64, n int, done func([]byte, error)) {
+	if n > 0 && int(addr%LineSize)+n <= LineSize {
+		// Single-line extent: one Load, no assembly buffer. Ring frames
+		// are line-aligned, so the receiver's poll peek always takes
+		// this path and stays allocation-free.
+		c.Load(addr, n, done)
+		return
+	}
 	out := make([]byte, 0, n)
 	var step func(off int)
 	step = func(off int) {

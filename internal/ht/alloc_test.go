@@ -1,0 +1,120 @@
+package ht
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// newActiveLink returns a trained 16-lane HT2600 link plus its engine.
+func newActiveLink(t testing.TB) (*sim.Engine, *Link) {
+	eng := sim.NewEngine()
+	cfg := DefaultLinkConfig(ClassProcessor, ClassProcessor)
+	l := NewLink(eng, cfg)
+	l.A().SetProgrammedSpeed(HT2600)
+	l.B().SetProgrammedSpeed(HT2600)
+	l.A().SetProgrammedWidth(16)
+	l.B().SetProgrammedWidth(16)
+	l.ColdReset()
+	eng.Run()
+	l.WarmReset()
+	eng.Run()
+	if l.State() != StateActive {
+		t.Fatal("link failed to train")
+	}
+	return eng, l
+}
+
+// sendOne pushes one pooled 64-byte posted write through the link and
+// runs the engine until the credit coupon lands back.
+func sendOne(t testing.TB, eng *sim.Engine, p *Port, pool *PacketPool, buf []byte) {
+	pkt, err := pool.PostedWrite(0x10_0000, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send(pkt); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+}
+
+// Satellite regression: the steady-state link send path — pooled packet
+// build, credit gate, serialization, delivery, credit return — must not
+// allocate. This is the ISSUE 3 acceptance benchmark in test form.
+func TestLinkSendSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	eng, l := newActiveLink(t)
+	pool := &PacketPool{}
+	l.B().SetSink(func(p *Packet, done func()) {
+		done()
+		p.Release()
+	})
+	buf := make([]byte, 64)
+	for i := 0; i < 256; i++ { // warm pool, tx records, queue, arena
+		sendOne(t, eng, l.A(), pool, buf)
+	}
+	allocs := testing.AllocsPerRun(300, func() {
+		sendOne(t, eng, l.A(), pool, buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state link send allocated %.1f allocs/op, want 0", allocs)
+	}
+	gets, news := pool.Stats()
+	if news >= gets {
+		t.Fatalf("packet pool never recycled: %d gets, %d fresh", gets, news)
+	}
+}
+
+func TestPacketPoolRecyclesAndGuardsDoubleRelease(t *testing.T) {
+	pool := &PacketPool{}
+	p, err := pool.PostedWrite(0x1000, []byte{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+	q := pool.Get()
+	if q != p {
+		t.Fatal("pool did not recycle the released packet")
+	}
+	if q.Cmd != CmdNop || q.Addr != 0 || len(q.Data) != 0 || q.OnAccept != nil {
+		t.Fatalf("recycled packet not reset: %+v", q)
+	}
+	q.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("double release did not panic")
+		}
+	}()
+	q.Release()
+}
+
+func TestUnpooledPacketReleaseIsNoOp(t *testing.T) {
+	p, err := NewPostedWrite(0x1000, []byte{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release() // must not panic or corrupt anything
+	p.Release()
+}
+
+// BenchmarkLinkTransfer is the steady-state link-transfer benchmark:
+// one 64-byte posted write per op, full credit round trip.
+func BenchmarkLinkTransfer(b *testing.B) {
+	eng, l := newActiveLink(b)
+	pool := &PacketPool{}
+	l.B().SetSink(func(p *Packet, done func()) {
+		done()
+		p.Release()
+	})
+	buf := make([]byte, 64)
+	for i := 0; i < 256; i++ {
+		sendOne(b, eng, l.A(), pool, buf)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sendOne(b, eng, l.A(), pool, buf)
+	}
+}

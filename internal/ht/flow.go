@@ -69,9 +69,15 @@ func (c *Credits) Consume(p *Packet) {
 
 // Release returns credits for a drained packet of p's shape.
 func (c *Credits) Release(p *Packet) {
-	vc := p.Cmd.VC()
+	c.ReleaseShape(p.Cmd.VC(), p.Cmd.HasData())
+}
+
+// ReleaseShape returns credits for a drained packet by shape alone. The
+// link's credit-return event uses it because by the time the coupon
+// arrives the packet itself may already be recycled through its pool.
+func (c *Credits) ReleaseShape(vc VirtualChannel, hasData bool) {
 	c.cmd[vc]++
-	if p.Cmd.HasData() {
+	if hasData {
 		c.data[vc]++
 	}
 }

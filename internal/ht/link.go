@@ -187,9 +187,54 @@ type Port struct {
 
 	credits *Credits // credits held toward the peer
 	tx      sim.Server
-	waitq   [NumVCs][]*Packet
+	waitq   [NumVCs]pktQueue
 	sink    Sink
 	stats   portCounters
+}
+
+// pktQueue is a FIFO of packets that pops by advancing a head index
+// instead of reslicing, so drained queues keep their capacity and the
+// steady-state send path never reallocates.
+type pktQueue struct {
+	buf  []*Packet
+	head int
+}
+
+func (q *pktQueue) len() int       { return len(q.buf) - q.head }
+func (q *pktQueue) front() *Packet { return q.buf[q.head] }
+
+func (q *pktQueue) push(p *Packet) {
+	// Compact once the dead prefix dominates, bounding memory on a
+	// queue that never fully drains.
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		tail := q.buf[n:len(q.buf)]
+		for i := range tail {
+			tail[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, p)
+}
+
+func (q *pktQueue) pop() *Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return p
+}
+
+func (q *pktQueue) reset() {
+	for i := q.head; i < len(q.buf); i++ {
+		q.buf[i] = nil
+	}
+	q.buf = q.buf[:0]
+	q.head = 0
 }
 
 // Link is a bidirectional HyperTransport link between two ports.
@@ -210,6 +255,70 @@ type Link struct {
 	trace     func(event, side string, pkt *Packet)
 	tracer    trace.Tracer
 	traceID   int
+
+	recFree *txRec // free list of in-flight transfer records
+}
+
+// Event opcodes carried in sim.EventArg.I. The low 16 bits select the
+// operation; opTrainDone packs its negotiated speed and width into the
+// upper bits so overlapping trainings each carry their own values, just
+// as the old per-training closures captured them.
+const (
+	opDeliver   int64 = iota // arg.Ptr = *txRec: packet arrives at peer
+	opCredit                 // arg.Ptr = *txRec: credit coupon returns
+	opTrainDone              // speed in bits 16..31, width in bits 40..47
+
+	opSpeedShift = 16
+	opWidthShift = 40
+)
+
+// txRec tracks one packet from serialization until its credit returns.
+// Records are pooled per link; the done closure is built once per record
+// and survives recycling, so a steady-state transfer allocates nothing.
+type txRec struct {
+	next     *txRec
+	p        *Port // transmitting port
+	pkt      *Packet
+	seq      uint64
+	wire     int
+	vc       VirtualChannel
+	hasData  bool
+	released bool
+	done     func() // prebuilt: hands the rx buffer back (Sink contract)
+}
+
+func (l *Link) getRec(p *Port) *txRec {
+	rec := l.recFree
+	if rec == nil {
+		rec = &txRec{}
+		rec.done = func() { rec.link().rxDone(rec) }
+	} else {
+		l.recFree = rec.next
+		rec.next = nil
+	}
+	rec.p = p
+	return rec
+}
+
+func (r *txRec) link() *Link { return r.p.link }
+
+func (l *Link) putRec(rec *txRec) {
+	rec.pkt = nil
+	rec.next = l.recFree
+	l.recFree = rec
+}
+
+// OnEvent dispatches the link's typed events. Implementing sim.Handler
+// directly keeps the per-packet event chain free of closure allocations.
+func (l *Link) OnEvent(e *sim.Engine, arg sim.EventArg) {
+	switch arg.I & 0xFFFF {
+	case opDeliver:
+		l.deliver(arg.Ptr.(*txRec))
+	case opCredit:
+		l.creditReturn(arg.Ptr.(*txRec))
+	case opTrainDone:
+		l.finishTraining(Speed(arg.I>>opSpeedShift&0xFFFF), int(arg.I>>opWidthShift))
+	}
 }
 
 // NewLink creates a link in the Down state. Call ColdReset to train it.
@@ -383,7 +492,7 @@ func (p *Port) Send(pkt *Packet) error {
 		return err
 	}
 	vc := pkt.Cmd.VC()
-	if len(p.waitq[vc]) > 0 || !p.credits.CanSend(pkt) {
+	if p.waitq[vc].len() > 0 || !p.credits.CanSend(pkt) {
 		p.stats.creditStalls.Add(1)
 		if l.tracer != nil {
 			l.tracer.Emit(trace.Event{
@@ -392,7 +501,7 @@ func (p *Port) Send(pkt *Packet) error {
 			})
 		}
 	}
-	p.waitq[vc] = append(p.waitq[vc], pkt)
+	p.waitq[vc].push(pkt)
 	p.pump()
 	return nil
 }
@@ -402,7 +511,7 @@ func (p *Port) Send(pkt *Packet) error {
 func (p *Port) QueuedPackets() int {
 	n := 0
 	for vc := range p.waitq {
-		n += len(p.waitq[vc])
+		n += p.waitq[vc].len()
 	}
 	return n
 }
@@ -429,9 +538,8 @@ func (p *Port) CheckIdle() error {
 func (p *Port) pump() {
 	order := [...]VirtualChannel{VCResponse, VCPosted, VCNonPosted}
 	for _, vc := range order {
-		for len(p.waitq[vc]) > 0 && p.credits.CanSend(p.waitq[vc][0]) {
-			pkt := p.waitq[vc][0]
-			p.waitq[vc] = p.waitq[vc][1:]
+		for p.waitq[vc].len() > 0 && p.credits.CanSend(p.waitq[vc].front()) {
+			pkt := p.waitq[vc].pop()
 			p.credits.Consume(pkt)
 			p.transmit(pkt)
 		}
@@ -465,38 +573,60 @@ func (p *Port) transmit(pkt *Packet) {
 			Seq: seq, Bytes: wire, Label: pkt.String(),
 		})
 	}
+	rec := l.getRec(p)
+	rec.pkt = pkt
+	rec.seq = seq
+	rec.wire = wire
+	rec.vc = pkt.Cmd.VC()
+	rec.hasData = pkt.Cmd.HasData()
+	rec.released = false
+	l.eng.Schedule(done+l.cfg.Flight, l, sim.EventArg{Ptr: rec, I: opDeliver})
+}
+
+// deliver lands a packet at the peer port and hands the receive buffer
+// to the sink together with rec's prebuilt done.
+func (l *Link) deliver(rec *txRec) {
+	p, pkt := rec.p, rec.pkt
 	peer := p.Peer()
-	l.eng.At(done+l.cfg.Flight, func() {
-		l.emitTrace("rx", peer.name, pkt)
-		if l.tracer != nil {
-			l.tracer.Emit(trace.Event{
-				At: l.eng.Now(), Kind: trace.KindPacketDelivered, Node: -1,
-				Link: l.traceID, Src: p.side, Dst: 1 - p.side,
-				Seq: seq, Bytes: wire,
-			})
-		}
-		peer.stats.pktsRecv.Add(1)
-		peer.stats.bytesRecv.Add(uint64(wire))
-		released := false
-		release := func() {
-			if released {
-				panic("ht: rx-buffer done() called twice")
-			}
-			released = true
-			// The credit coupon rides back on the reverse channel:
-			// flight plus a 4-byte Nop serialization.
-			delay := l.cfg.Flight + l.byteTime(4)
-			l.eng.After(delay, func() {
-				p.credits.Release(pkt)
-				p.pump()
-			})
-		}
-		if peer.sink != nil {
-			peer.sink(pkt, release)
-		} else {
-			release()
-		}
-	})
+	l.emitTrace("rx", peer.name, pkt)
+	if l.tracer != nil {
+		l.tracer.Emit(trace.Event{
+			At: l.eng.Now(), Kind: trace.KindPacketDelivered, Node: -1,
+			Link: l.traceID, Src: p.side, Dst: 1 - p.side,
+			Seq: rec.seq, Bytes: rec.wire,
+		})
+	}
+	peer.stats.pktsRecv.Add(1)
+	peer.stats.bytesRecv.Add(uint64(rec.wire))
+	if peer.sink != nil {
+		peer.sink(pkt, rec.done)
+	} else {
+		rec.done()
+	}
+}
+
+// rxDone is the Sink done contract: the receive buffer has drained, so
+// the credit coupon rides back on the reverse channel — flight plus a
+// 4-byte Nop serialization.
+func (l *Link) rxDone(rec *txRec) {
+	if rec.released {
+		panic("ht: rx-buffer done() called twice")
+	}
+	rec.released = true
+	delay := l.cfg.Flight + l.byteTime(4)
+	l.eng.ScheduleAfter(delay, l, sim.EventArg{Ptr: rec, I: opCredit})
+}
+
+// creditReturn releases rec's credits at the transmitter. It releases by
+// shape (VC + data bit captured at transmit time) because the sink may
+// have recycled the packet long before the coupon lands. Like the old
+// closure, it releases into whatever credit counters the port holds
+// *now*, so a coupon that survives a retrain tops up the fresh counters.
+func (l *Link) creditReturn(rec *txRec) {
+	p, vc, hasData := rec.p, rec.vc, rec.hasData
+	l.putRec(rec)
+	p.credits.ReleaseShape(vc, hasData)
+	p.pump()
 }
 
 // ForceDown models a cable pull or unrecoverable link failure: the link
@@ -509,7 +639,7 @@ func (l *Link) ForceDown() {
 	l.typ = TypeDown
 	for _, p := range l.ports {
 		for vc := range p.waitq {
-			p.waitq[vc] = nil
+			p.waitq[vc].reset()
 		}
 		p.tx.Reset()
 	}
@@ -550,21 +680,28 @@ func (l *Link) beginTraining(speed Speed, width int) {
 	// A reset flushes in-flight traffic and resets flow-control state.
 	for _, p := range l.ports {
 		for vc := range p.waitq {
-			p.waitq[vc] = nil
+			p.waitq[vc].reset()
 		}
 		p.tx.Reset()
 	}
-	l.eng.After(l.cfg.TrainTime, func() {
-		l.state = StateActive
-		l.speed = speed
-		l.width = width
-		l.typ = l.negotiateType()
-		l.trainings++
-		l.ports[0].credits = NewCredits(l.ports[1].bufferCfg())
-		l.ports[1].credits = NewCredits(l.ports[0].bufferCfg())
-		l.logf("link trained: %v %dx %v (%.1f Gbit/s/lane)",
-			l.typ, l.width, l.speed, l.speed.GbitPerLane())
+	l.eng.ScheduleAfter(l.cfg.TrainTime, l, sim.EventArg{
+		I: opTrainDone | int64(speed)<<opSpeedShift | int64(width)<<opWidthShift,
 	})
+}
+
+// finishTraining completes a training sequence with the speed and width
+// that were negotiated when it began (they ride in the event argument,
+// so overlapping reset sequences stay independent).
+func (l *Link) finishTraining(speed Speed, width int) {
+	l.state = StateActive
+	l.speed = speed
+	l.width = width
+	l.typ = l.negotiateType()
+	l.trainings++
+	l.ports[0].credits = NewCredits(l.ports[1].bufferCfg())
+	l.ports[1].credits = NewCredits(l.ports[0].bufferCfg())
+	l.logf("link trained: %v %dx %v (%.1f Gbit/s/lane)",
+		l.typ, l.width, l.speed, l.speed.GbitPerLane())
 }
 
 // negotiateType implements the identification phase of training: two

@@ -180,6 +180,21 @@ type Packet struct {
 	// CPU's write-combining model uses it to know when a buffer drains,
 	// which is how link backpressure reaches the store pipeline.
 	OnAccept func()
+
+	// Pool bookkeeping (see PacketPool). All zero for packets built by
+	// the package-level constructors, which remain heap-allocated.
+	pool     *PacketPool
+	nextFree *Packet
+	pooled   bool
+}
+
+// Release returns the packet to its pool, if it came from one. The
+// caller must hold the last reference; Release on a constructor-built
+// packet is a no-op so terminal consumers can call it unconditionally.
+func (p *Packet) Release() {
+	if p.pool != nil {
+		p.pool.put(p)
+	}
 }
 
 // Accept fires the OnAccept hook once and disarms it.

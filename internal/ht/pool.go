@@ -1,0 +1,112 @@
+package ht
+
+import "fmt"
+
+// PacketPool recycles Packet objects through an intrusive free list so
+// the steady-state send path allocates nothing. The simulation is
+// single-threaded by construction, so a plain list beats sync.Pool: no
+// per-P caches, no GC-driven draining, and recycled payload buffers keep
+// their capacity.
+//
+// Ownership rules (see DESIGN.md §10):
+//
+//   - A packet obtained from Get belongs to exactly one owner at a time;
+//     ownership transfers with the packet through queues and links.
+//   - The terminal consumer — whoever would otherwise drop the last
+//     reference — calls Release. Releasing twice panics.
+//   - Packets whose payload escapes to user callbacks (read responses)
+//     and packets fanned out to multiple links (broadcasts) must NOT
+//     come from a pool: their lifetime is not tracked.
+//   - Release on a non-pooled packet is a no-op, so terminal consumers
+//     can release unconditionally.
+type PacketPool struct {
+	free *Packet
+	news uint64 // packets freshly allocated (pool misses)
+	gets uint64 // total Get calls
+}
+
+// Get returns a zeroed packet owned by the caller. The payload buffer of
+// a recycled packet keeps its capacity.
+func (pp *PacketPool) Get() *Packet {
+	pp.gets++
+	p := pp.free
+	if p == nil {
+		pp.news++
+		return &Packet{pool: pp}
+	}
+	pp.free = p.nextFree
+	p.nextFree = nil
+	p.pooled = false
+	return p
+}
+
+// put resets p and links it into the free list.
+func (pp *PacketPool) put(p *Packet) {
+	if p.pooled {
+		panic(fmt.Sprintf("ht: packet %v released twice", p))
+	}
+	data := p.Data[:0]
+	*p = Packet{Data: data, pool: pp, pooled: true}
+	p.nextFree = pp.free
+	pp.free = p
+}
+
+// Stats reports total Get calls and how many missed the free list; the
+// difference is recycled packets. Tests use it to prove steady-state
+// reuse.
+func (pp *PacketPool) Stats() (gets, news uint64) { return pp.gets, pp.news }
+
+// PostedWrite builds a pooled posted sized write, copying data into the
+// packet's reusable payload buffer (the caller keeps ownership of data).
+func (pp *PacketPool) PostedWrite(addr uint64, data []byte) (*Packet, error) {
+	return pp.newWrite(CmdWrPosted, addr, data)
+}
+
+// NonPostedWrite builds a pooled non-posted sized write.
+func (pp *PacketPool) NonPostedWrite(addr uint64, data []byte) (*Packet, error) {
+	return pp.newWrite(CmdWrNP, addr, data)
+}
+
+func (pp *PacketPool) newWrite(cmd Command, addr uint64, data []byte) (*Packet, error) {
+	if len(data) == 0 || len(data) > MaxPayload {
+		return nil, fmt.Errorf("ht: write payload must be 1..%d bytes, got %d", MaxPayload, len(data))
+	}
+	if len(data)%DwordBytes != 0 {
+		return nil, fmt.Errorf("ht: write payload must be dword-granular, got %d bytes", len(data))
+	}
+	p := pp.Get()
+	p.Cmd = cmd
+	p.Addr = addr
+	p.Count = uint8(len(data)/DwordBytes - 1)
+	p.Data = append(p.Data[:0], data...)
+	if err := p.Validate(); err != nil {
+		p.Release()
+		return nil, err
+	}
+	return p, nil
+}
+
+// Read builds a pooled sized read request for n bytes at addr.
+func (pp *PacketPool) Read(addr uint64, n int, tag uint8) (*Packet, error) {
+	if n <= 0 || n > MaxPayload || n%DwordBytes != 0 {
+		return nil, fmt.Errorf("ht: read length must be dword-granular 4..%d, got %d", MaxPayload, n)
+	}
+	p := pp.Get()
+	p.Cmd = CmdRdSized
+	p.Addr = addr
+	p.Count = uint8(n/DwordBytes - 1)
+	p.SrcTag = tag
+	if err := p.Validate(); err != nil {
+		p.Release()
+		return nil, err
+	}
+	return p, nil
+}
+
+// TgtDone builds a pooled target-done completion matched by tag.
+func (pp *PacketPool) TgtDone(tag uint8) *Packet {
+	p := pp.Get()
+	p.Cmd = CmdTgtDone
+	p.SrcTag = tag
+	return p
+}

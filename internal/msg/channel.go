@@ -318,6 +318,14 @@ type Receiver struct {
 	expectSeq  uint32 // sequence number of the last consumed frame
 	stats      Stats
 	stopped    bool
+
+	// Poll-loop state. Recv is single-outstanding, so the in-flight
+	// delivery callback and peek position live on the receiver; peekFn
+	// is the ring-read callback bound once, so the poll loop re-arms
+	// without allocating a closure per iteration.
+	pollCB  func([]byte, error)
+	pollOff uint64
+	peekFn  func([]byte, error)
 }
 
 // Stats returns a copy of the receiver's counters.
@@ -346,16 +354,20 @@ func (r *Receiver) ReadBulk(off uint64, n int, cb func([]byte, error)) {
 // read per iteration, exactly like the real polling receive.
 func (r *Receiver) Recv(cb func([]byte, error)) {
 	r.stopped = false
-	r.poll(cb)
+	r.pollCB = cb
+	if r.peekFn == nil {
+		r.peekFn = r.handlePeek
+	}
+	r.poll()
 }
 
 // seqDelta compares sequence numbers with wraparound: >0 future, 0
 // exact, <0 stale.
 func seqDelta(got, want uint32) int32 { return int32(got - want) }
 
-func (r *Receiver) poll(cb func([]byte, error)) {
+func (r *Receiver) poll() {
 	if r.stopped {
-		cb(nil, fmt.Errorf("msg: receiver stopped"))
+		r.pollCB(nil, fmt.Errorf("msg: receiver stopped"))
 		return
 	}
 	ring := r.par.RingBytes
@@ -364,43 +376,56 @@ func (r *Receiver) poll(cb func([]byte, error)) {
 	if ring-off < peek {
 		peek = ring - off
 	}
-	r.ring.Read(off, int(peek), func(d []byte, err error) {
-		if err != nil {
-			cb(nil, err)
+	r.pollOff = off
+	r.ring.Read(off, int(peek), r.peekFn)
+}
+
+// OnEvent re-enters the poll loop after a poll-interval sleep.
+func (r *Receiver) OnEvent(*sim.Engine, sim.EventArg) { r.poll() }
+
+// again re-arms the poll loop; with a poll interval it sleeps by typed
+// event (the receiver is its own handler), not a per-iteration closure.
+func (r *Receiver) again() {
+	if r.par.PollInterval > 0 {
+		r.eng.ScheduleAfter(r.par.PollInterval, r, sim.EventArg{})
+		return
+	}
+	r.poll()
+}
+
+// handlePeek inspects the slot header the poll loop just read.
+func (r *Receiver) handlePeek(d []byte, err error) {
+	cb := r.pollCB
+	if err != nil {
+		cb(nil, err)
+		return
+	}
+	off := r.pollOff
+	ring := r.par.RingBytes
+	length, seq := parseHeader(d[:headerBytes])
+	switch {
+	case length == 0:
+		r.again()
+	case length == wrapMark:
+		if seqDelta(seq, r.expectSeq) != 0 {
+			r.again() // stale wrap from a previous lap
 			return
 		}
-		length, seq := parseHeader(d[:headerBytes])
-		again := func() {
-			if r.par.PollInterval > 0 {
-				r.eng.After(r.par.PollInterval, func() { r.poll(cb) })
-				return
-			}
-			r.poll(cb)
-		}
-		switch {
-		case length == 0:
-			again()
-		case length == wrapMark:
-			if seqDelta(seq, r.expectSeq) != 0 {
-				again() // stale wrap from a previous lap
-				return
-			}
-			r.recvd += ring - off
-			r.fcUnposted += ring - off
-			r.freeHeader(off)
-			r.poll(cb)
+		r.recvd += ring - off
+		r.fcUnposted += ring - off
+		r.freeHeader(off)
+		r.poll()
+	default:
+		switch delta := seqDelta(seq, r.expectSeq+1); {
+		case delta < 0:
+			r.again() // stale frame from a previous lap
+		case delta > 0:
+			r.stats.SeqErrors++
+			cb(nil, fmt.Errorf("msg: sequence break: got %d, want %d", seq, r.expectSeq+1))
 		default:
-			switch delta := seqDelta(seq, r.expectSeq+1); {
-			case delta < 0:
-				again() // stale frame from a previous lap
-			case delta > 0:
-				r.stats.SeqErrors++
-				cb(nil, fmt.Errorf("msg: sequence break: got %d, want %d", seq, r.expectSeq+1))
-			default:
-				r.consume(off, int(length), d, cb)
-			}
+			r.consume(off, int(length), d, cb)
 		}
-	})
+	}
 }
 
 func (r *Receiver) consume(off uint64, length int, peek []byte, cb func([]byte, error)) {

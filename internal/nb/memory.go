@@ -96,13 +96,74 @@ func DefaultMemParams() MemParams {
 // MemoryController fronts a Memory with a timed access port. It maps the
 // global physical address window [Base, Base+Size) onto local offsets.
 type MemoryController struct {
-	eng    *sim.Engine
-	mem    *Memory
-	par    MemParams
-	base   uint64
-	port   sim.Server
-	reads  uint64
-	writes uint64
+	eng     *sim.Engine
+	mem     *Memory
+	par     MemParams
+	base    uint64
+	port    sim.Server
+	reads   uint64
+	writes  uint64
+	recFree *mcRec
+}
+
+// Event opcodes carried in sim.EventArg.I; arg.Ptr is always an *mcRec.
+const (
+	mcOpAccepted int64 = iota // port consumed the data: upstream may recycle
+	mcOpVisible               // bits are in DRAM: run visibility callback
+	mcOpRead                  // access latency elapsed: read and deliver
+)
+
+// mcRec carries one in-flight controller access. Records are pooled, and
+// a write's staging buffer stays on the record across recycles, so a
+// steady-state DRAM write allocates nothing.
+type mcRec struct {
+	next     *mcRec
+	off      uint64
+	buf      []byte // staged write data (capacity reused)
+	accepted func()
+	visible  func(error)
+	rdN      int
+	rdCB     func([]byte, error)
+}
+
+func (mc *MemoryController) getRec() *mcRec {
+	rec := mc.recFree
+	if rec == nil {
+		return &mcRec{}
+	}
+	mc.recFree = rec.next
+	rec.next = nil
+	return rec
+}
+
+func (mc *MemoryController) putRec(rec *mcRec) {
+	rec.accepted, rec.visible, rec.rdCB = nil, nil, nil
+	rec.next = mc.recFree
+	mc.recFree = rec
+}
+
+// OnEvent dispatches the controller's typed events. A write schedules up
+// to two events on one record — acceptance at port-drain time, then
+// visibility after the access latency — and the record is freed by the
+// visibility event, which always fires last.
+func (mc *MemoryController) OnEvent(_ *sim.Engine, arg sim.EventArg) {
+	rec := arg.Ptr.(*mcRec)
+	switch arg.I {
+	case mcOpAccepted:
+		rec.accepted()
+	case mcOpVisible:
+		visible := rec.visible
+		err := mc.mem.Write(rec.off, rec.buf)
+		mc.putRec(rec)
+		visible(err)
+	case mcOpRead:
+		off, n, cb := rec.off, rec.rdN, rec.rdCB
+		mc.putRec(rec)
+		// The result buffer is deliberately fresh: ownership passes to
+		// the callback, which may retain it (cache fills, user reads).
+		buf := make([]byte, n)
+		cb(buf, mc.mem.Read(off, buf))
+	}
 }
 
 // NewMemoryController creates a controller over size bytes of DRAM.
@@ -149,15 +210,17 @@ func (mc *MemoryController) WriteAccepted(addr uint64, data []byte, accepted fun
 		visible(err)
 		return
 	}
-	d := append([]byte(nil), data...)
-	_, done := mc.port.Schedule(mc.eng.Now(), mc.xferTime(len(d)))
+	rec := mc.getRec()
+	rec.off = off
+	rec.buf = append(rec.buf[:0], data...)
+	rec.accepted = accepted
+	rec.visible = visible
+	_, done := mc.port.Schedule(mc.eng.Now(), mc.xferTime(len(data)))
 	mc.writes++
 	if accepted != nil {
-		mc.eng.At(done, accepted)
+		mc.eng.Schedule(done, mc, sim.EventArg{Ptr: rec, I: mcOpAccepted})
 	}
-	mc.eng.At(done+mc.par.AccessLatency, func() {
-		visible(mc.mem.Write(off, d))
-	})
+	mc.eng.Schedule(done+mc.par.AccessLatency, mc, sim.EventArg{Ptr: rec, I: mcOpVisible})
 }
 
 // Read performs a timed read of n bytes at the global address addr.
@@ -169,8 +232,7 @@ func (mc *MemoryController) Read(addr uint64, n int, cb func([]byte, error)) {
 	}
 	_, done := mc.port.Schedule(mc.eng.Now(), mc.xferTime(n))
 	mc.reads++
-	mc.eng.At(done+mc.par.AccessLatency, func() {
-		buf := make([]byte, n)
-		cb(buf, mc.mem.Read(off, buf))
-	})
+	rec := mc.getRec()
+	rec.off, rec.rdN, rec.rdCB = off, n, cb
+	mc.eng.Schedule(done+mc.par.AccessLatency, mc, sim.EventArg{Ptr: rec, I: mcOpRead})
 }

@@ -133,6 +133,86 @@ type Northbridge struct {
 	log         func(string)
 	tracer      trace.Tracer
 	traceID     int
+
+	pool    ht.PacketPool // recycles CPU-originated requests and TgtDones
+	recFree *nbRec        // free list of pipeline-stage records
+}
+
+// Event opcodes carried in sim.EventArg.I; arg.Ptr is always an *nbRec.
+const (
+	nbOpDispatch  int64 = iota // xbar + hop traversal done: route the packet
+	nbOpInject                 // CPU packet clears the SRQ: route, then done
+	nbOpDRAM                   // IO-bridge delay done: access the controller
+	nbOpLocalRead              // CPU-local read reaches the controller
+)
+
+// nbRec carries one packet (or read request) through a pipeline-stage
+// event. Records are pooled per northbridge; the three callback fields
+// are built once per record, capture only the record pointer, and
+// survive recycling — so a steady-state DRAM delivery allocates nothing.
+type nbRec struct {
+	next    *nbRec
+	pkt     *ht.Packet
+	done    func()
+	from    int
+	fromIO  bool
+	addr    uint64
+	nBytes  int
+	tag     uint8
+	srcNode int
+	rdCB    func([]byte, error)
+
+	wrVisible func(error)         // posted-write visibility in DRAM
+	npVisible func(error)         // non-posted write visibility -> TgtDone
+	rdDone    func([]byte, error) // DRAM read completion -> RdResp
+}
+
+func (n *Northbridge) getRec() *nbRec {
+	rec := n.recFree
+	if rec == nil {
+		rec = &nbRec{}
+		rec.wrVisible = func(err error) { n.writeVisible(rec, err) }
+		rec.npVisible = func(err error) { n.npWriteVisible(rec, err) }
+		rec.rdDone = func(data []byte, err error) { n.dramReadDone(rec, data, err) }
+	} else {
+		n.recFree = rec.next
+		rec.next = nil
+	}
+	return rec
+}
+
+func (n *Northbridge) putRec(rec *nbRec) {
+	rec.pkt, rec.done, rec.rdCB = nil, nil, nil
+	rec.next = n.recFree
+	n.recFree = rec
+}
+
+// nbNop is the shared no-op done for packets whose ingress buffer has
+// already been released.
+func nbNop() {}
+
+// OnEvent dispatches the northbridge's typed pipeline events.
+func (n *Northbridge) OnEvent(_ *sim.Engine, arg sim.EventArg) {
+	rec := arg.Ptr.(*nbRec)
+	switch arg.I {
+	case nbOpDispatch:
+		pkt, done, from := rec.pkt, rec.done, rec.from
+		n.putRec(rec)
+		n.dispatch(from, pkt, done)
+	case nbOpInject:
+		pkt, done := rec.pkt, rec.done
+		n.putRec(rec)
+		n.dispatch(-1, pkt, nbNop)
+		if done != nil {
+			done()
+		}
+	case nbOpDRAM:
+		n.dramAccess(rec)
+	case nbOpLocalRead:
+		addr, nBytes, cb := rec.addr, rec.nBytes, rec.rdCB
+		n.putRec(rec)
+		n.mc.Read(addr, nBytes, cb)
+	}
 }
 
 // New creates a northbridge with memSize bytes of local DRAM. The NodeID
@@ -323,7 +403,9 @@ func (n *Northbridge) DecodeAddress(a uint64) Decision {
 func (n *Northbridge) receive(idx int, pkt *ht.Packet, done func()) {
 	n.cnt.pktsFromLinks.Add(1)
 	_, at := n.xbar.Schedule(n.eng.Now(), n.par.XBarService)
-	n.eng.At(at+n.par.HopLatency, func() { n.dispatch(idx, pkt, done) })
+	rec := n.getRec()
+	rec.pkt, rec.done, rec.from = pkt, done, idx
+	n.eng.Schedule(at+n.par.HopLatency, n, sim.EventArg{Ptr: rec, I: nbOpDispatch})
 }
 
 // InjectFromCPU enters a CPU-originated packet into the system request
@@ -333,12 +415,9 @@ func (n *Northbridge) InjectFromCPU(pkt *ht.Packet, done func()) {
 	n.cnt.pktsFromCPU.Add(1)
 	pkt.SrcNode = int(n.nodeID)
 	_, at := n.xbar.Schedule(n.eng.Now(), n.par.XBarService)
-	n.eng.At(at+n.par.HopLatency, func() {
-		n.dispatch(-1, pkt, func() {})
-		if done != nil {
-			done()
-		}
-	})
+	rec := n.getRec()
+	rec.pkt, rec.done = pkt, done
+	n.eng.Schedule(at+n.par.HopLatency, n, sim.EventArg{Ptr: rec, I: nbOpInject})
 }
 
 // dispatch routes one packet. fromLink is -1 for CPU-originated traffic.
@@ -371,6 +450,7 @@ func (n *Northbridge) handleRequest(fromLink int, pkt *ht.Packet, done func()) {
 		n.logf("master abort: %v", pkt)
 		pkt.Accept() // never hold a WC buffer hostage to a decode fault
 		done()
+		pkt.Release() // terminal: the request dies here
 	}
 }
 
@@ -387,63 +467,104 @@ func (n *Northbridge) deliverToDRAM(fromLink int, pkt *ht.Packet, done func()) {
 		n.cnt.bridgedPackets.Add(1)
 		delay = n.par.IOBridgeLatency
 	}
-	n.eng.After(delay, func() {
-		if n.coherency != nil {
-			n.cnt.probesIssued.Add(uint64(n.coherency.OnLocalAccess(
-				pkt.Addr, (int(pkt.Count)+1)*ht.DwordBytes,
-				pkt.Cmd.HasData(), fromIO)))
-		}
-		switch pkt.Cmd {
-		case ht.CmdWrPosted, ht.CmdCWrBlk:
-			// The link receive buffer recycles once the memory
-			// controller's port consumes the data; visibility (and the
-			// poller wake-up) waits the full DRAM latency.
-			n.mc.WriteAccepted(pkt.Addr, pkt.Data, done, func(err error) {
-				if err != nil {
-					n.cnt.masterAborts.Add(1)
-					n.logf("DRAM write fault at %#x: %v", pkt.Addr, err)
-				} else if n.onWrite != nil {
-					n.onWrite(pkt.Addr, len(pkt.Data))
-				}
-			})
-		case ht.CmdWrNP:
-			n.mc.Write(pkt.Addr, pkt.Data, func(err error) {
-				if err == nil && n.onWrite != nil {
-					n.onWrite(pkt.Addr, len(pkt.Data))
-				}
-				resp := &ht.Packet{Cmd: ht.CmdTgtDone, SrcTag: pkt.SrcTag,
-					SrcNode: int(n.nodeID), DstNode: pkt.SrcNode}
-				n.routeResponse(resp)
-				done()
-			})
-		case ht.CmdRdSized, ht.CmdCRdBlk:
-			nBytes := (int(pkt.Count) + 1) * ht.DwordBytes
-			n.mc.Read(pkt.Addr, nBytes, func(data []byte, err error) {
-				if err != nil {
-					n.cnt.masterAborts.Add(1)
-					n.logf("DRAM read fault at %#x: %v", pkt.Addr, err)
-					done()
-					return
-				}
-				resp, rerr := ht.NewReadResponse(pkt.SrcTag, data)
-				if rerr != nil {
-					panic(rerr) // sizes were validated on the request
-				}
-				resp.SrcNode = int(n.nodeID)
-				resp.DstNode = pkt.SrcNode
-				n.routeResponse(resp)
-				done()
-			})
-		case ht.CmdFlush, ht.CmdFence:
-			// Posted-channel ordering markers: the model's posted channel
-			// is already strictly ordered, so these complete immediately.
-			done()
-		default:
-			n.cnt.masterAborts.Add(1)
-			n.logf("unhandled request %v at DRAM", pkt)
-			done()
-		}
-	})
+	rec := n.getRec()
+	rec.pkt, rec.done, rec.fromIO = pkt, done, fromIO
+	n.eng.ScheduleAfter(delay, n, sim.EventArg{Ptr: rec, I: nbOpDRAM})
+}
+
+// dramAccess lands rec's request on the memory controller. The packet's
+// fields the completion needs (address, size, tag, source) are copied
+// into the record, and the controller copies payload data synchronously,
+// so pooled requests are released here — their terminal point — while
+// the completion callbacks ride the record.
+func (n *Northbridge) dramAccess(rec *nbRec) {
+	pkt, done, fromIO := rec.pkt, rec.done, rec.fromIO
+	if n.coherency != nil {
+		n.cnt.probesIssued.Add(uint64(n.coherency.OnLocalAccess(
+			pkt.Addr, (int(pkt.Count)+1)*ht.DwordBytes,
+			pkt.Cmd.HasData(), fromIO)))
+	}
+	switch pkt.Cmd {
+	case ht.CmdWrPosted, ht.CmdCWrBlk:
+		// The link receive buffer recycles once the memory
+		// controller's port consumes the data; visibility (and the
+		// poller wake-up) waits the full DRAM latency.
+		rec.addr, rec.nBytes = pkt.Addr, len(pkt.Data)
+		n.mc.WriteAccepted(pkt.Addr, pkt.Data, done, rec.wrVisible)
+		pkt.Release()
+	case ht.CmdWrNP:
+		rec.addr, rec.nBytes = pkt.Addr, len(pkt.Data)
+		rec.tag, rec.srcNode = pkt.SrcTag, pkt.SrcNode
+		n.mc.Write(pkt.Addr, pkt.Data, rec.npVisible)
+		pkt.Release()
+	case ht.CmdRdSized, ht.CmdCRdBlk:
+		rec.addr = pkt.Addr
+		rec.nBytes = (int(pkt.Count) + 1) * ht.DwordBytes
+		rec.tag, rec.srcNode = pkt.SrcTag, pkt.SrcNode
+		n.mc.Read(pkt.Addr, rec.nBytes, rec.rdDone)
+		pkt.Release()
+	case ht.CmdFlush, ht.CmdFence:
+		// Posted-channel ordering markers: the model's posted channel
+		// is already strictly ordered, so these complete immediately.
+		n.putRec(rec)
+		done()
+		pkt.Release()
+	default:
+		n.putRec(rec)
+		n.cnt.masterAborts.Add(1)
+		n.logf("unhandled request %v at DRAM", pkt)
+		done()
+		pkt.Release()
+	}
+}
+
+// writeVisible completes a posted write: the bits are in DRAM.
+func (n *Northbridge) writeVisible(rec *nbRec, err error) {
+	addr, nBytes := rec.addr, rec.nBytes
+	n.putRec(rec)
+	if err != nil {
+		n.cnt.masterAborts.Add(1)
+		n.logf("DRAM write fault at %#x: %v", addr, err)
+	} else if n.onWrite != nil {
+		n.onWrite(addr, nBytes)
+	}
+}
+
+// npWriteVisible completes a non-posted write: answer with TgtDone.
+func (n *Northbridge) npWriteVisible(rec *nbRec, err error) {
+	if err == nil && n.onWrite != nil {
+		n.onWrite(rec.addr, rec.nBytes)
+	}
+	resp := n.pool.TgtDone(rec.tag)
+	resp.SrcNode = int(n.nodeID)
+	resp.DstNode = rec.srcNode
+	done := rec.done
+	n.putRec(rec)
+	n.routeResponse(resp)
+	done()
+}
+
+// dramReadDone completes a DRAM read: answer with a read response. The
+// response is deliberately not pooled — its payload escapes to whatever
+// callback the matching table holds.
+func (n *Northbridge) dramReadDone(rec *nbRec, data []byte, err error) {
+	addr, done := rec.addr, rec.done
+	if err != nil {
+		n.putRec(rec)
+		n.cnt.masterAborts.Add(1)
+		n.logf("DRAM read fault at %#x: %v", addr, err)
+		done()
+		return
+	}
+	resp, rerr := ht.NewReadResponse(rec.tag, data)
+	if rerr != nil {
+		panic(rerr) // sizes were validated on the request
+	}
+	resp.SrcNode = int(n.nodeID)
+	resp.DstNode = rec.srcNode
+	n.putRec(rec)
+	n.routeResponse(resp)
+	done()
 }
 
 // routeResponse sends a response toward DstNode. Responses are routed
@@ -457,10 +578,14 @@ func (n *Northbridge) routeResponse(resp *ht.Packet) {
 			n.cnt.orphanResponses.Add(1)
 			n.logf("%v", err)
 		}
+		// Terminal: the matching callback has consumed the response.
+		// (Read responses are unpooled — their Data may be retained —
+		// so this only recycles TgtDone-class completions.)
+		resp.Release()
 		return
 	}
 	link := n.route[resp.DstNode&0x7].RespLink
-	n.forward(-1, int(link), resp, func() {})
+	n.forward(-1, int(link), resp, nbNop)
 }
 
 func (n *Northbridge) handleResponse(fromLink int, resp *ht.Packet, done func()) {
@@ -484,7 +609,7 @@ func (n *Northbridge) handleBroadcast(fromLink int, pkt *ht.Packet, done func())
 		if mask&(1<<l) == 0 || l == fromLink {
 			continue
 		}
-		n.forward(fromLink, l, pkt, func() {})
+		n.forward(fromLink, l, pkt, nbNop)
 	}
 	done()
 }
@@ -505,6 +630,7 @@ func (n *Northbridge) forward(fromLink, idx int, pkt *ht.Packet, done func()) {
 		n.cnt.deadLinkDrops.Add(1)
 		n.logf("drop %v: egress link %d not wired", pkt, idx)
 		accept()
+		pkt.Release() // terminal: dropped (no-op for shared broadcasts)
 		return
 	}
 	pkt.OnAccept = accept
@@ -512,6 +638,7 @@ func (n *Northbridge) forward(fromLink, idx int, pkt *ht.Packet, done func()) {
 		n.cnt.deadLinkDrops.Add(1)
 		n.logf("drop %v: %v", pkt, err)
 		pkt.Accept()
+		pkt.Release() // terminal: dropped
 	} else {
 		n.cnt.pktsForwarded.Add(1)
 		if n.tracer != nil && fromLink >= 0 {
@@ -529,10 +656,12 @@ func (n *Northbridge) forward(fromLink, idx int, pkt *ht.Packet, done func()) {
 
 // CPUWrite issues a sized write from the local cores. Posted writes
 // complete (for the store pipeline) once accepted by the SRQ; non-posted
-// writes invoke completion when TgtDone returns.
+// writes invoke completion when TgtDone returns. data is copied into a
+// pooled packet before CPUWrite returns, so the caller may reuse its
+// buffer immediately.
 func (n *Northbridge) CPUWrite(addr uint64, data []byte, posted bool, completion func(error)) {
 	if posted {
-		pkt, err := ht.NewPostedWrite(addr, data)
+		pkt, err := n.pool.PostedWrite(addr, data)
 		if err != nil {
 			completion(err)
 			return
@@ -550,7 +679,7 @@ func (n *Northbridge) CPUWrite(addr uint64, data []byte, posted bool, completion
 		completion(err)
 		return
 	}
-	pkt, err := ht.NewNonPostedWrite(addr, data)
+	pkt, err := n.pool.NonPostedWrite(addr, data)
 	if err != nil {
 		completion(err)
 		return
@@ -567,9 +696,9 @@ func (n *Northbridge) CPURead(addr uint64, nBytes int, cb func([]byte, error)) {
 	d := n.DecodeAddress(addr)
 	if d.Kind == DecideLocalDRAM {
 		_, at := n.xbar.Schedule(n.eng.Now(), n.par.XBarService)
-		n.eng.At(at+n.par.HopLatency, func() {
-			n.mc.Read(addr, nBytes, cb)
-		})
+		rec := n.getRec()
+		rec.addr, rec.nBytes, rec.rdCB = addr, nBytes, cb
+		n.eng.Schedule(at+n.par.HopLatency, n, sim.EventArg{Ptr: rec, I: nbOpLocalRead})
 		return
 	}
 	tag, err := n.match.Alloc(func(resp *ht.Packet) { cb(resp.Data, nil) })
@@ -578,7 +707,7 @@ func (n *Northbridge) CPURead(addr uint64, nBytes int, cb func([]byte, error)) {
 		cb(nil, err)
 		return
 	}
-	pkt, err := ht.NewRead(addr, nBytes, tag)
+	pkt, err := n.pool.Read(addr, nBytes, tag)
 	if err != nil {
 		cb(nil, err)
 		return

@@ -7,10 +7,18 @@
 // Engine. Determinism is guaranteed by a strict (time, sequence) ordering
 // of events: two events scheduled for the same virtual instant fire in
 // the order they were scheduled.
+//
+// Events are scheduled through a typed API: a Handler receives an
+// EventArg carrying one pointer and one integer, which covers every model
+// in the tree without per-event closure allocations. The closure-based
+// At/After entry points remain as thin adapters (a func value converts to
+// the Handler interface without allocating). Pending events live in an
+// arena-backed ladder queue (see queue.go); NewLegacyEngine selects the
+// seed container/heap queue instead, kept as a determinism oracle and
+// benchmark baseline.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -56,32 +64,29 @@ func (t Time) String() string {
 // nearest picosecond.
 func FromNanos(ns float64) Time { return Time(ns*1000 + 0.5) }
 
-// event is a scheduled callback. seq breaks ties between events at the
-// same virtual instant so execution order is deterministic.
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+// EventArg is the payload delivered to a Handler when its event fires.
+// Ptr carries a pointer-shaped value (storing a pointer in an interface
+// does not allocate); I carries a scalar, typically an opcode or an
+// opcode packed with small operands. Both may be zero.
+type EventArg struct {
+	Ptr any
+	I   int64
 }
 
-type eventHeap []event
+// Handler receives events. Implementations dispatch on arg (commonly an
+// opcode in arg.I plus a record pointer in arg.Ptr), which lets one
+// long-lived object service many event kinds without any per-event
+// closure.
+type Handler interface {
+	OnEvent(e *Engine, arg EventArg)
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+// funcHandler adapts a plain func() to Handler. A func value is
+// pointer-shaped, so the conversion to Handler does not allocate — At
+// and After stay as cheap as Schedule.
+type funcHandler func()
+
+func (f funcHandler) OnEvent(*Engine, EventArg) { f() }
 
 // Probe observes the engine's virtual clock. An armed probe is invoked
 // the first time the clock advances to or past its wake time and
@@ -95,16 +100,24 @@ type Probe func(now Time) Time
 // deterministic timeline.
 type Engine struct {
 	now     Time
-	heap    eventHeap
 	seq     uint64
 	fired   uint64
 	halted  bool
 	probe   Probe
 	probeAt Time // next probe wake time, meaningful while probe != nil
+
+	q      ladder       // default queue: arena-backed ladder
+	legacy *legacyQueue // non-nil selects the seed container/heap queue
 }
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine { return &Engine{} }
+
+// NewLegacyEngine returns an engine backed by the seed-era
+// container/heap event queue. Both queues implement the same strict
+// (time, seq) contract; the legacy queue survives as the baseline the
+// determinism suite and tccbench -bench engine compare against.
+func NewLegacyEngine() *Engine { return &Engine{legacy: &legacyQueue{}} }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -113,24 +126,44 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are waiting to execute.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int {
+	if e.legacy != nil {
+		return e.legacy.len()
+	}
+	return e.q.n
+}
 
-// At schedules fn to run at absolute virtual time t. Scheduling into the
-// past panics: a causal model must never rewind the clock.
-func (e *Engine) At(t Time, fn func()) {
+// Schedule queues h to receive arg at absolute virtual time t.
+// Scheduling into the past panics: a causal model must never rewind the
+// clock.
+func (e *Engine) Schedule(t Time, h Handler, arg EventArg) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+	if e.legacy != nil {
+		e.legacy.push(t, e.seq, h, arg)
+		return
+	}
+	e.q.insert(t, e.seq, e.q.alloc(h, arg))
+}
+
+// ScheduleAfter queues h to receive arg d picoseconds after now.
+func (e *Engine) ScheduleAfter(d Time, h Handler, arg EventArg) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.Schedule(e.now+d, h, arg)
+}
+
+// At schedules fn to run at absolute virtual time t.
+func (e *Engine) At(t Time, fn func()) {
+	e.Schedule(t, funcHandler(fn), EventArg{})
 }
 
 // After schedules fn to run d picoseconds after the current time.
 func (e *Engine) After(d Time, fn func()) {
-	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v", d))
-	}
-	e.At(e.now+d, fn)
+	e.ScheduleAfter(d, funcHandler(fn), EventArg{})
 }
 
 // SetProbe arms the clock observer to fire once the clock reaches wake
@@ -142,24 +175,57 @@ func (e *Engine) SetProbe(p Probe, wake Time) {
 	e.probeAt = wake
 }
 
-// Step executes the next pending event, advancing the clock to its
-// timestamp. It reports whether an event was executed.
-func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
-		return false
-	}
-	ev := heap.Pop(&e.heap).(event)
-	if e.probe != nil && ev.at >= e.probeAt {
-		if next := e.probe(ev.at); next > ev.at {
+// advanceTo moves the clock to t, firing an armed probe whose wake time
+// the jump crosses. A jump across several wake boundaries collapses
+// into one probe call, matching the Probe contract (the probe returns
+// its next wake relative to now).
+func (e *Engine) advanceTo(t Time) {
+	if e.probe != nil && t >= e.probeAt {
+		if next := e.probe(t); next > t {
 			e.probeAt = next
 		} else {
 			e.probe = nil
 		}
 	}
-	e.now = ev.at
+	e.now = t
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	var (
+		at  Time
+		h   Handler
+		arg EventArg
+	)
+	if e.legacy != nil {
+		ev, ok := e.legacy.pop()
+		if !ok {
+			return false
+		}
+		at, h, arg = ev.at, ev.h, ev.arg
+	} else {
+		en, ok := e.q.pop()
+		if !ok {
+			return false
+		}
+		at = en.at
+		// Release before dispatch so a handler that reschedules itself
+		// reuses the slot it just vacated.
+		h, arg = e.q.release(en.ref)
+	}
+	e.advanceTo(at)
 	e.fired++
-	ev.fn()
+	h.OnEvent(e, arg)
 	return true
+}
+
+// nextTime reports the timestamp of the earliest pending event.
+func (e *Engine) nextTime() (Time, bool) {
+	if e.legacy != nil {
+		return e.legacy.peek()
+	}
+	return e.q.peek()
 }
 
 // Run executes events until none remain or Halt is called.
@@ -170,14 +236,21 @@ func (e *Engine) Run() {
 }
 
 // RunUntil executes events with timestamps <= deadline, then advances the
-// clock to the deadline. Events beyond the deadline stay pending.
+// clock to the deadline. Events beyond the deadline stay pending. The
+// final jump to the deadline goes through advanceTo, so an armed probe
+// whose wake time lands between the last event and the deadline still
+// fires instead of silently missing its window.
 func (e *Engine) RunUntil(deadline Time) {
 	e.halted = false
-	for !e.halted && len(e.heap) > 0 && e.heap[0].at <= deadline {
+	for !e.halted {
+		t, ok := e.nextTime()
+		if !ok || t > deadline {
+			break
+		}
 		e.Step()
 	}
 	if !e.halted && e.now < deadline {
-		e.now = deadline
+		e.advanceTo(deadline)
 	}
 }
 

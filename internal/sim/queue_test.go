@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// recorder logs (time, tag) pairs as events fire; used to compare the
+// ladder queue against the legacy heap event-for-event.
+type recorder struct {
+	log []firedAt
+}
+
+type firedAt struct {
+	at  Time
+	tag int64
+}
+
+func (r *recorder) OnEvent(e *Engine, arg EventArg) {
+	r.log = append(r.log, firedAt{at: e.Now(), tag: arg.I})
+}
+
+func sameLog(a, b []firedAt) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: for any batch of scheduled events, the ladder queue fires
+// them in exactly the same order as the seed container/heap queue.
+func TestLadderMatchesLegacyOrderingProperty(t *testing.T) {
+	f := func(delays []uint32) bool {
+		newE, oldE := NewEngine(), NewLegacyEngine()
+		newR, oldR := &recorder{}, &recorder{}
+		for i, d := range delays {
+			// Spread delays across bucket widths and past the near
+			// window so the far heap and refill paths get exercised.
+			at := Time(d) * Picosecond
+			newE.Schedule(at, newR, EventArg{I: int64(i)})
+			oldE.Schedule(at, oldR, EventArg{I: int64(i)})
+		}
+		newE.Run()
+		oldE.Run()
+		return sameLog(newR.log, oldR.log) &&
+			newE.Now() == oldE.Now() &&
+			newE.Fired() == oldE.Fired()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// chainTicker reschedules itself with a pseudo-random gap until its
+// budget runs out, and occasionally spawns a sibling — a workload shaped
+// like the simulator's own traffic (mostly near-future events with the
+// odd far-future retrain), run identically on both queues.
+type chainTicker struct {
+	e      *Engine
+	r      *Rand
+	rec    *recorder
+	budget int
+	id     int64
+}
+
+func (c *chainTicker) OnEvent(e *Engine, arg EventArg) {
+	c.rec.log = append(c.rec.log, firedAt{at: e.Now(), tag: c.id<<32 | arg.I})
+	if c.budget <= 0 {
+		return
+	}
+	c.budget--
+	gap := Time(c.r.Intn(2000)) * Picosecond
+	if c.r.Intn(50) == 0 {
+		gap += 3 * Microsecond // jump past the near window
+	}
+	e.ScheduleAfter(gap, c, EventArg{I: arg.I + 1})
+	if c.r.Intn(20) == 0 && c.budget > 0 {
+		c.budget--
+		sib := &chainTicker{e: e, r: c.r, rec: c.rec, budget: 0, id: c.id + 1000}
+		e.ScheduleAfter(gap/2, sib, EventArg{})
+	}
+}
+
+func runChainWorkload(e *Engine) *recorder {
+	rec := &recorder{}
+	r := NewRand(1234)
+	for i := 0; i < 8; i++ {
+		tk := &chainTicker{e: e, r: r, rec: rec, budget: 500, id: int64(i)}
+		e.Schedule(Time(i)*Nanosecond, tk, EventArg{})
+	}
+	e.Run()
+	return rec
+}
+
+func TestLadderMatchesLegacyOnChainedWorkload(t *testing.T) {
+	newR := runChainWorkload(NewEngine())
+	oldR := runChainWorkload(NewLegacyEngine())
+	if len(newR.log) == 0 {
+		t.Fatal("workload fired no events")
+	}
+	if !sameLog(newR.log, oldR.log) {
+		t.Fatalf("ladder and legacy queues diverged: %d vs %d events",
+			len(newR.log), len(oldR.log))
+	}
+}
+
+// The ladder must re-anchor its window when the queue drains and the
+// next event lands far in the future.
+func TestLadderReanchorsAfterDrain(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	fn := func() { got = append(got, e.Now()) }
+	e.At(10*Nanosecond, fn)
+	e.Run()
+	e.At(5*Second, fn) // far beyond any near window from t=10ns
+	e.At(5*Second+100*Picosecond, fn)
+	e.Run()
+	want := []Time{10 * Nanosecond, 5 * Second, 5*Second + 100*Picosecond}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+// Events scheduled for "now" after the cursor has advanced past their
+// bucket boundary must still fire before everything later.
+func TestLadderSchedulesAtNowAfterCursorAdvance(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	// First event fires mid-window, then schedules a same-time follow-up
+	// and a slightly later one; a far event is already pending.
+	e.At(700*Picosecond, func() {
+		e.At(e.Now(), func() { got = append(got, 1) })
+		e.At(e.Now()+1*Picosecond, func() { got = append(got, 2) })
+	})
+	e.At(10*Microsecond, func() { got = append(got, 3) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", got)
+	}
+}
+
+func TestTypedScheduleDeliversArg(t *testing.T) {
+	e := NewEngine()
+	rec := &recorder{}
+	type payload struct{ v int }
+	p := &payload{v: 7}
+	var gotPtr any
+	e.Schedule(5*Nanosecond, handlerFunc(func(eng *Engine, arg EventArg) {
+		gotPtr = arg.Ptr
+		rec.log = append(rec.log, firedAt{at: eng.Now(), tag: arg.I})
+	}), EventArg{Ptr: p, I: 42})
+	e.Run()
+	if len(rec.log) != 1 || rec.log[0].at != 5*Nanosecond || rec.log[0].tag != 42 {
+		t.Fatalf("typed event log = %v", rec.log)
+	}
+	if gotPtr != p {
+		t.Fatalf("arg.Ptr = %v, want %v", gotPtr, p)
+	}
+}
+
+// handlerFunc lets tests write inline handlers.
+type handlerFunc func(e *Engine, arg EventArg)
+
+func (f handlerFunc) OnEvent(e *Engine, arg EventArg) { f(e, arg) }
+
+func TestScheduleAfterNegativePanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative ScheduleAfter did not panic")
+		}
+	}()
+	e.ScheduleAfter(-1, handlerFunc(func(*Engine, EventArg) {}), EventArg{})
+}
+
+func TestLegacyEngineSchedulingIntoPastPanics(t *testing.T) {
+	e := NewLegacyEngine()
+	e.At(10*Nanosecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		e.At(5*Nanosecond, func() {})
+	})
+	e.Run()
+}
+
+// Satellite fix: an armed probe whose wake time falls between the last
+// event and the RunUntil deadline must fire on the final clock jump.
+func TestRunUntilFiresProbeOnFinalClockJump(t *testing.T) {
+	for _, mk := range []func() *Engine{NewEngine, NewLegacyEngine} {
+		e := mk()
+		var wakes []Time
+		e.SetProbe(func(now Time) Time {
+			wakes = append(wakes, now)
+			return now + 100*Nanosecond
+		}, 50*Nanosecond)
+		e.At(10*Nanosecond, func() {})
+		e.RunUntil(80 * Nanosecond)
+		// The 10ns event is before the 50ns wake; the jump to the 80ns
+		// deadline crosses it and must fire the probe at the deadline.
+		if len(wakes) != 1 || wakes[0] != 80*Nanosecond {
+			t.Fatalf("wakes after first RunUntil = %v, want [80ns]", wakes)
+		}
+		// Probe re-armed at 180ns: an event-free run to 200ns fires it
+		// again on the deadline jump.
+		e.RunUntil(200 * Nanosecond)
+		if len(wakes) != 2 || wakes[1] != 200*Nanosecond {
+			t.Fatalf("wakes after second RunUntil = %v, want [80ns 200ns]", wakes)
+		}
+		if e.Now() != 200*Nanosecond {
+			t.Fatalf("Now() = %v, want 200ns", e.Now())
+		}
+	}
+}
+
+func TestRunUntilProbeDisarmOnFinalJump(t *testing.T) {
+	e := NewEngine()
+	calls := 0
+	e.SetProbe(func(now Time) Time {
+		calls++
+		return 0 // disarm
+	}, 50*Nanosecond)
+	e.RunUntil(100 * Nanosecond)
+	e.RunUntil(300 * Nanosecond)
+	if calls != 1 {
+		t.Fatalf("disarmed probe fired %d times, want 1", calls)
+	}
+}

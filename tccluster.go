@@ -274,6 +274,15 @@ func WithSeed(seed uint64) Option {
 	return func(b *buildOptions) { b.cfg.Seed = seed }
 }
 
+// WithLegacyEventQueue runs the simulation on the original
+// container/heap event queue instead of the allocation-free ladder
+// queue. Both queues order events identically — (time, seq) — so
+// results match to the picosecond; this option exists for paired
+// benchmarking (tccbench -bench engine) and determinism cross-checks.
+func WithLegacyEventQueue() Option {
+	return func(b *buildOptions) { b.cfg.LegacyEventQueue = true }
+}
+
 // WithMonitor starts the live-monitoring subsystem on the cluster: an
 // HTTP server on addr exposing /metrics (Prometheus text), /metrics.json
 // (the document cmd/tcctop polls), /health, /alerts and /dump; a flight
