@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt fmt-check vet build test race test-race bench bench-smoke bench-json bench-engine
+.PHONY: all check fmt fmt-check vet build test race test-race bench bench-smoke bench-json bench-engine bench-parallel
 
 all: check
 
@@ -46,3 +46,10 @@ bench-json:
 # virtual time.
 bench-engine:
 	$(GO) run ./cmd/tccbench -bench engine -out BENCH_engine.json
+
+# Regenerate the parallel-engine numbers: serial vs 1/2/4/8 workers on
+# Fig. 6/Fig. 7-shaped workloads. Fails if any worker count diverges
+# from the serial run's final virtual time or event count. Speedups are
+# only meaningful relative to the recorded GOMAXPROCS/NumCPU.
+bench-parallel:
+	$(GO) run ./cmd/tccbench -bench parallel -out BENCH_parallel.json

@@ -37,7 +37,7 @@ type engineWorkload struct {
 }
 
 type engineReport struct {
-	GoVersion string           `json:"go_version"`
+	Meta      benchMeta        `json:"meta"`
 	Workloads []engineWorkload `json:"workloads"`
 }
 
@@ -226,7 +226,7 @@ func runEngineBench(out, cpuprofile, memprofile string) {
 		return w
 	}
 
-	rep := engineReport{GoVersion: runtime.Version()}
+	rep := engineReport{Meta: newBenchMeta()}
 
 	w := pair("selfclock", func(legacy bool) engineRun { return selfClockRun(legacy, 2_000_000) })
 	rep.Workloads = append(rep.Workloads, w)
@@ -251,7 +251,7 @@ func runEngineBench(out, cpuprofile, memprofile string) {
 	check(err)
 	check(os.WriteFile(out, append(data, '\n'), 0o644))
 
-	fmt.Printf("tccbench engine (%s)\n", rep.GoVersion)
+	fmt.Printf("tccbench engine (%s, GOMAXPROCS=%d)\n", rep.Meta.GoVersion, rep.Meta.GOMAXPROCS)
 	for _, w := range rep.Workloads {
 		fmt.Printf("  %-18s ladder %8.0f ev/s %7.1f ns/ev %6.2f allocs/ev | heap %8.0f ev/s | speedup %.2fx\n",
 			w.Name, w.Ladder.EventsPerSec, w.Ladder.NsPerEvent, w.Ladder.AllocsPerEvent,

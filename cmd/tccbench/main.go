@@ -12,6 +12,7 @@
 //	tccbench -bench allreduce [-nodes 8]
 //	tccbench -bench monitor  [-out BENCH_monitor.json]
 //	tccbench -bench engine   [-out BENCH_engine.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	tccbench -bench parallel [-out BENCH_parallel.json] [-nodes 8]
 package main
 
 import (
@@ -24,9 +25,9 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "latency", "latency | bw | bibw | allreduce | monitor | engine")
+	bench := flag.String("bench", "latency", "latency | bw | bibw | allreduce | monitor | engine | parallel")
 	maxSize := flag.Int("max", 4096, "largest message size to sweep")
-	nodes := flag.Int("nodes", 4, "cluster size (allreduce)")
+	nodes := flag.Int("nodes", 4, "cluster size (allreduce; parallel defaults to 8)")
 	out := flag.String("out", "", "JSON output path (monitor and engine benchmarks)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (engine benchmark)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file (engine benchmark)")
@@ -45,6 +46,12 @@ func main() {
 		runMonitorBench(*out)
 	case "engine":
 		runEngineBench(*out, *cpuprofile, *memprofile)
+	case "parallel":
+		n := *nodes
+		if n == 4 {
+			n = 8 // the -nodes default targets allreduce; parallel wants 8
+		}
+		runParallelBench(*out, n)
 	default:
 		fmt.Fprintf(os.Stderr, "tccbench: unknown benchmark %q\n", *bench)
 		os.Exit(2)

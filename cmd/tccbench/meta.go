@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// benchMeta stamps every benchmark JSON with enough context to judge
+// the numbers later: which commit produced them and how much real
+// hardware the run had. A parallel-speedup figure from a 1-CPU CI
+// container means something very different from the same figure on a
+// 16-core workstation, and the only honest way to compare archived
+// BENCH_*.json files is to record that alongside the result.
+type benchMeta struct {
+	Commit      string    `json:"commit"`
+	GoVersion   string    `json:"go_version"`
+	GOMAXPROCS  int       `json:"gomaxprocs"`
+	NumCPU      int       `json:"num_cpu"`
+	GeneratedAt time.Time `json:"generated_at"`
+}
+
+func newBenchMeta() benchMeta {
+	m := benchMeta{
+		Commit:      "unknown",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		GeneratedAt: time.Now().UTC(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				m.Commit = s.Value
+			}
+		}
+	}
+	if m.Commit == "unknown" {
+		// go run builds without VCS stamping; ask git directly.
+		if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+			m.Commit = strings.TrimSpace(string(out))
+		}
+	}
+	return m
+}

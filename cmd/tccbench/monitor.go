@@ -20,6 +20,7 @@ import (
 // enough to leave on.
 
 type monitorBench struct {
+	Meta              benchMeta `json:"meta"`
 	Rounds            int       `json:"rounds"`
 	Trials            int       `json:"trials"`
 	BaselineNsPerOp   float64   `json:"baseline_ns_per_op"`
@@ -27,7 +28,6 @@ type monitorBench struct {
 	MonitorNsPerOp    float64   `json:"monitor_ns_per_op"`
 	TracerOverheadPct float64   `json:"tracer_overhead_pct_vs_baseline"`
 	MonitorPct        float64   `json:"monitor_overhead_pct_vs_tracer"`
-	GeneratedAt       time.Time `json:"generated_at"`
 }
 
 // pingPongRounds drives rounds of 64-byte ping-pong on a fresh 2-node
@@ -107,6 +107,7 @@ func runMonitorBench(out string) {
 	}
 
 	res := monitorBench{
+		Meta:              newBenchMeta(),
 		Rounds:            rounds,
 		Trials:            trials,
 		BaselineNsPerOp:   bests[0],
@@ -114,7 +115,6 @@ func runMonitorBench(out string) {
 		MonitorNsPerOp:    bests[2],
 		TracerOverheadPct: 100 * (median(tracerRatios) - 1),
 		MonitorPct:        100 * (median(monitorRatios) - 1),
-		GeneratedAt:       time.Now().UTC(),
 	}
 	enc, err := json.MarshalIndent(res, "", "  ")
 	check(err)

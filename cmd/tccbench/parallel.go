@@ -1,0 +1,218 @@
+// Parallel benchmark: the same full-stack workloads on one cluster
+// executed serially and with the supernode-partitioned conservative
+// engine at increasing worker counts. Emits BENCH_parallel.json with
+// wall-clock ratios against the serial run plus run metadata — the
+// speedup numbers are only meaningful relative to the recorded
+// GOMAXPROCS/NumCPU, since a 1-CPU container cannot show parallel gains
+// no matter how well the partitioning works. The benchmark also enforces
+// the determinism contract: every worker count must land on exactly the
+// serial run's final virtual time and event count.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	tccluster "repro"
+)
+
+type parallelRun struct {
+	Workers         int     `json:"workers"` // 0 = serial reference
+	Partitions      int     `json:"partitions"`
+	Events          uint64  `json:"events"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	FinalVirtualNs  float64 `json:"final_virtual_ns"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"` // serial wall / this wall
+}
+
+type parallelWorkload struct {
+	Name        string        `json:"name"`
+	Nodes       int           `json:"nodes"`
+	LookaheadPs int64         `json:"lookahead_ps"`
+	Runs        []parallelRun `json:"runs"`
+}
+
+type parallelReport struct {
+	Meta      benchMeta          `json:"meta"`
+	Workloads []parallelWorkload `json:"workloads"`
+}
+
+// parallelCluster boots an n-node chain, serial when workers == 0.
+func parallelCluster(n, workers int) *tccluster.Cluster {
+	topo, err := tccluster.Chain(n)
+	check(err)
+	var opts []tccluster.Option
+	if workers > 0 {
+		opts = append(opts, tccluster.WithParallel(workers))
+	}
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(), opts...)
+	check(err)
+	return c
+}
+
+// parallelPingpong is the Fig. 7 shape spread over the whole cluster:
+// one 64-byte ping-pong per adjacent node pair, all pairs concurrent, so
+// every partition owns live traffic and the cross-cut links carry the
+// pairs the partition boundary splits.
+func parallelPingpong(n, workers, rounds int) parallelRun {
+	c := parallelCluster(n, workers)
+	type pair struct {
+		done int
+	}
+	pairs := make([]*pair, n/2)
+	start := func(a, b int, p *pair) {
+		sAB, rAB, err := c.OpenChannel(a, b, tccluster.DefaultMsgParams())
+		check(err)
+		sBA, rBA, err := c.OpenChannel(b, a, tccluster.DefaultMsgParams())
+		check(err)
+		var serve func()
+		serve = func() {
+			rAB.Recv(func(d []byte, err error) {
+				if err != nil {
+					return
+				}
+				sBA.Send(d, func(error) {})
+				serve()
+			})
+		}
+		serve()
+		var round func(i int)
+		round = func(i int) {
+			if i >= rounds {
+				rAB.Stop()
+				return
+			}
+			rBA.Recv(func(_ []byte, err error) {
+				if err != nil {
+					return
+				}
+				p.done++
+				round(i + 1)
+			})
+			sAB.Send(make([]byte, 64), func(error) {})
+		}
+		round(0)
+	}
+	for i := range pairs {
+		pairs[i] = &pair{}
+		start(2*i, 2*i+1, pairs[i])
+	}
+	startFired := c.EventsFired()
+	t0 := time.Now()
+	c.Run()
+	wall := time.Since(t0).Seconds()
+	for i, p := range pairs {
+		if p.done != rounds {
+			check(fmt.Errorf("parallel bench: pair %d completed %d of %d rounds", i, p.done, rounds))
+		}
+	}
+	return finishParallelRun(c, workers, wall, c.EventsFired()-startFired)
+}
+
+// parallelStream is the Fig. 6 shape on a ring of stores: every node
+// streams posted 64-byte blocks into its right neighbor's DRAM, so the
+// store traffic crosses every link including the partition cuts.
+func parallelStream(n, workers, iters int) parallelRun {
+	c := parallelCluster(n, workers)
+	payload := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		src := c.Node(i).Core()
+		base := c.Node((i+1)%n).MemBase() + 8<<20
+		var step func(k int)
+		step = func(k int) {
+			if k >= iters {
+				return
+			}
+			src.StoreBlock(base+uint64(k%8)*64, payload, func(err error) {
+				check(err)
+				step(k + 1)
+			})
+		}
+		step(0)
+	}
+	startFired := c.EventsFired()
+	t0 := time.Now()
+	c.Run()
+	wall := time.Since(t0).Seconds()
+	return finishParallelRun(c, workers, wall, c.EventsFired()-startFired)
+}
+
+func finishParallelRun(c *tccluster.Cluster, workers int, wall float64, events uint64) parallelRun {
+	r := parallelRun{
+		Workers:        workers,
+		Partitions:     c.Partitions(),
+		Events:         events,
+		WallSeconds:    wall,
+		FinalVirtualNs: c.Now().Nanos(),
+	}
+	if events > 0 && wall > 0 {
+		r.EventsPerSec = float64(events) / wall
+	}
+	return r
+}
+
+// benchParallelWorkload runs one workload serially and at each worker
+// count, fills in speedups against the serial run, and enforces that
+// the final virtual time and event count never depend on the worker
+// count.
+func benchParallelWorkload(name string, nodes int, workers []int, run func(workers int) parallelRun) parallelWorkload {
+	w := parallelWorkload{Name: name, Nodes: nodes}
+	serial := run(0)
+	w.Runs = append(w.Runs, serial)
+	for _, wk := range workers {
+		r := run(wk)
+		if r.FinalVirtualNs != serial.FinalVirtualNs || r.Events != serial.Events {
+			check(fmt.Errorf("parallel bench: %s diverged at %d workers: %d events / %.0f ns vs serial %d events / %.0f ns",
+				name, wk, r.Events, r.FinalVirtualNs, serial.Events, serial.FinalVirtualNs))
+		}
+		if r.WallSeconds > 0 {
+			r.SpeedupVsSerial = serial.WallSeconds / r.WallSeconds
+		}
+		w.Runs = append(w.Runs, r)
+	}
+	c := parallelCluster(nodes, workers[len(workers)-1])
+	w.LookaheadPs = int64(c.Lookahead())
+	return w
+}
+
+func runParallelBench(out string, nodes int) {
+	if out == "" {
+		out = "BENCH_parallel.json"
+	}
+	if nodes < 4 {
+		nodes = 8
+	}
+	workers := []int{1, 2, 4, 8}
+	rep := parallelReport{Meta: newBenchMeta()}
+
+	rep.Workloads = append(rep.Workloads,
+		benchParallelWorkload("pingpong-64B", nodes, workers, func(w int) parallelRun {
+			return parallelPingpong(nodes, w, 200)
+		}),
+		benchParallelWorkload("stream-64B-ring", nodes, workers, func(w int) parallelRun {
+			return parallelStream(nodes, w, 512)
+		}),
+	)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	check(err)
+	check(os.WriteFile(out, append(data, '\n'), 0o644))
+
+	fmt.Printf("tccbench parallel (%s, GOMAXPROCS=%d, NumCPU=%d)\n",
+		rep.Meta.GoVersion, rep.Meta.GOMAXPROCS, rep.Meta.NumCPU)
+	for _, w := range rep.Workloads {
+		fmt.Printf("  %s (%d nodes, lookahead %dps)\n", w.Name, w.Nodes, w.LookaheadPs)
+		for _, r := range w.Runs {
+			label := "serial"
+			if r.Workers > 0 {
+				label = fmt.Sprintf("%dw/%dp", r.Workers, r.Partitions)
+			}
+			fmt.Printf("    %-8s %9d events %8.3fs wall %10.0f ev/s speedup %.2fx\n",
+				label, r.Events, r.WallSeconds, r.EventsPerSec, r.SpeedupVsSerial)
+		}
+	}
+	fmt.Printf("wrote %s\n", out)
+}

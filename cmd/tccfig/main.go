@@ -11,6 +11,7 @@
 //	tccfig -fig 6      # just Figure 6
 //	tccfig -exp hops   # one experiment by name
 //	tccfig -csv        # figures as CSV
+//	tccfig -parallel 4 # run experiment clusters on 4 partition workers
 package main
 
 import (
@@ -28,7 +29,10 @@ func main() {
 	exp := flag.String("exp", "all",
 		"experiment: fig6|fig7|hops|baseline|coherency|wc|linkspeed|endpoints|mpi|pgas|addrmap|faults|traffic|jitter|breakdown|boot|all")
 	csv := flag.Bool("csv", false, "emit figures as CSV instead of tables")
+	par := flag.Int("parallel", 0,
+		"partition workers for experiment clusters (0 = serial; results are identical either way)")
 	flag.Parse()
+	experiments.SetParallel(*par)
 
 	switch *fig {
 	case 6:

@@ -1,14 +1,21 @@
-// Cross-queue determinism suite: every example topology run twice —
-// once on the ladder queue, once on the legacy container/heap queue —
-// must fire the same number of events, land on the same virtual time,
-// and leave identical per-link counters. This is the contract that
-// makes the ladder queue a drop-in replacement: (time, seq) ordering is
-// preserved exactly, so results match to the picosecond.
+// Cross-executor determinism suite: every example topology runs on the
+// ladder queue, on the legacy container/heap queue, and on the parallel
+// partitioned executor — and all must fire the same number of events,
+// land on the same virtual time, and leave identical per-link counters.
+// This is the contract that makes both the ladder queue and the
+// conservative parallel engine drop-in replacements: the serial queues
+// preserve (time, seq) ordering exactly, and the parallel executor's
+// windowed barrier plus (time, stamp, priority) arbitration keys
+// reproduce the serial schedule to the picosecond.
+//
+// Workload completion counters are atomics because the parallel runs
+// invoke completion callbacks from partition worker goroutines.
 package tccluster_test
 
 import (
 	"fmt"
 	"reflect"
+	"sync/atomic"
 	"testing"
 
 	tccluster "repro"
@@ -24,7 +31,7 @@ type queueFingerprint struct {
 }
 
 func fingerprint(c *tccluster.Cluster) queueFingerprint {
-	fp := queueFingerprint{fired: c.Engine().Fired(), now: c.Now()}
+	fp := queueFingerprint{fired: c.EventsFired(), now: c.Now()}
 	for _, l := range c.ExternalLinks() {
 		fp.links = append(fp.links, l.A().Stats(), l.B().Stats())
 	}
@@ -41,14 +48,14 @@ func quickstartRun(t *testing.T, opts ...tccluster.Option) queueFingerprint {
 	mustOK(t, err)
 	s, r, err := c.OpenChannel(0, 1, tccluster.DefaultMsgParams())
 	mustOK(t, err)
-	got := 0
+	var got atomic.Int64
 	var serve func()
 	serve = func() {
 		r.Recv(func(d []byte, err error) {
 			if err != nil {
 				return
 			}
-			got++
+			got.Add(1)
 			serve()
 		})
 	}
@@ -59,8 +66,8 @@ func quickstartRun(t *testing.T, opts ...tccluster.Option) queueFingerprint {
 	c.RunFor(tccluster.Millisecond)
 	r.Stop()
 	c.Run()
-	if got != 5 {
-		t.Fatalf("quickstart: received %d of 5 messages", got)
+	if got.Load() != 5 {
+		t.Fatalf("quickstart: received %d of 5 messages", got.Load())
 	}
 	return fingerprint(c)
 }
@@ -75,17 +82,18 @@ func allreduceRun(t *testing.T, opts ...tccluster.Option) queueFingerprint {
 	mustOK(t, err)
 	w, err := c.NewWorld(tccluster.DefaultMPIConfig())
 	mustOK(t, err)
-	pending := 4
+	var pending atomic.Int64
+	pending.Store(4)
 	for rk := 0; rk < 4; rk++ {
 		vec := []float64{float64(rk), float64(rk * 2), float64(rk * 3)}
 		w.Rank(rk).Allreduce(vec, tccluster.Sum, func(_ []float64, err error) {
 			mustOK(t, err)
-			pending--
+			pending.Add(-1)
 		})
 	}
 	c.Run()
-	if pending != 0 {
-		t.Fatalf("allreduce: %d ranks incomplete", pending)
+	if pending.Load() != 0 {
+		t.Fatalf("allreduce: %d ranks incomplete", pending.Load())
 	}
 	return fingerprint(c)
 }
@@ -101,37 +109,38 @@ func haloRun(t *testing.T, opts ...tccluster.Option) queueFingerprint {
 	mustOK(t, err)
 	w, err := c.NewWorld(tccluster.DefaultMPIConfig())
 	mustOK(t, err)
-	exchanged := 0
+	var exchanged atomic.Int64
 	for rk := 0; rk < 3; rk++ {
 		comm := w.Rank(rk)
 		row := tccluster.Float64s([]float64{float64(rk), 1, 2, 3})
 		if rk > 0 {
 			comm.SendRecv(rk-1, 7, row, func(_ []byte, err error) {
 				mustOK(t, err)
-				exchanged++
+				exchanged.Add(1)
 			})
 		}
 		if rk < 2 {
 			comm.SendRecv(rk+1, 7, row, func(_ []byte, err error) {
 				mustOK(t, err)
-				exchanged++
+				exchanged.Add(1)
 			})
 		}
 	}
 	c.Run()
-	if exchanged != 4 {
-		t.Fatalf("halo: %d of 4 exchanges completed", exchanged)
+	if exchanged.Load() != 4 {
+		t.Fatalf("halo: %d of 4 exchanges completed", exchanged.Load())
 	}
-	pending := 3
+	var pending atomic.Int64
+	pending.Store(3)
 	for rk := 0; rk < 3; rk++ {
 		w.Rank(rk).Allreduce([]float64{float64(rk)}, tccluster.Sum, func(_ []float64, err error) {
 			mustOK(t, err)
-			pending--
+			pending.Add(-1)
 		})
 	}
 	c.Run()
-	if pending != 0 {
-		t.Fatalf("halo: %d reductions incomplete", pending)
+	if pending.Load() != 0 {
+		t.Fatalf("halo: %d reductions incomplete", pending.Load())
 	}
 	return fingerprint(c)
 }
@@ -148,7 +157,7 @@ func pgasRun(t *testing.T, opts ...tccluster.Option) queueFingerprint {
 	sp, err := c.NewSpace(tccluster.DefaultPGASConfig())
 	mustOK(t, err)
 	segBytes := sp.Size() / nodes
-	done := 0
+	var done atomic.Int64
 	for n := 0; n < nodes; n++ {
 		n := n
 		dst := (n + 1) % nodes
@@ -160,24 +169,24 @@ func pgasRun(t *testing.T, opts ...tccluster.Option) queueFingerprint {
 			mustOK(t, err)
 			sp.Barrier(n, func(err error) {
 				mustOK(t, err)
-				done++
+				done.Add(1)
 			})
 		})
 	}
 	c.Run()
-	if done != nodes {
-		t.Fatalf("pgas: %d of %d put+barrier sequences completed", done, nodes)
+	if done.Load() != int64(nodes) {
+		t.Fatalf("pgas: %d of %d put+barrier sequences completed", done.Load(), nodes)
 	}
-	reads := 0
+	var reads atomic.Int64
 	for n := 0; n < nodes; n++ {
 		sp.Get(n, uint64(n)*segBytes, 8, func(_ []byte, err error) {
 			mustOK(t, err)
-			reads++
+			reads.Add(1)
 		})
 	}
 	c.Run()
-	if reads != nodes {
-		t.Fatalf("pgas: %d of %d local gets completed", reads, nodes)
+	if reads.Load() != int64(nodes) {
+		t.Fatalf("pgas: %d of %d local gets completed", reads.Load(), nodes)
 	}
 	return fingerprint(c)
 }
@@ -192,18 +201,18 @@ func meshRun(t *testing.T, opts ...tccluster.Option) queueFingerprint {
 	cfg.SocketsPerNode = 2 // interior mesh nodes need 4 external links
 	c, err := tccluster.New(topo, cfg, opts...)
 	mustOK(t, err)
-	stored := 0
+	var stored atomic.Int64
 	for i := 0; i < c.N(); i++ {
 		dst := (i + 1) % c.N()
 		base := c.Node(dst).MemBase() + 8<<20
 		c.Node(i).Core().StoreBlock(base+uint64(i)*64, make([]byte, 64), func(err error) {
 			mustOK(t, err)
-			stored++
+			stored.Add(1)
 		})
 	}
 	c.Run()
-	if stored != c.N() {
-		t.Fatalf("mesh: %d of %d stores retired", stored, c.N())
+	if stored.Load() != int64(c.N()) {
+		t.Fatalf("mesh: %d of %d stores retired", stored.Load(), c.N())
 	}
 	return fingerprint(c)
 }
@@ -221,7 +230,7 @@ func lossyRun(t *testing.T, opts ...tccluster.Option) queueFingerprint {
 	c, err := tccluster.New(topo, cfg, opts...)
 	mustOK(t, err)
 	base := c.Node(1).MemBase() + 8<<20
-	stored := 0
+	var stored atomic.Int64
 	var step func(i int)
 	step = func(i int) {
 		if i >= 50 {
@@ -229,14 +238,14 @@ func lossyRun(t *testing.T, opts ...tccluster.Option) queueFingerprint {
 		}
 		c.Node(0).Core().StoreBlock(base+uint64(i%8)*64, make([]byte, 64), func(err error) {
 			mustOK(t, err)
-			stored++
+			stored.Add(1)
 			step(i + 1)
 		})
 	}
 	step(0)
 	c.Run()
-	if stored != 50 {
-		t.Fatalf("lossy: %d of 50 stores retired", stored)
+	if stored.Load() != 50 {
+		t.Fatalf("lossy: %d of 50 stores retired", stored.Load())
 	}
 	return fingerprint(c)
 }
@@ -269,6 +278,46 @@ func TestLadderMatchesLegacyOnAllExampleTopologies(t *testing.T) {
 			}
 			if !reflect.DeepEqual(ladder.links, heap.links) {
 				t.Errorf("per-link counters diverged:\nladder: %+v\nheap:   %+v", ladder.links, heap.links)
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSerialOnAllExampleTopologies is the parallel
+// determinism gate: each example-shaped workload runs serially and
+// partitioned at 2 and 4 workers, and every partitioning must reproduce
+// the serial event count, final virtual time, and per-link counters
+// exactly. Event order inside a window may differ between executors;
+// anything observable here may not.
+func TestParallelMatchesSerialOnAllExampleTopologies(t *testing.T) {
+	scenarios := []struct {
+		name string
+		run  func(*testing.T, ...tccluster.Option) queueFingerprint
+	}{
+		{"quickstart-chain2", quickstartRun},
+		{"allreduce-chain4", allreduceRun},
+		{"halo-chain3", haloRun},
+		{"pgas-chain4", pgasRun},
+		{"cluster16-mesh4x4", meshRun},
+		{"failures-lossy-chain2", lossyRun},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			serial := sc.run(t)
+			for _, workers := range []int{2, 4} {
+				par := sc.run(t, tccluster.WithParallel(workers))
+				if par.fired != serial.fired {
+					t.Errorf("%d workers: event count diverged: serial %d, parallel %d",
+						workers, serial.fired, par.fired)
+				}
+				if par.now != serial.now {
+					t.Errorf("%d workers: final virtual time diverged: serial %v, parallel %v",
+						workers, serial.now, par.now)
+				}
+				if !reflect.DeepEqual(par.links, serial.links) {
+					t.Errorf("%d workers: per-link counters diverged:\nserial:   %+v\nparallel: %+v",
+						workers, serial.links, par.links)
+				}
 			}
 		})
 	}

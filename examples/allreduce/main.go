@@ -3,13 +3,15 @@
 // global mean and variance with two allreduce operations, then verifies
 // against a serial computation.
 //
-//	go run ./examples/allreduce
+//	go run ./examples/allreduce [-parallel N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
 	"os"
+	"sync/atomic"
 
 	tccluster "repro"
 )
@@ -21,9 +23,12 @@ const (
 )
 
 func main() {
+	par := flag.Int("parallel", 0, "partition workers (0 = serial; results are identical either way)")
+	flag.Parse()
+
 	topo, err := tccluster.Chain(nodes)
 	check(err)
-	c, err := tccluster.New(topo, tccluster.DefaultConfig())
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(), tccluster.WithParallel(*par))
 	check(err)
 	w, err := c.NewWorld(tccluster.DefaultMPIConfig())
 	check(err)
@@ -51,7 +56,7 @@ func main() {
 		mean, variance float64
 	}
 	results := make([]result, nodes)
-	finished := 0
+	var finished atomic.Int64 // rank callbacks may run on different partitions
 	start := c.Now()
 	for r := 0; r < nodes; r++ {
 		r := r
@@ -65,14 +70,14 @@ func main() {
 			check(err)
 			mean := g[0] / g[2]
 			results[r] = result{mean: mean, variance: g[1]/g[2] - mean*mean}
-			finished++
+			finished.Add(1)
 		})
 	}
 	c.Run()
 	elapsed := c.Now() - start
 
-	if finished != nodes {
-		check(fmt.Errorf("only %d of %d ranks finished", finished, nodes))
+	if finished.Load() != nodes {
+		check(fmt.Errorf("only %d of %d ranks finished", finished.Load(), nodes))
 	}
 	fmt.Printf("distributed over %d nodes (%d points each):\n", nodes, perNode)
 	for r, res := range results {

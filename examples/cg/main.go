@@ -4,13 +4,15 @@
 // Solves the 1-D Poisson system A x = b (A = tridiag(-1, 2, -1)) and
 // verifies against the known solution.
 //
-//	go run ./examples/cg
+//	go run ./examples/cg [-parallel N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
 	"os"
+	"sync/atomic"
 
 	tccluster "repro"
 )
@@ -167,9 +169,12 @@ func (s *rankState) iterate(iter int, done func(float64, error)) {
 }
 
 func main() {
+	par := flag.Int("parallel", 0, "partition workers (0 = serial; results are identical either way)")
+	flag.Parse()
+
 	topo, err := tccluster.Chain(ranks)
 	check(err)
-	c, err := tccluster.New(topo, tccluster.DefaultConfig())
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(), tccluster.WithParallel(*par))
 	check(err)
 	w, err := c.NewWorld(tccluster.DefaultMPIConfig())
 	check(err)
@@ -193,8 +198,8 @@ func main() {
 	}
 
 	states := make([]*rankState, ranks)
-	finished := 0
-	var residual float64
+	var finished atomic.Int64 // rank callbacks may run on different partitions
+	var residual float64      // written by rank 0's callback only
 	start := c.Now()
 	for rk := 0; rk < ranks; rk++ {
 		b := make([]float64, localN)
@@ -208,12 +213,12 @@ func main() {
 			if rk == 0 {
 				residual = res
 			}
-			finished++
+			finished.Add(1)
 		})
 	}
 	c.Run()
-	if finished != ranks {
-		check(fmt.Errorf("only %d of %d ranks converged", finished, ranks))
+	if finished.Load() != ranks {
+		check(fmt.Errorf("only %d of %d ranks converged", finished.Load(), ranks))
 	}
 
 	maxErr := 0.0

@@ -4,23 +4,28 @@
 // all 16 ranks, drives the classic traffic patterns, and prints the
 // per-link accounting.
 //
-//	go run ./examples/cluster16
+//	go run ./examples/cluster16 [-parallel N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 
 	tccluster "repro"
 	"repro/internal/workload"
 )
 
 func main() {
+	par := flag.Int("parallel", 0, "partition workers (0 = serial; results are identical either way)")
+	flag.Parse()
+
 	topo, err := tccluster.Mesh(4, 4)
 	check(err)
 	cfg := tccluster.DefaultConfig()
 	cfg.SocketsPerNode = 2 // interior mesh nodes need 4 external links
-	c, err := tccluster.New(topo, cfg)
+	c, err := tccluster.New(topo, cfg, tccluster.WithParallel(*par))
 	check(err)
 
 	sockets := 0
@@ -35,23 +40,33 @@ func main() {
 	// MPI across all 16 ranks.
 	w, err := c.NewWorld(tccluster.DefaultMPIConfig())
 	check(err)
+	// Completion callbacks run on each rank's partition, so the finish
+	// time is the max over node-local clocks (kept with a CAS) rather
+	// than a read of the global clock mid-window.
 	timeAll := func(name string, op func(rank int, done func(error))) {
 		start := c.Now()
-		pending := c.N()
-		var finish tccluster.Time
+		var pending atomic.Int64
+		pending.Store(int64(c.N()))
+		var finishPs atomic.Int64
 		for r := 0; r < c.N(); r++ {
+			r := r
 			op(r, func(err error) {
 				check(err)
-				pending--
-				if pending == 0 {
-					finish = c.Now()
+				t := int64(c.Node(r).Now())
+				for {
+					cur := finishPs.Load()
+					if t <= cur || finishPs.CompareAndSwap(cur, t) {
+						break
+					}
 				}
+				pending.Add(-1)
 			})
 		}
 		c.Run()
-		if pending != 0 {
+		if pending.Load() != 0 {
 			check(fmt.Errorf("%s never completed", name))
 		}
+		finish := tccluster.Time(finishPs.Load())
 		fmt.Printf("%-24s %8.2f us\n", name, (finish - start).Micros())
 	}
 	timeAll("barrier (16 ranks)", func(r int, done func(error)) {

@@ -14,18 +14,22 @@
 //     retries eat the bandwidth — why the prototype backed its link
 //     down to HT800 (§VI).
 //
-//     go run ./examples/failures
+//     go run ./examples/failures [-parallel N]
 package main
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"os"
 
 	tccluster "repro"
 )
 
+var parWorkers = flag.Int("parallel", 0, "partition workers (0 = serial; results are identical either way)")
+
 func main() {
+	flag.Parse()
 	fmt.Println("== 1. the write-only network ==")
 	writeOnly()
 	fmt.Println("\n== 2. the stale write-back receive buffer ==")
@@ -39,7 +43,8 @@ func main() {
 func cluster(kopt tccluster.KernelOptions, cfg tccluster.Config) *tccluster.Cluster {
 	topo, err := tccluster.Chain(2)
 	check(err)
-	c, err := tccluster.NewWithKernel(topo, cfg, kopt)
+	c, err := tccluster.New(topo, cfg,
+		tccluster.WithKernelOptions(kopt), tccluster.WithParallel(*parWorkers))
 	check(err)
 	return c
 }
@@ -105,8 +110,9 @@ func smcLeak() {
 	// Stock kernel on node 0, custom kernel on node 1.
 	topo, err := tccluster.Chain(2)
 	check(err)
-	c, err := tccluster.NewWithKernel(topo, tccluster.DefaultConfig(),
-		tccluster.KernelOptions{SMCDisabled: false})
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(),
+		tccluster.WithKernelOptions(tccluster.KernelOptions{SMCDisabled: false}),
+		tccluster.WithParallel(*parWorkers))
 	check(err)
 	before := c.Kernel(1).Interrupts()
 	c.Kernel(0).RaiseSMC(0xFEE0_0000)
@@ -132,7 +138,8 @@ func lossyCable() {
 		var finish tccluster.Time
 		c.Node(0).Core().StoreBlock(c.Node(1).MemBase()+8<<20, make([]byte, total), func(err error) {
 			check(err)
-			c.Node(0).Core().Sfence(func() { finish = c.Now() })
+			// Node-local clock: this callback runs on node 0's partition.
+			c.Node(0).Core().Sfence(func() { finish = c.Node(0).Now() })
 		})
 		c.Run()
 		got, err := c.Node(1).PeekMem(8<<20, total)

@@ -4,13 +4,15 @@
 // neighbors through the message library's eager path, and the result is
 // verified against a serial solver.
 //
-//	go run ./examples/heat2d
+//	go run ./examples/heat2d [-parallel N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
 	"os"
+	"sync/atomic"
 
 	tccluster "repro"
 )
@@ -149,27 +151,30 @@ func serialReference() [][]float64 {
 }
 
 func main() {
+	par := flag.Int("parallel", 0, "partition workers (0 = serial; results are identical either way)")
+	flag.Parse()
+
 	topo, err := tccluster.Chain(ranks)
 	check(err)
-	c, err := tccluster.New(topo, tccluster.DefaultConfig())
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(), tccluster.WithParallel(*par))
 	check(err)
 	world, err := c.NewWorld(tccluster.DefaultMPIConfig())
 	check(err)
 
 	workers := make([]*worker, ranks)
-	completed := 0
+	var completed atomic.Int64 // rank callbacks may run on different partitions
 	start := c.Now()
 	for r := 0; r < ranks; r++ {
 		workers[r] = newWorker(r, world.Rank(r))
 		workers[r].run(0, func(err error) {
 			check(err)
-			completed++
+			completed.Add(1)
 		})
 	}
 	c.Run()
 	elapsed := c.Now() - start
-	if completed != ranks {
-		check(fmt.Errorf("only %d of %d ranks completed", completed, ranks))
+	if completed.Load() != ranks {
+		check(fmt.Errorf("only %d of %d ranks completed", completed.Load(), ranks))
 	}
 
 	// Gather the distributed field at rank 0 and verify.

@@ -6,13 +6,15 @@
 // state is verified with local reads plus a cross-node Get served by the
 // active-message loop.
 //
-//	go run ./examples/pgas
+//	go run ./examples/pgas [-parallel N]
 package main
 
 import (
 	"encoding/binary"
+	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 
 	tccluster "repro"
 )
@@ -24,9 +26,12 @@ const (
 )
 
 func main() {
+	par := flag.Int("parallel", 0, "partition workers (0 = serial; results are identical either way)")
+	flag.Parse()
+
 	topo, err := tccluster.Chain(nodes)
 	check(err)
-	c, err := tccluster.New(topo, tccluster.DefaultConfig())
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(), tccluster.WithParallel(*par))
 	check(err)
 	sp, err := c.NewSpace(tccluster.DefaultPGASConfig())
 	check(err)
@@ -49,15 +54,15 @@ func main() {
 	}
 	segBase := func(node int) uint64 { return uint64(node) * segBytes }
 
+	// Each round is issued from driver context and drained with c.Run():
+	// a node's barrier callback runs on that node's partition, so chaining
+	// the next round's puts for *all* nodes from inside one callback would
+	// cross partition boundaries mid-window. Between runs every partition
+	// is parked, so the driver may touch any node freely.
 	start := c.Now()
-	var doRound func(round int)
-	finished := false
-	doRound = func(round int) {
-		if round >= rounds {
-			finished = true
-			return
-		}
-		pending := nodes
+	for round := 0; round < rounds; round++ {
+		var pending atomic.Int64
+		pending.Store(nodes)
 		for n := 0; n < nodes; n++ {
 			n := n
 			dst := (n + 1) % nodes
@@ -68,24 +73,20 @@ func main() {
 				check(err)
 				sp.Barrier(n, func(err error) {
 					check(err)
-					pending--
-					if pending == 0 {
-						doRound(round + 1)
-					}
+					pending.Add(-1)
 				})
 			})
 		}
-	}
-	doRound(0)
-	c.Run()
-	if !finished {
-		check(fmt.Errorf("rotation never finished"))
+		c.Run()
+		if pending.Load() != 0 {
+			check(fmt.Errorf("round %d never finished (%d nodes still pending)", round, pending.Load()))
+		}
 	}
 	fmt.Printf("%d rounds of put+barrier in %v virtual time\n", rounds, c.Now()-start)
 
 	// Verify locally: after `rounds` rounds, node n's slot written by
 	// node n-1 holds the block that originated at n (full circle).
-	verified := 0
+	var verified atomic.Int64
 	for n := 0; n < nodes; n++ {
 		n := n
 		writer := ((n-1)%nodes + nodes) % nodes
@@ -98,11 +99,11 @@ func main() {
 				check(fmt.Errorf("node %d: got block (origin=%d round=%d), want (origin=%d round=%d)",
 					n, origin, round, wantOrigin, rounds-1))
 			}
-			verified++
+			verified.Add(1)
 		})
 	}
 	c.Run()
-	fmt.Printf("local verification: %d/%d segments hold the expected blocks\n", verified, nodes)
+	fmt.Printf("local verification: %d/%d segments hold the expected blocks\n", verified.Load(), nodes)
 
 	// Cross-node Get through the active-message service: node 0 reads a
 	// block out of node 2's segment.

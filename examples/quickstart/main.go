@@ -1,10 +1,11 @@
 // Quickstart: boot the paper's two-board prototype, open a message
 // channel, and measure a ping-pong — the 60-second tour of TCCluster.
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [-parallel N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -12,11 +13,14 @@ import (
 )
 
 func main() {
+	par := flag.Int("parallel", 0, "partition workers (0 = serial; results are identical either way)")
+	flag.Parse()
+
 	// The prototype: two single-socket boards joined by an HTX cable,
 	// link forced non-coherent at HT800 x16 by the firmware sequence.
 	topo, err := tccluster.Chain(2)
 	check(err)
-	c, err := tccluster.New(topo, tccluster.DefaultConfig())
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(), tccluster.WithParallel(*par))
 	check(err)
 
 	fmt.Printf("booted %d nodes; TCCluster link is %v at %v x%d\n",
@@ -54,11 +58,14 @@ func main() {
 		if i >= rounds {
 			return
 		}
-		start := c.Now()
+		// Node-local clock: round is driven from node 0's partition, and
+		// in a parallel run the global clock is off-limits mid-window.
+		start := c.Node(0).Now()
 		ack.Recv(func(data []byte, err error) {
 			check(err)
+			rtt := c.Node(0).Now() - start
 			fmt.Printf("round %d: %q echoed in %v (half RTT %v)\n",
-				i, data, c.Now()-start, (c.Now()-start)/2)
+				i, data, rtt, rtt/2)
 			done++
 			round(i + 1)
 		})

@@ -17,12 +17,22 @@ import (
 // Cluster is a booted TCCluster: supernodes wired per a topology, with
 // firmware-programmed address maps and trained non-coherent links.
 type Cluster struct {
-	eng      *sim.Engine
-	cfg      Config
-	topo     *topology.Topology
-	machines []*firmware.Machine
-	nodes    []*Node
-	extLinks []*ht.Link
+	eng       *sim.Engine
+	cfg       Config
+	topo      *topology.Topology
+	machines  []*firmware.Machine
+	nodes     []*Node
+	extLinks  []*ht.Link
+	extEnds   [][2]int     // node indices of each external link's A and B side
+	nodeLinks [][]*ht.Link // per node: southbridge link + internal chain links
+	flashes   []*southbridge.Device
+
+	// Parallel-mode state, nil on serial runs; see parallel.go.
+	engs   []*sim.Engine
+	part   []int // node index -> partition index
+	runner *sim.Parallel
+	shards *trace.Shards
+	exiled [][]*ht.Packet // per partition: foreign pooled packets awaiting repatriation
 }
 
 // Node is the software-visible handle of one supernode.
@@ -45,6 +55,12 @@ func New(topo *topology.Topology, cfg Config) (*Cluster, error) {
 	}
 	if cfg.CoresPerSocket < 1 || cfg.CoresPerSocket > 8 {
 		return nil, fmt.Errorf("core: %d cores per socket out of range 1..8: %w", cfg.CoresPerSocket, errs.ErrBadConfig)
+	}
+	if cfg.Parallel < 0 {
+		return nil, fmt.Errorf("core: negative Parallel %d: %w", cfg.Parallel, errs.ErrBadConfig)
+	}
+	if cfg.Parallel > 1 && cfg.LegacyEventQueue {
+		return nil, fmt.Errorf("core: Parallel is incompatible with LegacyEventQueue — the legacy queue is the serial reference: %w", errs.ErrBadConfig)
 	}
 	if err := topo.Validate(); err != nil {
 		return nil, err
@@ -115,6 +131,7 @@ func New(topo *topology.Topology, cfg Config) (*Cluster, error) {
 		flash.AttachTo(sb.B())
 		m.SetFlashDevice(flash)
 		sb.ColdReset()
+		nodeLinks := []*ht.Link{sb}
 
 		// Internal coherent chain socket s <-> s+1.
 		for s := 0; s+1 < cfg.SocketsPerNode; s++ {
@@ -135,6 +152,7 @@ func New(topo *topology.Topology, cfg Config) (*Cluster, error) {
 			}
 			m.AddInternalLink(s, la, s+1, lb, il)
 			il.ColdReset()
+			nodeLinks = append(nodeLinks, il)
 		}
 
 		// Pre-assign external topology ports to sockets, spreading them
@@ -160,6 +178,8 @@ func New(topo *topology.Topology, cfg Config) (*Cluster, error) {
 			s = (s + 1) % cfg.SocketsPerNode
 		}
 		c.machines = append(c.machines, m)
+		c.nodeLinks = append(c.nodeLinks, nodeLinks)
+		c.flashes = append(c.flashes, flash)
 	}
 
 	// Wire external TCCluster links. A LinkWidth of 32 models the first
@@ -194,6 +214,7 @@ func New(topo *topology.Topology, cfg Config) (*Cluster, error) {
 			c.machines[b].AddTCCLink(sb.socket, sb.link, l)
 			l.ColdReset()
 			c.extLinks = append(c.extLinks, l)
+			c.extEnds = append(c.extEnds, [2]int{a, b})
 		}
 	}
 	c.eng.Run() // cold training everywhere
@@ -224,6 +245,9 @@ func New(topo *topology.Topology, cfg Config) (*Cluster, error) {
 
 	for i := range c.machines {
 		c.nodes = append(c.nodes, &Node{idx: i, cluster: c, machine: c.machines[i]})
+	}
+	if err := c.setupParallel(); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
@@ -262,8 +286,21 @@ func fillDefaults(cfg Config) Config {
 	return cfg
 }
 
-// Engine returns the cluster's simulation engine.
+// Engine returns partition 0's simulation engine — the boot engine, and
+// on serial runs the only one. Code that targets a specific node on a
+// possibly-parallel cluster must use EngineFor instead.
 func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Now returns the cluster's virtual time. On parallel runs partition
+// clocks are aligned between runs, so this is well-defined whenever the
+// cluster is quiescent (which is the only time callers outside the
+// simulation may observe it).
+func (c *Cluster) Now() sim.Time {
+	if c.runner != nil {
+		return c.runner.Now()
+	}
+	return c.eng.Now()
+}
 
 // Config returns the configuration the cluster was built with.
 func (c *Cluster) Config() Config { return c.cfg }
@@ -350,7 +387,14 @@ func (c *Cluster) Metrics() trace.Snapshot {
 // boundaries collapse into a single call — sampling cost is bounded by
 // event activity, never the other way around. A nil fn or non-positive
 // every uninstalls the hook.
+// On parallel runs the hook rides the window barrier instead: windows
+// are clamped to sample boundaries and fn runs in the coordinator's
+// serial section, after trace shards merge, with every worker parked.
 func (c *Cluster) SetSampleHook(every sim.Time, fn func(now sim.Time)) {
+	if c.runner != nil {
+		c.runner.SetSampleHook(every, fn)
+		return
+	}
 	if fn == nil || every <= 0 {
 		c.eng.SetProbe(nil, 0)
 		return
@@ -396,10 +440,22 @@ func (c *Cluster) LinkStatuses() []LinkStatus {
 }
 
 // Run drains all pending simulation events.
-func (c *Cluster) Run() { c.eng.Run() }
+func (c *Cluster) Run() {
+	if c.runner != nil {
+		c.runner.Run()
+		return
+	}
+	c.eng.Run()
+}
 
 // RunFor advances virtual time by d.
-func (c *Cluster) RunFor(d sim.Time) { c.eng.RunFor(d) }
+func (c *Cluster) RunFor(d sim.Time) {
+	if c.runner != nil {
+		c.runner.RunFor(d)
+		return
+	}
+	c.eng.RunFor(d)
+}
 
 // GlobalBase returns the first global physical address of node i's DRAM.
 func (c *Cluster) GlobalBase(i int) uint64 { return uint64(i) * c.cfg.MemPerNode }
@@ -411,6 +467,17 @@ func (n *Node) Index() int { return n.idx }
 
 // Machine exposes the underlying board (boot log, sockets).
 func (n *Node) Machine() *firmware.Machine { return n.machine }
+
+// Now returns the node's partition-local virtual time. Workload
+// callbacks (write hooks, fence completions) run on the partition that
+// owns the node, so this is the clock they may read; the global
+// Cluster.Now is only meaningful while the cluster is quiescent.
+func (n *Node) Now() sim.Time { return n.machine.Eng.Now() }
+
+// Engine returns the engine executing this node's events — the node's
+// partition engine on parallel runs. Callbacks scheduling follow-up work
+// against this node must use it rather than Cluster.Engine.
+func (n *Node) Engine() *sim.Engine { return n.machine.Eng }
 
 // BootLog returns the node's firmware boot log.
 func (n *Node) BootLog() *firmware.BootLog { return n.machine.Log() }

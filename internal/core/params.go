@@ -86,6 +86,13 @@ type Config struct {
 	// virtual-time results; this exists for paired benchmarking
 	// (tccbench -bench engine) and as a determinism cross-check.
 	LegacyEventQueue bool
+	// Parallel partitions the cluster by supernode across up to this
+	// many worker goroutines after boot, synchronized by a conservative
+	// time-windowed barrier whose width is the minimum cross-partition
+	// link latency. 0 or 1 runs the reference serial engine. Parallel
+	// runs reach the same final virtual time and per-link counters as
+	// serial runs; only intra-window event interleaving differs.
+	Parallel int
 }
 
 // DefaultConfig returns the prototype-faithful configuration.

@@ -123,6 +123,10 @@ func (c *Core) OnEvent(_ *sim.Engine, arg sim.EventArg) {
 	cb(data, err)
 }
 
+// SetEngine rebinds the core onto a partition engine; called while
+// quiescent, before a parallel run starts.
+func (c *Core) SetEngine(e *sim.Engine) { c.eng = e }
+
 // NewCore creates a core attached to node. The MTRR default type is
 // Uncacheable, as on real parts: firmware must explicitly map DRAM as WB
 // and the TCCluster window as WC.

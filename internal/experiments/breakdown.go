@@ -20,25 +20,29 @@ func LatencyBreakdown() (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	src := c.Node(0).Core()
+	srcNode := c.Node(0)
+	src := srcNode.Core()
 	dst := c.Node(1)
 
+	// Stage hooks fire on the partition that executes each stage: tx and
+	// issue on the sender's, rx and landing on the receiver's. Each hook
+	// writes its own variable, read only after the run drains.
 	var issued, txStart, rxAt, landed sim.Time
 	link := c.ExternalLinks()[0]
 	link.SetTrace(func(ev, side string, pkt *ht.Packet) {
 		switch {
 		case ev == "tx" && txStart == 0:
-			txStart = c.Engine().Now()
+			txStart = srcNode.Now()
 		case ev == "rx" && rxAt == 0:
-			rxAt = c.Engine().Now()
+			rxAt = dst.Now()
 		}
 	})
-	dst.Machine().Procs[0].NB.SetWriteHook(func(uint64, int) { landed = c.Engine().Now() })
+	dst.Machine().Procs[0].NB.SetWriteHook(func(uint64, int) { landed = dst.Now() })
 
-	start := c.Engine().Now()
+	start := c.Now()
 	src.StoreBlock(dst.MemBase()+8<<20, make([]byte, 64), func(err error) {
 		if err == nil {
-			issued = c.Engine().Now()
+			issued = srcNode.Now()
 		}
 	})
 	c.Run()
@@ -51,11 +55,11 @@ func LatencyBreakdown() (*stats.Table, error) {
 	// The poll-detect cost: an uncached read of the flag line, averaged
 	// (the E14 distribution spans one poll period).
 	pollOnce := func() (sim.Time, error) {
-		t0 := c.Engine().Now()
+		t0 := c.Now()
 		var t1 sim.Time
 		dst.Core().Load(dst.MemBase()+8<<20, 8, func(_ []byte, err error) {
 			if err == nil {
-				t1 = c.Engine().Now()
+				t1 = dst.Now()
 			}
 		})
 		c.Run()
@@ -93,6 +97,7 @@ func SupernodeTransit() (*stats.Table, error) {
 	topo := mustChain(2)
 	cfg := core.DefaultConfig()
 	cfg.SocketsPerNode = 4
+	cfg.Parallel = parallel
 	c, err := core.New(topo, cfg)
 	if err != nil {
 		return nil, err
@@ -106,11 +111,12 @@ func SupernodeTransit() (*stats.Table, error) {
 		var landed sim.Time
 		dst.Machine().Procs[0].NB.SetWriteHook(func(uint64, int) {
 			if landed == 0 {
-				landed = c.Engine().Now()
+				landed = dst.Now()
 			}
 		})
-		start := c.Engine().Now()
-		src := c.Node(0).CoreAt(s, 0)
+		start := c.Now()
+		srcNode := c.Node(0)
+		src := srcNode.CoreAt(s, 0)
 		src.StoreBlock(dst.MemBase()+8<<20, make([]byte, 64), func(error) {})
 		c.Run()
 		dst.Machine().Procs[0].NB.SetWriteHook(nil)
@@ -120,13 +126,13 @@ func SupernodeTransit() (*stats.Table, error) {
 		lat := landed - start
 
 		stream := make([]byte, 64<<10)
-		sStart := c.Engine().Now()
+		sStart := c.Now()
 		var finish sim.Time
 		src.StoreBlock(dst.MemBase()+16<<20, stream, func(err error) {
 			if err != nil {
 				return
 			}
-			src.Sfence(func() { finish = c.Engine().Now() })
+			src.Sfence(func() { finish = srcNode.Now() })
 		})
 		c.Run()
 		if finish == 0 {

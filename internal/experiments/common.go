@@ -15,12 +15,23 @@ import (
 	"repro/internal/topology"
 )
 
+// parallel, when nonzero, runs every experiment cluster on that many
+// partition workers (tccfig -parallel). Virtual-time results are
+// identical to serial runs; only wall-clock behavior changes.
+var parallel int
+
+// SetParallel makes subsequently built experiment clusters parallel.
+func SetParallel(n int) { parallel = n }
+
 // buildChain boots an n-node chain with the given hardware config and
 // installs custom kernels.
 func buildChain(n int, cfg core.Config) (*core.Cluster, *kernel.OS, error) {
 	topo, err := topology.Chain(n)
 	if err != nil {
 		return nil, nil, err
+	}
+	if cfg.Parallel == 0 {
+		cfg.Parallel = parallel
 	}
 	c, err := core.New(topo, cfg)
 	if err != nil {
@@ -38,16 +49,17 @@ func buildPair(cfg core.Config) (*core.Cluster, *kernel.OS, error) {
 // block stores of size bytes each, one final fence; returns achieved
 // bytes/second of virtual time.
 func streamWeak(c *core.Cluster, src, dst int, size, iters int) (float64, error) {
-	sender := c.Node(src).Core()
+	srcNode := c.Node(src)
+	sender := srcNode.Core()
 	base := c.Node(dst).MemBase() + 8<<20 // past the UC receive window
 	payload := make([]byte, size)
-	start := c.Engine().Now()
+	start := c.Now()
 	var finish sim.Time
 	var ferr error
 	var round func(i int)
 	round = func(i int) {
 		if i >= iters {
-			sender.Sfence(func() { finish = c.Engine().Now() })
+			sender.Sfence(func() { finish = srcNode.Now() })
 			return
 		}
 		sender.StoreBlock(base+uint64(i%8)*uint64(size), payload, func(err error) {
@@ -72,17 +84,18 @@ func streamWeak(c *core.Cluster, src, dst int, size, iters int) (float64, error)
 // streamOrdered measures strictly ordered streaming: an Sfence after
 // every fenceEveryLines cache lines (1 = the paper's ordered mode).
 func streamOrdered(c *core.Cluster, src, dst int, size, iters, fenceEveryLines int) (float64, error) {
-	sender := c.Node(src).Core()
+	srcNode := c.Node(src)
+	sender := srcNode.Core()
 	base := c.Node(dst).MemBase() + 8<<20
 	line := make([]byte, cpu.LineSize)
 	totalLines := iters * ((size + cpu.LineSize - 1) / cpu.LineSize)
-	start := c.Engine().Now()
+	start := c.Now()
 	var finish sim.Time
 	var ferr error
 	var round func(i int)
 	round = func(i int) {
 		if i >= totalLines {
-			sender.Sfence(func() { finish = c.Engine().Now() })
+			sender.Sfence(func() { finish = srcNode.Now() })
 			return
 		}
 		addr := base + uint64(i%4096)*cpu.LineSize
@@ -122,13 +135,13 @@ func streamUC(c *core.Cluster, src, dst int, size, iters int) (float64, error) {
 	// Everything else (including the peer) defaults to UC.
 	base := dstNode.MemBase() + 8<<20
 	payload := make([]byte, size)
-	start := c.Engine().Now()
+	start := c.Now()
 	var finish sim.Time
 	var ferr error
 	var round func(i int)
 	round = func(i int) {
 		if i >= iters {
-			finish = c.Engine().Now()
+			finish = srcNode.Now()
 			return
 		}
 		sender.StoreBlock(base, payload, func(err error) {

@@ -57,7 +57,8 @@ func pingPong(c *core.Cluster, size, iters int) (sim.Time, error) {
 	if size < 8 || size%8 != 0 {
 		return 0, fmt.Errorf("ping-pong size %d must be a multiple of 8, >= 8", size)
 	}
-	a, b := c.Node(0).Core(), c.Node(1).Core()
+	n0 := c.Node(0)
+	a, b := n0.Core(), c.Node(1).Core()
 	// Buffers sit inside each node's UC window so polls read DRAM.
 	aBuf := c.Node(0).MemBase() + 1<<20
 	bBuf := c.Node(1).MemBase() + 1<<20
@@ -117,9 +118,9 @@ func pingPong(c *core.Cluster, size, iters int) (sim.Time, error) {
 		if int(round) > iters {
 			return
 		}
-		start := c.Engine().Now()
+		start := n0.Now()
 		poll(a, aBuf+markOff, round, func() {
-			total += c.Engine().Now() - start
+			total += n0.Now() - start
 			completed++
 			drive(round + 1)
 		})

@@ -24,8 +24,9 @@ func PollJitter(rounds int) (*stats.Table, *stats.Histogram, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	a, b := c.Node(0).Core(), c.Node(1).Core()
-	buf := c.Node(1).MemBase() + 1<<20 // inside node1's UC window
+	n0, n1 := c.Node(0), c.Node(1)
+	a, b := n0.Core(), n1.Core()
+	buf := n1.MemBase() + 1<<20 // inside node1's UC window
 
 	var hist stats.Histogram
 	for i := 0; i < rounds; i++ {
@@ -44,7 +45,7 @@ func PollJitter(rounds int) (*stats.Table, *stats.Histogram, error) {
 					return
 				}
 				if binary.LittleEndian.Uint64(d) == marker {
-					detect = c.Engine().Now()
+					detect = n1.Now()
 					return
 				}
 				poll()
@@ -54,8 +55,8 @@ func PollJitter(rounds int) (*stats.Table, *stats.Histogram, error) {
 		// swept offset into it, so the arrival phase walks across the
 		// poll period round by round.
 		poll()
-		c.Engine().After(sim.Time(i*7)*sim.Nanosecond, func() {
-			start = c.Engine().Now()
+		n0.Engine().After(sim.Time(i*7)*sim.Nanosecond, func() {
+			start = n0.Now()
 			payload := make([]byte, 64)
 			binary.LittleEndian.PutUint64(payload, marker)
 			a.StoreBlock(buf, payload, func(err error) {

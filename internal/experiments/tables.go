@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/coherency"
 	"repro/internal/core"
@@ -32,8 +34,8 @@ func HopLatency(maxHops int) (*stats.Table, error) {
 	for hop := 1; hop <= maxHops; hop++ {
 		dst := c.Node(hop)
 		var land sim.Time
-		dst.Machine().Procs[0].NB.SetWriteHook(func(uint64, int) { land = c.Engine().Now() })
-		start := c.Engine().Now()
+		dst.Machine().Procs[0].NB.SetWriteHook(func(uint64, int) { land = dst.Now() })
+		start := c.Now()
 		c.Node(0).Core().StoreBlock(dst.MemBase()+8<<20, make([]byte, 64), func(error) {})
 		c.Run()
 		dst.Machine().Procs[0].NB.SetWriteHook(nil)
@@ -290,8 +292,8 @@ func LinkSpeedSweep() (*stats.Table, error) {
 			// One-way 64B land time.
 			var land sim.Time
 			dst := c.Node(1)
-			dst.Machine().Procs[0].NB.SetWriteHook(func(uint64, int) { land = c.Engine().Now() })
-			start := c.Engine().Now()
+			dst.Machine().Procs[0].NB.SetWriteHook(func(uint64, int) { land = dst.Now() })
+			start := c.Now()
 			c.Node(0).Core().StoreBlock(dst.MemBase()+9<<20, make([]byte, 64), func(error) {})
 			c.Run()
 			raw := float64(width) * speed.GbitPerLane() / 8
@@ -410,29 +412,43 @@ func MPICollectives(nodeCounts []int) (*stats.Table, error) {
 }
 
 func timeCollective(c *core.Cluster, n int, op func(rank int, done func(error))) (sim.Time, error) {
-	start := c.Engine().Now()
-	var finish sim.Time
+	// Rank completions fire on their own partitions during parallel runs:
+	// counters are atomic, and the finish time is the max of each rank's
+	// local completion clock (the last arrival defines the collective).
+	start := c.Now()
+	var finish atomic.Int64
+	var errMu sync.Mutex
 	var firstErr error
-	pending := n
+	var pending atomic.Int64
+	pending.Store(int64(n))
 	for r := 0; r < n; r++ {
+		node := c.Node(r)
 		op(r, func(err error) {
-			if err != nil && firstErr == nil {
-				firstErr = err
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
 			}
-			pending--
-			if pending == 0 {
-				finish = c.Engine().Now()
+			now := int64(node.Now())
+			for {
+				cur := finish.Load()
+				if now <= cur || finish.CompareAndSwap(cur, now) {
+					break
+				}
 			}
+			pending.Add(-1)
 		})
 	}
 	c.Run()
 	if firstErr != nil {
 		return 0, firstErr
 	}
-	if pending != 0 {
-		return 0, fmt.Errorf("collective never completed (%d ranks pending)", pending)
+	if pending.Load() != 0 {
+		return 0, fmt.Errorf("collective never completed (%d ranks pending)", pending.Load())
 	}
-	return finish - start, nil
+	return sim.Time(finish.Load()) - start, nil
 }
 
 // AllreduceAblation (E15, extension) races the binomial-tree allreduce
@@ -498,10 +514,10 @@ func PGASLatencies() (*stats.Table, error) {
 	}
 	seg := sp.Size() / 2
 
-	start := c.Engine().Now()
+	start := c.Now()
 	sp.PutStrict(0, seg+64, make([]byte, 64), func(error) {})
 	c.Run()
-	t.AddRow("PutStrict 64B (issue+fence)", fmt.Sprintf("%.0f ns", (c.Engine().Now()-start).Nanos()))
+	t.AddRow("PutStrict 64B (issue+fence)", fmt.Sprintf("%.0f ns", (c.Now()-start).Nanos()))
 
 	b, err := timeCollective(c, 2, func(r int, done func(error)) { sp.Barrier(r, done) })
 	if err != nil {
@@ -510,11 +526,12 @@ func PGASLatencies() (*stats.Table, error) {
 	t.AddRow("Barrier (2 nodes, remote-store)", fmt.Sprintf("%.2f us", b.Micros()))
 
 	sp.Serve(1)
-	start = c.Engine().Now()
+	start = c.Now()
 	var gotAt sim.Time
+	getter := c.Node(0)
 	sp.Get(0, seg+64, 64, func(_ []byte, err error) {
 		if err == nil {
-			gotAt = c.Engine().Now()
+			gotAt = getter.Now()
 		}
 	})
 	c.RunFor(sim.Millisecond)

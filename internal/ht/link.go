@@ -190,6 +190,12 @@ type Port struct {
 	waitq   [NumVCs]pktQueue
 	sink    Sink
 	stats   portCounters
+
+	// Free list of in-flight transfer records. Records live on the
+	// transmitting port (allocated at transmit, recycled when the credit
+	// coupon returns, both on the transmitter's partition), so a split
+	// link's two sides never share a free list.
+	recFree *txRec
 }
 
 // pktQueue is a FIFO of packets that pops by advancing a head index
@@ -238,9 +244,16 @@ func (q *pktQueue) reset() {
 }
 
 // Link is a bidirectional HyperTransport link between two ports.
+//
+// A link normally lives on one engine. When its two ends belong to
+// different partitions of a parallel run (see Split), each side keeps
+// its own engine and tracer, and events crossing the link are posted to
+// per-direction mailboxes instead of scheduled directly — the mailbox
+// handoff at window barriers is what makes the two sides race-free.
 type Link struct {
-	eng *sim.Engine
-	cfg LinkConfig
+	engs [2]*sim.Engine  // engine per side; both entries equal unless Split
+	mail [2]*sim.Mailbox // mail[s] carries events into side s's partition
+	cfg  LinkConfig
 
 	ports [2]*Port
 
@@ -250,13 +263,11 @@ type Link struct {
 	width int
 
 	trainings int
-	rand      *sim.Rand
 	log       func(string)
 	trace     func(event, side string, pkt *Packet)
 	tracer    trace.Tracer
+	trc       [2]trace.Tracer // tracer per side; both equal unless Split
 	traceID   int
-
-	recFree *txRec // free list of in-flight transfer records
 }
 
 // Event opcodes carried in sim.EventArg.I. The low 16 bits select the
@@ -287,25 +298,25 @@ type txRec struct {
 	done     func() // prebuilt: hands the rx buffer back (Sink contract)
 }
 
-func (l *Link) getRec(p *Port) *txRec {
-	rec := l.recFree
+func (p *Port) getRec() *txRec {
+	rec := p.recFree
 	if rec == nil {
 		rec = &txRec{}
 		rec.done = func() { rec.link().rxDone(rec) }
+		rec.p = p
 	} else {
-		l.recFree = rec.next
+		p.recFree = rec.next
 		rec.next = nil
 	}
-	rec.p = p
 	return rec
 }
 
 func (r *txRec) link() *Link { return r.p.link }
 
-func (l *Link) putRec(rec *txRec) {
+func (p *Port) putRec(rec *txRec) {
 	rec.pkt = nil
-	rec.next = l.recFree
-	l.recFree = rec
+	rec.next = p.recFree
+	p.recFree = rec
 }
 
 // OnEvent dispatches the link's typed events. Implementing sim.Handler
@@ -339,8 +350,7 @@ func NewLink(eng *sim.Engine, cfg LinkConfig) *Link {
 	if cfg.ErrorRate > 0 && cfg.RetryPenalty == 0 {
 		cfg.RetryPenalty = 500 * sim.Nanosecond
 	}
-	l := &Link{eng: eng, cfg: cfg, state: StateDown, typ: TypeDown,
-		rand: sim.NewRand(cfg.ErrorSeed + 0x7CC)}
+	l := &Link{engs: [2]*sim.Engine{eng, eng}, cfg: cfg, state: StateDown, typ: TypeDown}
 	l.ports[0] = &Port{link: l, side: 0, name: "A", class: cfg.AClass,
 		progSpeed: ColdResetSpeed, progWidth: ColdResetWidth}
 	l.ports[1] = &Port{link: l, side: 1, name: "B", class: cfg.BClass,
@@ -362,7 +372,55 @@ func (l *Link) SetTrace(fn func(event, side string, pkt *Packet)) { l.trace = fn
 // default) makes every emission site a single nil-check no-op.
 func (l *Link) SetTracer(tr trace.Tracer, id int) {
 	l.tracer = tr
+	l.trc = [2]trace.Tracer{tr, tr}
 	l.traceID = id
+}
+
+// Split rebinds the link's two sides onto separate partition engines.
+// engA/engB drive the A/B side; mailToA/mailToB receive the events
+// destined for the respective side's partition (deliveries of packets
+// sent *toward* that side, credit coupons returning *to* it). trA/trB,
+// if non-nil, replace the shared tracer with per-partition shards so
+// concurrent emissions never touch one collector. Split must happen
+// while the link is quiescent (no packets in flight) and sticks until
+// Rebind; retraining a split link is not supported.
+func (l *Link) Split(engA, engB *sim.Engine, mailToA, mailToB *sim.Mailbox, trA, trB trace.Tracer) {
+	l.engs = [2]*sim.Engine{engA, engB}
+	l.mail = [2]*sim.Mailbox{mailToA, mailToB}
+	if trA != nil {
+		l.trc[0] = trA
+	}
+	if trB != nil {
+		l.trc[1] = trB
+	}
+}
+
+// Rebind moves both sides of an unsplit link onto eng, used when a
+// whole node (and its internal links) migrates to a partition engine.
+func (l *Link) Rebind(eng *sim.Engine) {
+	l.engs = [2]*sim.Engine{eng, eng}
+	l.mail = [2]*sim.Mailbox{}
+}
+
+// FlightTime returns the configured propagation delay, one of the two
+// components of the cross-partition lookahead.
+func (l *Link) FlightTime() sim.Time { return l.cfg.Flight }
+
+// split reports whether the link's sides live on different partitions.
+func (l *Link) split() bool { return l.mail[0] != nil || l.mail[1] != nil }
+
+// sched routes an event into side's partition: directly onto its engine
+// when the caller runs there, through the mailbox when it does not. A
+// mailed event is stamped with the producing partition's clock — in
+// split mode sched(side) is always called by the opposite side, whose
+// events run on engs[1-side] — so the consumer orders it exactly as a
+// serial run would have.
+func (l *Link) sched(side int, at sim.Time, arg sim.EventArg) {
+	if mb := l.mail[side]; mb != nil {
+		mb.Post(l.engs[1-side], at, l, arg)
+		return
+	}
+	l.engs[side].Schedule(at, l, arg)
 }
 
 func (l *Link) emitTrace(event, side string, pkt *Packet) {
@@ -494,9 +552,9 @@ func (p *Port) Send(pkt *Packet) error {
 	vc := pkt.Cmd.VC()
 	if p.waitq[vc].len() > 0 || !p.credits.CanSend(pkt) {
 		p.stats.creditStalls.Add(1)
-		if l.tracer != nil {
-			l.tracer.Emit(trace.Event{
-				At: l.eng.Now(), Kind: trace.KindCreditStall, Node: -1,
+		if tr := l.trc[p.side]; tr != nil {
+			tr.Emit(trace.Event{
+				At: l.engs[p.side].Now(), Kind: trace.KindCreditStall, Node: -1,
 				Link: l.traceID, Src: p.side, Dst: 1 - p.side,
 			})
 		}
@@ -548,39 +606,61 @@ func (p *Port) pump() {
 
 func (p *Port) transmit(pkt *Packet) {
 	l := p.link
+	eng := l.engs[p.side]
 	pkt.Accept()
 	wire := EncodedLen(pkt)
 	ser := l.byteTime(wire)
+	seq := p.stats.pktsSent.Add(1)
 	// Link-level retry: each corrupted serialization costs the CRC
 	// detection + resync penalty plus a replay of the packet. The
 	// replay buffer preserves order because the tx server is FIFO and
-	// retries book consecutive slots.
+	// retries book consecutive slots. The fault draw is a stateless
+	// hash of (seed, side, packet sequence, attempt) rather than a
+	// shared RNG stream, so the fault pattern a packet sees depends
+	// only on its identity — not on how transmissions on the two sides
+	// interleave — and serial and partition-split runs corrupt exactly
+	// the same packets.
 	attempts := sim.Time(0)
-	for l.cfg.ErrorRate > 0 && l.rand.Float64() < l.cfg.ErrorRate {
-		p.stats.crcErrors.Add(1)
-		p.stats.retries.Add(1)
-		attempts += ser + l.cfg.RetryPenalty
+	if l.cfg.ErrorRate > 0 {
+		for n := uint64(0); faultU01(l.cfg.ErrorSeed, uint64(p.side), seq, n) < l.cfg.ErrorRate; n++ {
+			p.stats.crcErrors.Add(1)
+			p.stats.retries.Add(1)
+			attempts += ser + l.cfg.RetryPenalty
+		}
 	}
-	_, done := p.tx.Schedule(l.eng.Now(), attempts+ser)
-	seq := p.stats.pktsSent.Add(1)
+	_, done := p.tx.Schedule(eng.Now(), attempts+ser)
 	p.stats.bytesSent.Add(uint64(wire))
 	p.stats.perVCSent[pkt.Cmd.VC()].Add(1)
 	l.emitTrace("tx", p.name, pkt)
-	if l.tracer != nil {
-		l.tracer.Emit(trace.Event{
-			At: l.eng.Now(), Kind: trace.KindPacketSent, Node: -1,
+	if tr := l.trc[p.side]; tr != nil {
+		tr.Emit(trace.Event{
+			At: eng.Now(), Kind: trace.KindPacketSent, Node: -1,
 			Link: l.traceID, Src: p.side, Dst: 1 - p.side,
 			Seq: seq, Bytes: wire, Label: pkt.String(),
 		})
 	}
-	rec := l.getRec(p)
+	rec := p.getRec()
 	rec.pkt = pkt
 	rec.seq = seq
 	rec.wire = wire
 	rec.vc = pkt.Cmd.VC()
 	rec.hasData = pkt.Cmd.HasData()
 	rec.released = false
-	l.eng.Schedule(done+l.cfg.Flight, l, sim.EventArg{Ptr: rec, I: opDeliver})
+	// The delivery event belongs to the receiving side's partition.
+	l.sched(1-p.side, done+l.cfg.Flight, sim.EventArg{Ptr: rec, I: opDeliver})
+}
+
+// faultU01 maps a fault-draw identity to a uniform [0,1) value with a
+// splitmix64-style finalizer. Keying on the per-side packet sequence
+// keeps the stream independent of global event interleaving.
+func faultU01(seed, side, seq, attempt uint64) float64 {
+	x := seed + 0x9E3779B97F4A7C15*(side+1) + seq*0xBF58476D1CE4E5B9 + attempt*0x94D049BB133111EB
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
 }
 
 // deliver lands a packet at the peer port and hands the receive buffer
@@ -589,9 +669,9 @@ func (l *Link) deliver(rec *txRec) {
 	p, pkt := rec.p, rec.pkt
 	peer := p.Peer()
 	l.emitTrace("rx", peer.name, pkt)
-	if l.tracer != nil {
-		l.tracer.Emit(trace.Event{
-			At: l.eng.Now(), Kind: trace.KindPacketDelivered, Node: -1,
+	if tr := l.trc[peer.side]; tr != nil {
+		tr.Emit(trace.Event{
+			At: l.engs[peer.side].Now(), Kind: trace.KindPacketDelivered, Node: -1,
 			Link: l.traceID, Src: p.side, Dst: 1 - p.side,
 			Seq: rec.seq, Bytes: rec.wire,
 		})
@@ -614,7 +694,10 @@ func (l *Link) rxDone(rec *txRec) {
 	}
 	rec.released = true
 	delay := l.cfg.Flight + l.byteTime(4)
-	l.eng.ScheduleAfter(delay, l, sim.EventArg{Ptr: rec, I: opCredit})
+	// rxDone runs on the receiving side; the coupon lands back at the
+	// transmitter's partition.
+	now := l.engs[1-rec.p.side].Now()
+	l.sched(rec.p.side, now+delay, sim.EventArg{Ptr: rec, I: opCredit})
 }
 
 // creditReturn releases rec's credits at the transmitter. It releases by
@@ -624,7 +707,7 @@ func (l *Link) rxDone(rec *txRec) {
 // *now*, so a coupon that survives a retrain tops up the fresh counters.
 func (l *Link) creditReturn(rec *txRec) {
 	p, vc, hasData := rec.p, rec.vc, rec.hasData
-	l.putRec(rec)
+	p.putRec(rec)
 	p.credits.ReleaseShape(vc, hasData)
 	p.pump()
 }
@@ -669,6 +752,13 @@ func (l *Link) WarmReset() {
 }
 
 func (l *Link) beginTraining(speed Speed, width int) {
+	if l.split() {
+		// Training mutates both ports' queues and the shared state
+		// machine; on a split link the two sides run concurrently, so a
+		// retrain mid-run would race. Firmware trains before the cluster
+		// is partitioned, and fault scenarios retrain between runs.
+		panic("ht: cannot retrain a partition-split link")
+	}
 	if l.state == StateTraining {
 		// Both ends share one physical reset wire (the paper short-
 		// circuits the reset signals of its two boards): a second assert
@@ -684,7 +774,7 @@ func (l *Link) beginTraining(speed Speed, width int) {
 		}
 		p.tx.Reset()
 	}
-	l.eng.ScheduleAfter(l.cfg.TrainTime, l, sim.EventArg{
+	l.engs[0].ScheduleAfter(l.cfg.TrainTime, l, sim.EventArg{
 		I: opTrainDone | int64(speed)<<opSpeedShift | int64(width)<<opWidthShift,
 	})
 }

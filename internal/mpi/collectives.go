@@ -77,9 +77,9 @@ func (c *Comm) Barrier(done func(error)) {
 		c.epochs = make(map[int]int)
 	}
 	epoch := uint64(c.epochs[opBarrier])
-	if c.w.tracer != nil {
-		c.w.tracer.Emit(trace.Event{
-			At: c.w.eng.Now(), Kind: trace.KindBarrierEnter,
+	if c.tracer != nil {
+		c.tracer.Emit(trace.Event{
+			At: c.eng.Now(), Kind: trace.KindBarrierEnter,
 			Node: c.rank, Link: -1, Seq: epoch,
 		})
 	}
@@ -87,9 +87,9 @@ func (c *Comm) Barrier(done func(error)) {
 	round = func(k, dist int) {
 		if dist >= n {
 			c.bumpEpoch(opBarrier)
-			if c.w.tracer != nil {
-				c.w.tracer.Emit(trace.Event{
-					At: c.w.eng.Now(), Kind: trace.KindBarrierExit,
+			if c.tracer != nil {
+				c.tracer.Emit(trace.Event{
+					At: c.eng.Now(), Kind: trace.KindBarrierExit,
 					Node: c.rank, Link: -1, Seq: epoch,
 				})
 			}

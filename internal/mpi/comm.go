@@ -4,14 +4,17 @@ import (
 	"fmt"
 
 	"repro/internal/msg"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
 // Comm is one rank's endpoint: point-to-point operations plus the
 // matching machinery.
 type Comm struct {
-	w    *World
-	rank int
+	w      *World
+	rank   int
+	eng    *sim.Engine  // the rank's node engine (its partition on parallel runs)
+	tracer trace.Tracer // the rank's partition-safe tracer, nil when disabled
 
 	senders   []*msg.Sender   // senders[dst]: channel rank->dst
 	receivers []*msg.Receiver // receivers[src]: channel src->rank
@@ -48,10 +51,12 @@ type sendTask struct {
 	done func(error)
 }
 
-func newComm(w *World, rank int) *Comm {
+func newComm(w *World, rank int, eng *sim.Engine, tracer trace.Tracer) *Comm {
 	return &Comm{
 		w:           w,
 		rank:        rank,
+		eng:         eng,
+		tracer:      tracer,
 		senders:     make([]*msg.Sender, w.n),
 		receivers:   make([]*msg.Receiver, w.n),
 		inbox:       make(map[int][]envelope),
@@ -204,9 +209,9 @@ func (c *Comm) sendRndv(dst, tag int, data []byte, done func(error)) {
 	}
 	c.rndvBusy[dst] = true
 	c.stats.RndvSends++
-	if c.w.tracer != nil {
-		c.w.tracer.Emit(trace.Event{
-			At: c.w.eng.Now(), Kind: trace.KindRendezvousStart,
+	if c.tracer != nil {
+		c.tracer.Emit(trace.Event{
+			At: c.eng.Now(), Kind: trace.KindRendezvousStart,
 			Node: c.rank, Link: -1, Src: c.rank, Dst: dst, Bytes: len(data),
 		})
 	}
@@ -242,9 +247,9 @@ func (c *Comm) drainRndvQueue(dst int) {
 	// Complete the waiter whose transfer was just acked.
 	if ws := c.rndvWaiters[dst]; len(ws) > 0 {
 		c.rndvWaiters[dst] = ws[1:]
-		if c.w.tracer != nil {
-			c.w.tracer.Emit(trace.Event{
-				At: c.w.eng.Now(), Kind: trace.KindRendezvousDone,
+		if c.tracer != nil {
+			c.tracer.Emit(trace.Event{
+				At: c.eng.Now(), Kind: trace.KindRendezvousDone,
 				Node: c.rank, Link: -1, Src: c.rank, Dst: dst,
 			})
 		}

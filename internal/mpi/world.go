@@ -13,8 +13,6 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/msg"
-	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 // AnyTag matches any tag in Recv.
@@ -43,11 +41,9 @@ func DefaultConfig() Config {
 // World is the set of ranks (one per cluster node) and their N*(N-1)
 // unidirectional channels.
 type World struct {
-	cfg    Config
-	n      int
-	comms  []*Comm
-	eng    *sim.Engine
-	tracer trace.Tracer
+	cfg   Config
+	n     int
+	comms []*Comm
 }
 
 // NewWorld opens channels between every pair of nodes and starts the
@@ -66,10 +62,14 @@ func NewWorld(os *kernel.OS, cfg Config) (*World, error) {
 		return nil, fmt.Errorf("mpi: eager limit %d exceeds ring message capacity %d",
 			cfg.EagerLimit, cfg.Msg.MaxMessage()-envelopeHeader)
 	}
-	n := os.Cluster().N()
-	w := &World{cfg: cfg, n: n, eng: os.Cluster().Engine(), tracer: os.Tracer()}
+	cl := os.Cluster()
+	n := cl.N()
+	w := &World{cfg: cfg, n: n}
+	// Each rank's communicator timestamps and traces on its own node's
+	// engine and shard, so rank callbacks stay partition-local on
+	// parallel clusters.
 	for rank := 0; rank < n; rank++ {
-		w.comms = append(w.comms, newComm(w, rank))
+		w.comms = append(w.comms, newComm(w, rank, cl.EngineFor(rank), cl.TracerFor(rank)))
 	}
 	for src := 0; src < n; src++ {
 		for dst := 0; dst < n; dst++ {

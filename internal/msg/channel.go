@@ -23,7 +23,7 @@ func Open(os *kernel.OS, src, dst int, par Params) (*Sender, *Receiver, error) {
 		return nil, nil, fmt.Errorf("msg: cannot open a channel to self")
 	}
 	ks, kd := os.Kernel(src), os.Kernel(dst)
-	eng := os.Cluster().Engine()
+	cl := os.Cluster()
 
 	ringOff, err := kd.AllocUC(par.RingBytes)
 	if err != nil {
@@ -67,13 +67,16 @@ func Open(os *kernel.OS, src, dst int, par Params) (*Sender, *Receiver, error) {
 		}
 	}
 
+	// Each endpoint schedules and timestamps on the engine of the node it
+	// runs on: the sender's poll/trace activity belongs to src's
+	// partition, the receiver's poll loop to dst's.
 	s := &Sender{
-		eng: eng, par: par, src: src, dst: dst,
+		eng: cl.EngineFor(src), par: par, src: src, dst: dst,
 		ring: sendWin, fc: fcLocal, bulk: bulkSend,
-		tracer: os.Tracer(),
+		tracer: cl.TracerFor(src),
 	}
 	r := &Receiver{
-		eng: eng, par: par, src: src, dst: dst,
+		eng: cl.EngineFor(dst), par: par, src: src, dst: dst,
 		ring: ringLocal, fc: fcRemote, bulk: bulkLocal,
 	}
 	return s, r, nil

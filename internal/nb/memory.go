@@ -177,6 +177,10 @@ func NewMemoryController(eng *sim.Engine, size uint64, par MemParams) *MemoryCon
 // byte.
 func (mc *MemoryController) SetBase(base uint64) { mc.base = base }
 
+// SetEngine rebinds the controller onto a partition engine; called
+// while quiescent, before a parallel run starts.
+func (mc *MemoryController) SetEngine(e *sim.Engine) { mc.eng = e }
+
 // Base returns the configured global base address.
 func (mc *MemoryController) Base() uint64 { return mc.base }
 

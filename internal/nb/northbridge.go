@@ -134,8 +134,15 @@ type Northbridge struct {
 	tracer      trace.Tracer
 	traceID     int
 
-	pool    ht.PacketPool // recycles CPU-originated requests and TgtDones
-	recFree *nbRec        // free list of pipeline-stage records
+	// pool recycles CPU-originated requests and TgtDones. Serial runs
+	// give every northbridge its own pool; parallel runs inject one
+	// shared pool per partition (SetPool), and exile receives terminal
+	// packets whose home pool lives in another partition — they are
+	// repatriated by the coordinator at the next window barrier instead
+	// of being released into a pool that partition may be touching.
+	pool    *ht.PacketPool
+	exile   func(*ht.Packet)
+	recFree *nbRec // free list of pipeline-stage records
 }
 
 // Event opcodes carried in sim.EventArg.I; arg.Ptr is always an *nbRec.
@@ -225,9 +232,39 @@ func New(eng *sim.Engine, name string, memSize uint64, par Params) *Northbridge 
 		par:    par,
 		nodeID: ResetNodeID,
 		match:  &MatchTable{},
+		pool:   &ht.PacketPool{},
 	}
 	n.mc = NewMemoryController(eng, memSize, par.Mem)
 	return n
+}
+
+// SetEngine rebinds the northbridge (and its memory controller) onto a
+// partition engine. Called while the simulation is quiescent, before a
+// parallel run starts.
+func (n *Northbridge) SetEngine(e *sim.Engine) {
+	n.eng = e
+	n.mc.SetEngine(e)
+}
+
+// SetPool replaces the packet pool with a shared per-partition pool.
+func (n *Northbridge) SetPool(pp *ht.PacketPool) { n.pool = pp }
+
+// SetExile installs the partition's exile hook for terminal packets
+// owned by another partition's pool (see the pool field).
+func (n *Northbridge) SetExile(fn func(*ht.Packet)) { n.exile = fn }
+
+// Pool returns the packet pool currently in use (tests inspect stats).
+func (n *Northbridge) Pool() *ht.PacketPool { return n.pool }
+
+// recycle is the terminal-release point for packets consumed by this
+// northbridge. Packets homed in this partition's pool (or unpooled)
+// release directly; foreign pooled packets go to the exile list.
+func (n *Northbridge) recycle(p *ht.Packet) {
+	if n.exile != nil && p.Pooled() && !p.FromPool(n.pool) {
+		n.exile(p)
+		return
+	}
+	p.Release()
 }
 
 // Name returns the diagnostic name of this node.
@@ -450,7 +487,7 @@ func (n *Northbridge) handleRequest(fromLink int, pkt *ht.Packet, done func()) {
 		n.logf("master abort: %v", pkt)
 		pkt.Accept() // never hold a WC buffer hostage to a decode fault
 		done()
-		pkt.Release() // terminal: the request dies here
+		n.recycle(pkt) // terminal: the request dies here
 	}
 }
 
@@ -491,30 +528,30 @@ func (n *Northbridge) dramAccess(rec *nbRec) {
 		// poller wake-up) waits the full DRAM latency.
 		rec.addr, rec.nBytes = pkt.Addr, len(pkt.Data)
 		n.mc.WriteAccepted(pkt.Addr, pkt.Data, done, rec.wrVisible)
-		pkt.Release()
+		n.recycle(pkt)
 	case ht.CmdWrNP:
 		rec.addr, rec.nBytes = pkt.Addr, len(pkt.Data)
 		rec.tag, rec.srcNode = pkt.SrcTag, pkt.SrcNode
 		n.mc.Write(pkt.Addr, pkt.Data, rec.npVisible)
-		pkt.Release()
+		n.recycle(pkt)
 	case ht.CmdRdSized, ht.CmdCRdBlk:
 		rec.addr = pkt.Addr
 		rec.nBytes = (int(pkt.Count) + 1) * ht.DwordBytes
 		rec.tag, rec.srcNode = pkt.SrcTag, pkt.SrcNode
 		n.mc.Read(pkt.Addr, rec.nBytes, rec.rdDone)
-		pkt.Release()
+		n.recycle(pkt)
 	case ht.CmdFlush, ht.CmdFence:
 		// Posted-channel ordering markers: the model's posted channel
 		// is already strictly ordered, so these complete immediately.
 		n.putRec(rec)
 		done()
-		pkt.Release()
+		n.recycle(pkt)
 	default:
 		n.putRec(rec)
 		n.cnt.masterAborts.Add(1)
 		n.logf("unhandled request %v at DRAM", pkt)
 		done()
-		pkt.Release()
+		n.recycle(pkt)
 	}
 }
 
@@ -581,7 +618,7 @@ func (n *Northbridge) routeResponse(resp *ht.Packet) {
 		// Terminal: the matching callback has consumed the response.
 		// (Read responses are unpooled — their Data may be retained —
 		// so this only recycles TgtDone-class completions.)
-		resp.Release()
+		n.recycle(resp)
 		return
 	}
 	link := n.route[resp.DstNode&0x7].RespLink
@@ -609,7 +646,10 @@ func (n *Northbridge) handleBroadcast(fromLink int, pkt *ht.Packet, done func())
 		if mask&(1<<l) == 0 || l == fromLink {
 			continue
 		}
-		n.forward(fromLink, l, pkt, nbNop)
+		// Fan out a private copy per egress: a broadcast crossing a
+		// partition boundary must not share OnAccept bookkeeping with
+		// copies still in flight on this side.
+		n.forward(fromLink, l, pkt.ForwardCopy(), nbNop)
 	}
 	done()
 }
@@ -630,7 +670,7 @@ func (n *Northbridge) forward(fromLink, idx int, pkt *ht.Packet, done func()) {
 		n.cnt.deadLinkDrops.Add(1)
 		n.logf("drop %v: egress link %d not wired", pkt, idx)
 		accept()
-		pkt.Release() // terminal: dropped (no-op for shared broadcasts)
+		n.recycle(pkt) // terminal: dropped (no-op for broadcast copies)
 		return
 	}
 	pkt.OnAccept = accept
@@ -638,7 +678,7 @@ func (n *Northbridge) forward(fromLink, idx int, pkt *ht.Packet, done func()) {
 		n.cnt.deadLinkDrops.Add(1)
 		n.logf("drop %v: %v", pkt, err)
 		pkt.Accept()
-		pkt.Release() // terminal: dropped
+		n.recycle(pkt) // terminal: dropped
 	} else {
 		n.cnt.pktsForwarded.Add(1)
 		if n.tracer != nil && fromLink >= 0 {

@@ -106,6 +106,18 @@ type Engine struct {
 	probe   Probe
 	probeAt Time // next probe wake time, meaningful while probe != nil
 
+	// Lineage priority state (see queue.go's ordering contract). While a
+	// handler runs, firing is true and curPri carries the executing
+	// event's priority, which every event it schedules inherits. Outside
+	// handlers, Schedule draws a fresh root priority from rootPri — by
+	// default the engine's own counter, but partition engines of one
+	// parallel cluster share a single counter (SharePriorityCounter) so
+	// root draws land in driver-call order exactly as a serial run's.
+	firing  bool
+	curPri  uint64
+	ownRoot uint64
+	rootPri *uint64
+
 	q      ladder       // default queue: arena-backed ladder
 	legacy *legacyQueue // non-nil selects the seed container/heap queue
 }
@@ -137,15 +149,52 @@ func (e *Engine) Pending() int {
 // Scheduling into the past panics: a causal model must never rewind the
 // clock.
 func (e *Engine) Schedule(t Time, h Handler, arg EventArg) {
+	e.scheduleKeyed(t, e.now, e.eventPri(), h, arg)
+}
+
+// scheduleKeyed queues h with an explicit schedule stamp and lineage
+// priority. Local scheduling stamps with now and the current lineage;
+// the parallel executor's mailboxes carry both from the sender
+// partition, which reproduces the same-timestamp arbitration order a
+// serial run would have produced (see queue.go's ordering contract).
+func (e *Engine) scheduleKeyed(t, sat Time, pri uint64, h Handler, arg EventArg) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", t, e.now))
 	}
 	e.seq++
 	if e.legacy != nil {
-		e.legacy.push(t, e.seq, h, arg)
+		e.legacy.push(t, sat, pri, e.seq, h, arg)
 		return
 	}
-	e.q.insert(t, e.seq, e.q.alloc(h, arg))
+	e.q.insert(t, sat, pri, e.seq, e.q.alloc(h, arg))
+}
+
+// eventPri returns the lineage priority for an event scheduled now: the
+// executing event's priority inside a handler, a fresh root draw outside
+// one.
+func (e *Engine) eventPri() uint64 {
+	if e.firing {
+		return e.curPri
+	}
+	if e.rootPri == nil {
+		e.rootPri = &e.ownRoot
+	}
+	*e.rootPri++
+	return *e.rootPri
+}
+
+// SharePriorityCounter makes e draw root priorities from with's counter.
+// The parallel executor calls it on every partition engine so events
+// scheduled from driver context (workload setup between runs) are
+// prioritized in global call order, exactly as a single serial engine
+// would have numbered them. Sharing is only safe while all scheduling
+// outside handlers happens from one goroutine, which the coordinator
+// guarantees.
+func (e *Engine) SharePriorityCounter(with *Engine) {
+	if with.rootPri == nil {
+		with.rootPri = &with.ownRoot
+	}
+	e.rootPri = with.rootPri
 }
 
 // ScheduleAfter queues h to receive arg d picoseconds after now.
@@ -195,6 +244,7 @@ func (e *Engine) advanceTo(t Time) {
 func (e *Engine) Step() bool {
 	var (
 		at  Time
+		pri uint64
 		h   Handler
 		arg EventArg
 	)
@@ -203,20 +253,22 @@ func (e *Engine) Step() bool {
 		if !ok {
 			return false
 		}
-		at, h, arg = ev.at, ev.h, ev.arg
+		at, pri, h, arg = ev.at, ev.pri, ev.h, ev.arg
 	} else {
 		en, ok := e.q.pop()
 		if !ok {
 			return false
 		}
-		at = en.at
+		at, pri = en.at, en.pri
 		// Release before dispatch so a handler that reschedules itself
 		// reuses the slot it just vacated.
 		h, arg = e.q.release(en.ref)
 	}
 	e.advanceTo(at)
 	e.fired++
+	e.curPri, e.firing = pri, true
 	h.OnEvent(e, arg)
+	e.firing = false
 	return true
 }
 
@@ -257,6 +309,37 @@ func (e *Engine) RunUntil(deadline Time) {
 // RunFor executes events for d picoseconds of virtual time from now.
 func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
 
+// runEvents executes events with timestamps <= deadline but, unlike
+// RunUntil, leaves the clock at the last fired event instead of jumping
+// to the deadline. The parallel executor uses it so a window bound
+// (which is a synchronization artifact, not a workload time) never
+// shows up in the final virtual time.
+func (e *Engine) runEvents(deadline Time) {
+	e.halted = false
+	for !e.halted {
+		t, ok := e.nextTime()
+		if !ok || t > deadline {
+			return
+		}
+		e.Step()
+	}
+}
+
 // Halt stops Run/RunUntil after the currently executing event returns.
 // It is intended to be called from inside an event callback.
 func (e *Engine) Halt() { e.halted = true }
+
+// WarpTo jumps an idle engine's clock forward to t without executing
+// anything. The parallel executor uses it to start freshly created
+// partition engines at the boot-end time of the engine that booted the
+// cluster. Warping an engine with pending events would silently skip
+// them, so that panics, as does warping backwards.
+func (e *Engine) WarpTo(t Time) {
+	if e.Pending() != 0 {
+		panic(fmt.Sprintf("sim: WarpTo(%v) with %d events pending", t, e.Pending()))
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: WarpTo(%v) before now %v", t, e.now))
+	}
+	e.now = t
+}

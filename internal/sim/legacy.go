@@ -5,13 +5,16 @@ import "container/heap"
 // legacyQueue is the seed-era event queue: a binary min-heap driven
 // through container/heap, complete with the interface{} boxing on every
 // push and pop. It is deliberately preserved — not as a fallback, but as
-// an independent implementation of the (time, seq) ordering contract.
+// an independent implementation of the (time, stamp, priority, seq)
+// ordering contract.
 // The determinism suite runs whole clusters on both queues and demands
 // identical results, and tccbench -bench engine uses it as the paired
 // baseline for speedup ratios.
 
 type legacyEvent struct {
 	at  Time
+	sat Time
+	pri uint64
 	seq uint64
 	h   Handler
 	arg EventArg
@@ -23,6 +26,12 @@ func (h legacyHeap) Len() int { return len(h) }
 func (h legacyHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].sat != h[j].sat {
+		return h[i].sat < h[j].sat
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
 	}
 	return h[i].seq < h[j].seq
 }
@@ -42,8 +51,8 @@ type legacyQueue struct {
 
 func (q *legacyQueue) len() int { return len(q.h) }
 
-func (q *legacyQueue) push(at Time, seq uint64, h Handler, arg EventArg) {
-	heap.Push(&q.h, legacyEvent{at: at, seq: seq, h: h, arg: arg})
+func (q *legacyQueue) push(at, sat Time, pri, seq uint64, h Handler, arg EventArg) {
+	heap.Push(&q.h, legacyEvent{at: at, sat: sat, pri: pri, seq: seq, h: h, arg: arg})
 }
 
 func (q *legacyQueue) pop() (legacyEvent, bool) {

@@ -1,0 +1,299 @@
+// Conservative parallel execution: a set of partition engines advanced
+// in lockstep over global time windows whose width is the cross-partition
+// lookahead (the minimum latency any partition needs before it can be
+// influenced by another). Within a window every partition is causally
+// independent, so partitions run concurrently on worker goroutines;
+// cross-partition events travel through Mailboxes that are handed over
+// only at window boundaries, under the coordinator's happens-before.
+//
+// The scheme is the classical synchronous conservative PDES barrier
+// (Chandy-Misra lookahead without null messages): with L the minimum
+// cross-partition latency and T the earliest pending timestamp anywhere,
+// no event before T+L anywhere can be affected by another partition, so
+// every partition may safely execute its events in [T, T+L].
+package sim
+
+import "fmt"
+
+// maxTime is the largest representable virtual time, used as the window
+// bound when the horizon is unbounded.
+const maxTime = Time(1<<63 - 1)
+
+// MailEntry is one deferred cross-partition event: schedule h/arg at
+// absolute time At on the destination partition's engine. SchedAt and
+// Pri are the producer partition's clock and lineage priority at post
+// time; they become the event's ordering keys on the consumer engine, so
+// same-timestamp arbitration (queue.go's (at, sat, pri, seq) order)
+// resolves exactly as it would have in a serial run where the sender
+// scheduled the event directly.
+type MailEntry struct {
+	At      Time
+	SchedAt Time
+	Pri     uint64
+	H       Handler
+	Arg     EventArg
+}
+
+// Mailbox is a single-producer single-consumer transfer queue between
+// two partitions. The producer partition appends to the inflight slice
+// during a window; the coordinator flips inflight to ready at the
+// barrier (when neither worker is running); the consumer partition
+// drains ready into its engine at the start of the next window. All
+// handoffs are ordered by the barrier's channel synchronization, so no
+// mutex or atomic is needed on the Post path.
+type Mailbox struct {
+	inflight []MailEntry
+	ready    []MailEntry
+}
+
+// Post records an event for the consumer partition, stamped with the
+// producer engine's clock and current lineage priority. Only the
+// producer partition's goroutine may call Post, and only while its
+// window runs.
+func (mb *Mailbox) Post(from *Engine, at Time, h Handler, arg EventArg) {
+	mb.inflight = append(mb.inflight, MailEntry{
+		At: at, SchedAt: from.now, Pri: from.eventPri(), H: h, Arg: arg,
+	})
+}
+
+// flip publishes inflight entries to the consumer side. Coordinator
+// only. Ready entries not yet drained (because the previous run ended
+// before their partition's next window) are kept ahead of new ones.
+func (mb *Mailbox) flip() {
+	if len(mb.ready) == 0 {
+		mb.inflight, mb.ready = mb.ready, mb.inflight
+		return
+	}
+	mb.ready = append(mb.ready, mb.inflight...)
+	mb.inflight = mb.inflight[:0]
+}
+
+// drainInto schedules every ready entry on the consumer's engine and
+// clears the slice. Consumer partition only, at window start.
+func (mb *Mailbox) drainInto(e *Engine) {
+	for i := range mb.ready {
+		en := &mb.ready[i]
+		e.scheduleKeyed(en.At, en.SchedAt, en.Pri, en.H, en.Arg)
+		en.H, en.Arg = nil, EventArg{} // drop references for GC
+	}
+	mb.ready = mb.ready[:0]
+}
+
+// Parallel advances a set of partition engines in conservative time
+// windows. It is driven from a single control goroutine (the same one
+// that owns the engines between runs); worker goroutines exist only
+// while a run is in progress.
+type Parallel struct {
+	engs    []*Engine
+	inboxes [][]*Mailbox // inboxes[p]: mailboxes consumed by partition p
+	look    Time
+
+	barrier func() // serial section at each window boundary
+
+	sampleEvery Time
+	sampleNext  Time
+	sampleFn    func(now Time)
+
+	active []bool // scratch: partitions with work this window
+}
+
+// NewParallel builds an executor over engs. inboxes[p] lists the
+// mailboxes whose entries are destined for partition p. look is the
+// cross-partition lookahead; it must be positive, otherwise the window
+// never advances past the earliest event and the barrier livelocks.
+func NewParallel(engs []*Engine, inboxes [][]*Mailbox, look Time) (*Parallel, error) {
+	if len(engs) < 1 {
+		return nil, fmt.Errorf("sim: parallel executor needs at least one engine")
+	}
+	if len(inboxes) != len(engs) {
+		return nil, fmt.Errorf("sim: %d inbox sets for %d engines", len(inboxes), len(engs))
+	}
+	if look <= 0 {
+		return nil, fmt.Errorf("sim: non-positive lookahead %v livelocks the window barrier", look)
+	}
+	// One root-priority counter across all partitions keeps driver-side
+	// scheduling (workload setup between runs) numbered in global call
+	// order, matching what a single serial engine would have assigned.
+	for _, e := range engs[1:] {
+		e.SharePriorityCounter(engs[0])
+	}
+	return &Parallel{
+		engs:    engs,
+		inboxes: inboxes,
+		look:    look,
+		active:  make([]bool, len(engs)),
+	}, nil
+}
+
+// Lookahead returns the window width the executor synchronizes on.
+func (p *Parallel) Lookahead() Time { return p.look }
+
+// Now returns the global virtual time: the maximum over partition
+// clocks. Between runs all clocks are aligned, so this equals each
+// partition's local now.
+func (p *Parallel) Now() Time {
+	var now Time
+	for _, e := range p.engs {
+		if e.Now() > now {
+			now = e.Now()
+		}
+	}
+	return now
+}
+
+// Fired returns the total number of events executed across partitions.
+func (p *Parallel) Fired() uint64 {
+	var n uint64
+	for _, e := range p.engs {
+		n += e.Fired()
+	}
+	return n
+}
+
+// SetBarrierHook installs fn to run in the coordinator's serial section
+// after every window (workers parked). Used to merge trace shards and
+// repatriate cross-partition packet-pool releases.
+func (p *Parallel) SetBarrierHook(fn func()) { p.barrier = fn }
+
+// SetSampleHook arranges for fn(now) to be called from the serial
+// section whenever the global clock crosses a multiple of every. It
+// mirrors Engine.SetProbe for the parallel executor: windows are
+// clamped to sample boundaries, so fn observes a quiesced simulation at
+// (or just past) each boundary.
+func (p *Parallel) SetSampleHook(every Time, fn func(now Time)) {
+	if fn == nil || every <= 0 {
+		p.sampleFn = nil
+		return
+	}
+	p.sampleEvery = every
+	p.sampleNext = p.Now() + every
+	p.sampleFn = fn
+}
+
+// Run executes windows until no partition has pending events or mail.
+func (p *Parallel) Run() { p.run(maxTime, false) }
+
+// RunUntil executes windows until every event at or before deadline has
+// fired, then aligns all partition clocks to the deadline.
+func (p *Parallel) RunUntil(deadline Time) { p.run(deadline, true) }
+
+// RunFor advances the cluster by d picoseconds of virtual time.
+func (p *Parallel) RunFor(d Time) { p.run(p.Now()+d, true) }
+
+// run is the coordinator loop. Each iteration: flip mailboxes, find the
+// earliest pending timestamp T anywhere (events or undelivered mail),
+// execute the window [T, min(T+look, deadline, next sample)] on every
+// partition that has work, then run the serial barrier section.
+func (p *Parallel) run(deadline Time, bounded bool) {
+	n := len(p.engs)
+	cmds := make([]chan Time, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		cmds[i] = make(chan Time, 1)
+		go p.worker(i, cmds[i], done)
+	}
+	defer func() {
+		for _, c := range cmds {
+			close(c)
+		}
+	}()
+
+	for {
+		// Serial section: publish last window's mail, find the horizon.
+		tnext := maxTime
+		have := false
+		for pi := range p.engs {
+			p.active[pi] = false
+			for _, mb := range p.inboxes[pi] {
+				mb.flip()
+				for i := range mb.ready {
+					if at := mb.ready[i].At; at < tnext {
+						tnext = at
+					}
+				}
+				if len(mb.ready) > 0 {
+					p.active[pi] = true
+					have = true
+				}
+			}
+			if t, ok := p.engs[pi].nextTime(); ok {
+				if t < tnext {
+					tnext = t
+				}
+				p.active[pi] = true
+				have = true
+			}
+		}
+		if !have || (bounded && tnext > deadline) {
+			break
+		}
+
+		w := tnext + p.look
+		if w < tnext { // overflow
+			w = maxTime
+		}
+		if p.sampleFn != nil && p.sampleNext > tnext && w > p.sampleNext {
+			w = p.sampleNext
+		}
+		if bounded && w > deadline {
+			w = deadline
+		}
+
+		// Parallel section: partitions with work run concurrently.
+		dispatched := 0
+		for pi := range p.engs {
+			if p.active[pi] {
+				cmds[pi] <- w
+				dispatched++
+			}
+		}
+		for i := 0; i < dispatched; i++ {
+			<-done
+		}
+
+		// Serial section: merge shards, repatriate pool releases, sample.
+		if p.barrier != nil {
+			p.barrier()
+		}
+		if p.sampleFn != nil && p.sampleNext <= w {
+			for p.sampleNext <= w {
+				p.sampleNext += p.sampleEvery
+			}
+			p.sampleFn(w)
+		}
+	}
+
+	// Align every clock to the common end time, firing a final sample if
+	// the jump crosses a boundary (mirrors Engine.RunUntil's last
+	// advanceTo).
+	target := p.Now()
+	if bounded && deadline > target {
+		target = deadline
+	}
+	for _, e := range p.engs {
+		e.RunUntil(target)
+	}
+	if p.barrier != nil {
+		p.barrier()
+	}
+	if p.sampleFn != nil && p.sampleNext <= target {
+		for p.sampleNext <= target {
+			p.sampleNext += p.sampleEvery
+		}
+		p.sampleFn(target)
+	}
+}
+
+// worker executes window deadlines for one partition until its command
+// channel closes. Draining the partition's inboxes happens here, inside
+// the window, so the coordinator's flip and the drain never overlap.
+func (p *Parallel) worker(idx int, cmds chan Time, done chan int) {
+	eng := p.engs[idx]
+	for w := range cmds {
+		for _, mb := range p.inboxes[idx] {
+			mb.drainInto(eng)
+		}
+		eng.runEvents(w)
+		done <- idx
+	}
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// relay bounces a token between two partitions through mailboxes,
+// recording the virtual time of every hop. delta stands in for the link
+// latency and must be >= the executor's lookahead for causal delivery.
+type relay struct {
+	out   *Mailbox
+	peer  *relay
+	delta Time
+	hops  []Time
+}
+
+func (r *relay) OnEvent(e *Engine, arg EventArg) {
+	r.hops = append(r.hops, e.Now())
+	if arg.I > 0 {
+		r.out.Post(e, e.Now()+r.delta, r.peer, EventArg{I: arg.I - 1})
+	}
+}
+
+// serialRelay is the single-engine reference for the same bounce chain.
+type serialRelay struct {
+	peer  *serialRelay
+	delta Time
+	hops  []Time
+}
+
+func (r *serialRelay) OnEvent(e *Engine, arg EventArg) {
+	r.hops = append(r.hops, e.Now())
+	if arg.I > 0 {
+		e.ScheduleAfter(r.delta, r.peer, EventArg{I: arg.I - 1})
+	}
+}
+
+func TestParallelMatchesSerialRelay(t *testing.T) {
+	const (
+		look  = 10 * Nanosecond
+		delta = 13 * Nanosecond // deliberately not a multiple of look
+		n     = 40
+	)
+
+	// Serial reference.
+	se := NewEngine()
+	sa := &serialRelay{delta: delta}
+	sb := &serialRelay{delta: delta, peer: sa}
+	sa.peer = sb
+	se.Schedule(5*Nanosecond, sa, EventArg{I: n})
+	se.Run()
+
+	// Two partitions, one mailbox each way.
+	ea, eb := NewEngine(), NewEngine()
+	toA, toB := &Mailbox{}, &Mailbox{}
+	ra := &relay{out: toB, delta: delta}
+	rb := &relay{out: toA, delta: delta, peer: ra}
+	ra.peer = rb
+	ea.Schedule(5*Nanosecond, ra, EventArg{I: n})
+	p, err := NewParallel([]*Engine{ea, eb}, [][]*Mailbox{{toA}, {toB}}, look)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run()
+
+	if got, want := len(ra.hops)+len(rb.hops), n+1; got != want {
+		t.Fatalf("parallel fired %d hops, want %d", got, want)
+	}
+	for i, at := range sa.hops {
+		if i >= len(ra.hops) || ra.hops[i] != at {
+			t.Fatalf("partition A hop %d diverged from serial", i)
+		}
+	}
+	for i, at := range sb.hops {
+		if i >= len(rb.hops) || rb.hops[i] != at {
+			t.Fatalf("partition B hop %d diverged from serial", i)
+		}
+	}
+	if p.Now() != se.Now() {
+		t.Fatalf("final time diverged: parallel %v, serial %v", p.Now(), se.Now())
+	}
+	if ea.Now() != eb.Now() {
+		t.Fatalf("partition clocks unaligned after Run: %v vs %v", ea.Now(), eb.Now())
+	}
+	if p.Fired() != se.Fired() {
+		t.Fatalf("fired diverged: parallel %d, serial %d", p.Fired(), se.Fired())
+	}
+}
+
+func TestParallelRunForAlignsClocks(t *testing.T) {
+	ea, eb := NewEngine(), NewEngine()
+	fired := 0
+	ea.At(3*Nanosecond, func() { fired++ })
+	p, err := NewParallel([]*Engine{ea, eb}, [][]*Mailbox{nil, nil}, 5*Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RunFor(100 * Nanosecond)
+	if fired != 1 {
+		t.Fatalf("event did not fire")
+	}
+	if ea.Now() != 100*Nanosecond || eb.Now() != 100*Nanosecond {
+		t.Fatalf("clocks not aligned to deadline: %v / %v", ea.Now(), eb.Now())
+	}
+	// Second RunFor starts from the aligned clock.
+	p.RunFor(50 * Nanosecond)
+	if p.Now() != 150*Nanosecond {
+		t.Fatalf("Now after second RunFor = %v, want 150ns", p.Now())
+	}
+}
+
+func TestParallelRejectsZeroLookahead(t *testing.T) {
+	e := NewEngine()
+	for _, look := range []Time{0, -Nanosecond} {
+		_, err := NewParallel([]*Engine{e}, [][]*Mailbox{nil}, look)
+		if err == nil {
+			t.Fatalf("lookahead %v accepted; a non-positive window livelocks", look)
+		}
+		if !strings.Contains(err.Error(), "lookahead") {
+			t.Fatalf("error %q does not explain the lookahead constraint", err)
+		}
+	}
+}
+
+func TestParallelSampleHook(t *testing.T) {
+	ea, eb := NewEngine(), NewEngine()
+	tick := &serialRelay{delta: Microsecond}
+	tick.peer = tick
+	ea.Schedule(Microsecond, tick, EventArg{I: 9})
+	p, err := NewParallel([]*Engine{ea, eb}, [][]*Mailbox{nil, nil}, 2*Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples []Time
+	p.SetSampleHook(3*Microsecond, func(now Time) { samples = append(samples, now) })
+	p.Run()
+	if len(samples) == 0 {
+		t.Fatalf("sample hook never fired")
+	}
+	for i, s := range samples {
+		if i > 0 && s <= samples[i-1] {
+			t.Fatalf("samples not strictly increasing: %v", samples)
+		}
+	}
+	// Events run to 10us; boundaries at 3, 6, 9us must all be covered.
+	if samples[len(samples)-1] < 9*Microsecond {
+		t.Fatalf("last sample %v before final boundary", samples[len(samples)-1])
+	}
+}
+
+func TestParallelBarrierHookRuns(t *testing.T) {
+	ea := NewEngine()
+	done := 0
+	ea.At(Nanosecond, func() { done++ })
+	ea.At(20*Nanosecond, func() { done++ })
+	p, err := NewParallel([]*Engine{ea}, [][]*Mailbox{nil}, 2*Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	barriers := 0
+	p.SetBarrierHook(func() { barriers++ })
+	p.Run()
+	if done != 2 {
+		t.Fatalf("events lost")
+	}
+	if barriers < 2 {
+		t.Fatalf("barrier hook ran %d times, want one per window (>=2)", barriers)
+	}
+}
+
+func TestWarpTo(t *testing.T) {
+	e := NewEngine()
+	e.WarpTo(42 * Nanosecond)
+	if e.Now() != 42*Nanosecond {
+		t.Fatalf("WarpTo did not move the clock")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("WarpTo with pending events must panic")
+		}
+	}()
+	e.At(50*Nanosecond, func() {})
+	e.WarpTo(60 * Nanosecond)
+}

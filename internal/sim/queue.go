@@ -24,14 +24,24 @@ import (
 //     occupancy bitmap makes skipping empty buckets O(1) per word, so
 //     sparse schedules don't pay a linear scan.
 //
-//   - The *far heap* is a 4-ary min-heap on (time, seq) holding events
-//     beyond the near window. When the near rung drains, the window
-//     jumps to the earliest far event and everything inside the new
-//     window migrates into buckets.
+//   - The *far heap* is a 4-ary min-heap on (time, stamp, seq) holding
+//     events beyond the near window. When the near rung drains, the
+//     window jumps to the earliest far event and everything inside the
+//     new window migrates into buckets.
 //
-// Ordering contract: events fire in strictly non-decreasing (at, seq)
-// order — identical to the seed container/heap implementation, which is
-// what the old-vs-new determinism suite pins down.
+// Ordering contract: events fire in non-decreasing (at, sat, pri, seq)
+// order, where sat is the virtual time of the Schedule call and pri is a
+// lineage priority inherited from the event whose handler made that call
+// (root events — scheduled from outside any handler — draw fresh
+// priorities from a counter in scheduling order). On a single engine sat
+// is non-decreasing in seq (the clock never rewinds) and pri order
+// coincides with scheduling order at any (at, sat) tie, so the order is
+// identical to the seed container/heap's (at, seq) — which is what the
+// old-vs-new determinism suite pins down. The extra keys exist for the
+// parallel executor: a cross-partition event arrives through a mailbox
+// with a late local seq, and its sender-side stamp and inherited
+// priority are what slot it into the same same-timestamp arbitration
+// position a serial run would have given it.
 
 const (
 	// bucketShift sets the bucket width: 2^9 ps = 512 ps, finer than one
@@ -51,14 +61,22 @@ const (
 // self-contained so sorting and sifting never chase the arena.
 type entry struct {
 	at  Time
+	sat Time   // schedule stamp: virtual time of the Schedule call
+	pri uint64 // lineage priority inherited from the scheduling event
 	seq uint64
 	ref int32
 }
 
-// entryLess is the strict (time, seq) order.
+// entryLess is the strict (time, stamp, priority, seq) order.
 func entryLess(a, b entry) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.sat != b.sat {
+		return a.sat < b.sat
+	}
+	if a.pri != b.pri {
+		return a.pri < b.pri
 	}
 	return a.seq < b.seq
 }
@@ -115,7 +133,7 @@ func (l *ladder) release(ref int32) (Handler, EventArg) {
 // insert queues an event. at may precede curT0 (an event scheduled for
 // "now" after the cursor advanced past its bucket): it clamps into the
 // current bucket, where the (at, seq) sort still fires it first.
-func (l *ladder) insert(at Time, seq uint64, ref int32) {
+func (l *ladder) insert(at, sat Time, pri, seq uint64, ref int32) {
 	if l.n == 0 {
 		// Empty queue: re-anchor the window at this event so a long idle
 		// gap doesn't strand it in the far heap.
@@ -128,7 +146,7 @@ func (l *ladder) insert(at Time, seq uint64, ref int32) {
 	if at >= l.curT0 {
 		d := int((at - l.curT0) >> bucketShift)
 		if d >= numBuckets-l.cur {
-			l.far.push(entry{at: at, seq: seq, ref: ref})
+			l.far.push(entry{at: at, sat: sat, pri: pri, seq: seq, ref: ref})
 			return
 		}
 		idx = l.cur + d
@@ -136,9 +154,9 @@ func (l *ladder) insert(at Time, seq uint64, ref int32) {
 	l.nearN++
 	b := &l.buckets[idx]
 	if idx == l.cur && l.sorted && len(*b) > 0 {
-		insertSorted(b, entry{at: at, seq: seq, ref: ref})
+		insertSorted(b, entry{at: at, sat: sat, pri: pri, seq: seq, ref: ref})
 	} else {
-		*b = append(*b, entry{at: at, seq: seq, ref: ref})
+		*b = append(*b, entry{at: at, sat: sat, pri: pri, seq: seq, ref: ref})
 	}
 	l.occ[idx>>6] |= 1 << (idx & 63)
 }
@@ -224,7 +242,7 @@ func (l *ladder) refill() {
 	}
 }
 
-// pop removes and returns the earliest (at, seq) event.
+// pop removes and returns the earliest (at, sat, pri, seq) event.
 func (l *ladder) pop() (entry, bool) {
 	if l.n == 0 {
 		return entry{}, false
@@ -251,7 +269,7 @@ func (l *ladder) peek() (Time, bool) {
 	return b[len(b)-1].at, true
 }
 
-// farHeap is a 4-ary min-heap on (at, seq). Four-way fan-out halves the
+// farHeap is a 4-ary min-heap on (at, sat, pri, seq). Four-way fan-out halves the
 // tree depth of a binary heap and keeps sift-down children in one cache
 // line of entries.
 type farHeap []entry

@@ -55,6 +55,10 @@ func New(eng *sim.Engine, image []byte, par Params) (*Device, error) {
 	return &Device{eng: eng, par: par, rom: rom}, nil
 }
 
+// SetEngine rebinds the device onto a partition engine; called while
+// quiescent, before a parallel run starts.
+func (d *Device) SetEngine(e *sim.Engine) { d.eng = e }
+
 // AttachTo connects the device to its side of the non-coherent link and
 // starts answering reads.
 func (d *Device) AttachTo(p *ht.Port) {

@@ -1,0 +1,61 @@
+package trace
+
+import "sort"
+
+// Shard is a per-partition event buffer. A parallel run gives each
+// partition its own Shard so hot-path emissions never contend on (or
+// race through) the shared base tracer; the coordinator merges shards
+// into the base at window barriers, when all workers are parked.
+type Shard struct {
+	buf []Event
+}
+
+// Emit appends the event. Only the owning partition's goroutine may
+// call Emit, and only while its window runs.
+func (s *Shard) Emit(ev Event) { s.buf = append(s.buf, ev) }
+
+// Shards fans one base Tracer out into per-partition shards.
+type Shards struct {
+	base    Tracer
+	shards  []*Shard
+	scratch []Event
+}
+
+// NewShards creates n shards in front of base.
+func NewShards(base Tracer, n int) *Shards {
+	ss := &Shards{base: base, shards: make([]*Shard, n)}
+	for i := range ss.shards {
+		ss.shards[i] = &Shard{}
+	}
+	return ss
+}
+
+// Shard returns partition i's tracer.
+func (ss *Shards) Shard(i int) Tracer { return ss.shards[i] }
+
+// Merge drains every shard into the base tracer in virtual-time order.
+// The sort is stable with shards concatenated in partition order, so
+// same-timestamp events keep their per-partition emission order and
+// tie-break deterministically by partition index — merged output is
+// reproducible run to run. Coordinator only, at a window barrier.
+func (ss *Shards) Merge() {
+	total := 0
+	for _, s := range ss.shards {
+		total += len(s.buf)
+	}
+	if total == 0 {
+		return
+	}
+	ss.scratch = ss.scratch[:0]
+	for _, s := range ss.shards {
+		ss.scratch = append(ss.scratch, s.buf...)
+		s.buf = s.buf[:0]
+	}
+	sort.SliceStable(ss.scratch, func(i, j int) bool {
+		return ss.scratch[i].At < ss.scratch[j].At
+	})
+	for i := range ss.scratch {
+		ss.base.Emit(ss.scratch[i])
+		ss.scratch[i] = Event{} // drop Label/Data references for GC
+	}
+}

@@ -9,6 +9,8 @@ package workload
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -126,15 +128,24 @@ func Run(c *core.Cluster, pat Pattern, flowsPerNode, bytesPerFlow int) (Result, 
 	}
 	total := len(flows) * bytesPerFlow
 
-	// Count landed bytes at every socket of every node.
-	landed := 0
-	var lastLand sim.Time
+	// Count landed bytes at every socket of every node. On parallel
+	// clusters the hooks fire concurrently from partition workers, so the
+	// totals are atomics and each hook reads its own node's clock.
+	var landed atomic.Int64
+	var lastLand atomic.Int64
 	for _, node := range c.Nodes() {
+		node := node
 		m := node.Machine()
 		for s := range m.Procs {
 			m.Procs[s].NB.SetWriteHook(func(_ uint64, nBytes int) {
-				landed += nBytes
-				lastLand = c.Engine().Now()
+				landed.Add(int64(nBytes))
+				now := int64(node.Now())
+				for {
+					cur := lastLand.Load()
+					if now <= cur || lastLand.CompareAndSwap(cur, now) {
+						break
+					}
+				}
 			})
 		}
 	}
@@ -157,7 +168,8 @@ func Run(c *core.Cluster, pat Pattern, flowsPerNode, bytesPerFlow int) (Result, 
 	// Launch: each flow streams into a distinct window of its
 	// destination (beyond the UC window), issued by one of the source's
 	// cores.
-	start := c.Engine().Now()
+	start := c.Now()
+	var errMu sync.Mutex
 	var firstErr error
 	for i, f := range flows {
 		node := c.Node(f.src)
@@ -166,8 +178,12 @@ func Run(c *core.Cluster, pat Pattern, flowsPerNode, bytesPerFlow int) (Result, 
 		payload := make([]byte, bytesPerFlow)
 		src := node.CoreAt(0, coreIdx)
 		src.StoreBlock(dstBase, payload, func(err error) {
-			if err != nil && firstErr == nil {
-				firstErr = err
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
 			}
 			src.Sfence(func() {})
 		})
@@ -176,10 +192,10 @@ func Run(c *core.Cluster, pat Pattern, flowsPerNode, bytesPerFlow int) (Result, 
 	if firstErr != nil {
 		return Result{}, firstErr
 	}
-	if landed < total {
-		return Result{}, fmt.Errorf("workload: %s delivered %d of %d bytes", pat.Name(), landed, total)
+	if int(landed.Load()) < total {
+		return Result{}, fmt.Errorf("workload: %s delivered %d of %d bytes", pat.Name(), landed.Load(), total)
 	}
-	dur := lastLand - start
+	dur := sim.Time(lastLand.Load()) - start
 	maxUtil := 0.0
 	for i, l := range links {
 		cap := l.RawBandwidth() * dur.Seconds()

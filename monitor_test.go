@@ -15,6 +15,7 @@ import (
 	"regexp"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -286,5 +287,172 @@ drain:
 
 	r02.Stop()
 	r20.Stop()
+	c.Run()
+}
+
+// TestMonitorEndToEndParallel runs the monitoring stack against the
+// partitioned parallel engine: Prometheus scrapes race the worker
+// goroutines (this test runs under -race in CI), counters stay
+// monotone, and a cable pull on an intra-partition link still raises
+// the dead-link watchdog — sampling and shard merging happen at window
+// barriers, so the whole observability path must stay correct when the
+// simulation is spread across partitions.
+func TestMonitorEndToEndParallel(t *testing.T) {
+	topo, err := tccluster.Chain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts := make(chan tccluster.Alert, 64)
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(),
+		tccluster.WithParallel(2),
+		tccluster.WithTracer(tccluster.NewCollector(1<<14)),
+		tccluster.WithMonitor("127.0.0.1:0",
+			tccluster.MonitorSampleEvery(20*tccluster.Microsecond),
+			tccluster.MonitorOnAlert(func(a tccluster.Alert) {
+				select {
+				case alerts <- a:
+				default:
+				}
+			})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.Partitions(); got != 2 {
+		t.Fatalf("Partitions() = %d, want 2", got)
+	}
+	addr := c.Monitor().Addr()
+
+	// Traffic across the partition cut: 0 -> 3 echoed back by 3.
+	s03, r03, err := c.OpenChannel(0, 3, tccluster.DefaultMsgParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s30, r30, err := c.OpenChannel(3, 0, tccluster.DefaultMsgParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var echo func()
+	echo = func() {
+		r03.Recv(func(d []byte, err error) {
+			if err != nil {
+				return
+			}
+			s30.Send(d, func(error) {})
+			echo()
+		})
+	}
+	echo()
+	runRounds := func(rounds int) {
+		var done atomic.Int64
+		var round func(i int)
+		round = func(i int) {
+			if i >= rounds {
+				return
+			}
+			r30.Recv(func(_ []byte, err error) {
+				if err != nil {
+					return
+				}
+				done.Add(1)
+				round(i + 1)
+			})
+			s03.Send(make([]byte, 256), func(error) {})
+		}
+		round(0)
+		c.RunFor(5 * tccluster.Millisecond)
+		if done.Load() != int64(rounds) {
+			t.Fatalf("completed %d of %d rounds", done.Load(), rounds)
+		}
+	}
+
+	// Scrape all endpoints concurrently with the running partitions.
+	var wg sync.WaitGroup
+	scrapeErrs := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		client := &http.Client{Timeout: 5 * time.Second}
+		for i := 0; i < 10; i++ {
+			for _, path := range []string{"/metrics", "/metrics.json", "/health"} {
+				resp, err := client.Get("http://" + addr + path)
+				if err != nil {
+					select {
+					case scrapeErrs <- err:
+					default:
+					}
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}()
+	runRounds(100)
+	wg.Wait()
+	select {
+	case err := <-scrapeErrs:
+		t.Fatalf("concurrent scrape failed: %v", err)
+	default:
+	}
+
+	first := scrapeMetrics(t, addr)
+	if len(first) == 0 {
+		t.Fatal("no counter series scraped")
+	}
+	runRounds(100)
+	second := scrapeMetrics(t, addr)
+	for series, v1 := range first {
+		v2, ok := second[series]
+		if !ok {
+			t.Errorf("counter series %s disappeared between scrapes", series)
+			continue
+		}
+		if v2 < v1 {
+			t.Errorf("counter %s went backwards: %g -> %g", series, v1, v2)
+		}
+	}
+
+	// Pull an intra-partition cable while the cross-cut channel keeps
+	// polling so sample windows keep closing. Link 0 joins chain nodes
+	// 0 and 1, both in partition 0; ForceDown mutates port state, so it
+	// must happen between runs, while every worker is parked.
+	if c.Partition(0) != c.Partition(1) {
+		t.Fatal("chain link 0 unexpectedly crosses the partition cut")
+	}
+	c.ExternalLinks()[0].ForceDown()
+	for i := 0; i < 4; i++ {
+		s03.Send(make([]byte, 64), func(error) {}) // failing send attempts
+	}
+	c.RunFor(2 * tccluster.Millisecond)
+
+	var dead *tccluster.Alert
+drain:
+	for {
+		select {
+		case a := <-alerts:
+			if a.Rule == "dead-link" && a.Active() {
+				dead = &a
+				break drain
+			}
+		default:
+			break drain
+		}
+	}
+	if dead == nil {
+		t.Fatal("watchdog did not raise a dead-link alert after ForceDown")
+	}
+	resp, err := http.Get("http://" + addr + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/health status %d with an active alert, want 503", resp.StatusCode)
+	}
+
+	r03.Stop()
+	r30.Stop()
 	c.Run()
 }

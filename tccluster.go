@@ -283,6 +283,19 @@ func WithLegacyEventQueue() Option {
 	return func(b *buildOptions) { b.cfg.LegacyEventQueue = true }
 }
 
+// WithParallel runs the simulation on up to n worker goroutines: the
+// cluster is partitioned by supernode, each partition advancing its own
+// event queue, synchronized by a conservative time-windowed barrier
+// whose width is the minimum cross-partition link latency (serialization
+// plus cable flight — nothing crosses a partition cut faster). Parallel
+// runs reach exactly the same final virtual time and per-link counters
+// as serial runs; only the interleaving of causally independent events
+// within a window differs. n <= 1 keeps the reference serial engine.
+// Incompatible with WithLegacyEventQueue.
+func WithParallel(n int) Option {
+	return func(b *buildOptions) { b.cfg.Parallel = n }
+}
+
 // WithMonitor starts the live-monitoring subsystem on the cluster: an
 // HTTP server on addr exposing /metrics (Prometheus text), /metrics.json
 // (the document cmd/tcctop polls), /health, /alerts and /dump; a flight
@@ -433,5 +446,6 @@ func NewLiveChannel(par LiveParams) (*LiveSender, *LiveReceiver, error) {
 	return shm.NewChannel(par)
 }
 
-// Now returns the cluster's virtual time.
-func (c *Cluster) Now() Time { return c.Engine().Now() }
+// Now returns the cluster's virtual time. On parallel clusters this is
+// the global clock — the aligned partition clocks between runs.
+func (c *Cluster) Now() Time { return c.Cluster.Now() }
