@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt fmt-check vet build test race test-race bench bench-smoke bench-json bench-engine bench-parallel
+.PHONY: all check fmt fmt-check vet build test race test-race bench bench-smoke bench-json bench-engine bench-parallel bench-faults fuzz
 
 all: check
 
@@ -53,3 +53,17 @@ bench-engine:
 # only meaningful relative to the recorded GOMAXPROCS/NumCPU.
 bench-parallel:
 	$(GO) run ./cmd/tccbench -bench parallel -out BENCH_parallel.json
+
+# Regenerate the fault-campaign numbers: reliable-channel goodput and
+# recovery latency vs swept cable-outage duration, plus raw-protocol
+# goodput vs injected CRC error rate.
+bench-faults:
+	$(GO) run ./cmd/tccbench -bench faults -out BENCH_faults.json
+
+# Short fuzz of the message-library wire format (frame build/parse and
+# receiver-side header classification). The committed corpus runs on
+# every plain `go test`; this target spends a little extra time looking
+# for new inputs.
+fuzz:
+	$(GO) test ./internal/msg -run=NONE -fuzz=FuzzFrameRoundTrip -fuzztime=10s
+	$(GO) test ./internal/msg -run=NONE -fuzz=FuzzHeaderClassification -fuzztime=10s

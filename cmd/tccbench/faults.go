@@ -1,0 +1,224 @@
+// Fault benchmark: goodput and recovery behavior of the failure stack
+// under a swept fault intensity. Two sweeps on a two-node chain:
+//
+//   - Outage sweep: a reliable channel streams fixed-size messages while
+//     the campaign pulls the cable for an increasing duration. Reported
+//     per point: goodput over the whole window, the longest delivery
+//     stall (the receiver-visible recovery latency: outage plus
+//     retraining plus the residual retransmit backoff), and the
+//     retransmission work the outage cost.
+//
+//   - Degrade sweep: the raw (lossless-link) protocol under an
+//     increasing injected CRC error rate, showing how link-level
+//     retries eat goodput long before the link is declared dead.
+//
+// Emits BENCH_faults.json (same meta stamping as the other benchmark
+// reports) plus human tables.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	tccluster "repro"
+	"repro/internal/stats"
+)
+
+// faultMeasureWindow is the virtual time each point streams for,
+// starting right after boot. Outages land 1 ms in so every point has a
+// healthy lead-in.
+const (
+	faultMeasureWindow = 6 * tccluster.Millisecond
+	faultOutageLeadIn  = 1 * tccluster.Millisecond
+	faultMsgBytes      = 256
+	faultAckTimeout    = 20 * tccluster.Microsecond
+)
+
+type faultOutagePoint struct {
+	OutageUs     float64 `json:"outage_us"`
+	Delivered    int     `json:"delivered"`
+	GoodputMBps  float64 `json:"goodput_mb_per_s"`
+	MaxStallUs   float64 `json:"max_stall_us"` // longest gap between deliveries
+	Retransmits  uint64  `json:"retransmits"`
+	AckTimeouts  uint64  `json:"ack_timeouts"`
+	AcksPosted   uint64  `json:"acks_posted"`
+	MasterAborts uint64  `json:"master_aborts"`
+}
+
+type faultDegradePoint struct {
+	Rate        float64 `json:"error_rate"`
+	Delivered   int     `json:"delivered"`
+	GoodputMBps float64 `json:"goodput_mb_per_s"`
+	CRCRetries  uint64  `json:"crc_retries"`
+}
+
+type faultsReport struct {
+	Meta          benchMeta           `json:"meta"`
+	MsgBytes      int                 `json:"msg_bytes"`
+	WindowNs      float64             `json:"window_ns"`
+	AckTimeoutNs  float64             `json:"ack_timeout_ns"`
+	OutageSweep   []faultOutagePoint  `json:"outage_sweep"`
+	DegradeSweeps []faultDegradePoint `json:"degrade_sweep"`
+}
+
+// faultStream drives an unbounded chained send stream for the measure
+// window and returns the deliveries observed plus the longest stall.
+func faultStream(c *tccluster.Cluster, s *tccluster.Sender, r *tccluster.Receiver) (delivered int, maxStall tccluster.Time) {
+	lastAt := c.Now()
+	var serve func()
+	serve = func() {
+		r.Recv(func(_ []byte, err error) {
+			if err != nil {
+				return
+			}
+			if gap := c.Now() - lastAt; gap > maxStall {
+				maxStall = gap
+			}
+			lastAt = c.Now()
+			delivered++
+			serve()
+		})
+	}
+	serve()
+	var send func()
+	send = func() {
+		s.Send(make([]byte, faultMsgBytes), func(err error) {
+			if err != nil {
+				return // peer declared dead; stop offering load
+			}
+			send()
+		})
+	}
+	send()
+	c.RunFor(faultMeasureWindow)
+	r.Stop()
+	return delivered, maxStall
+}
+
+func faultOutageRun(outage tccluster.Time) faultOutagePoint {
+	topo, err := tccluster.Chain(2)
+	check(err)
+	var opts []tccluster.Option
+	if outage > 0 {
+		opts = append(opts, tccluster.WithFaults(
+			tccluster.LinkDownFor(0, faultOutageLeadIn, outage)))
+	}
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(), opts...)
+	check(err)
+	par := tccluster.DefaultMsgParams()
+	par.Reliable = true
+	par.AckTimeout = faultAckTimeout
+	s, r, err := c.OpenChannel(0, 1, par)
+	check(err)
+	start := c.Now()
+	delivered, maxStall := faultStream(c, s, r)
+	elapsed := (c.Now() - start).Seconds()
+	st := s.Stats()
+	return faultOutagePoint{
+		OutageUs:     outage.Micros(),
+		Delivered:    delivered,
+		GoodputMBps:  float64(delivered*faultMsgBytes) / elapsed / 1e6,
+		MaxStallUs:   maxStall.Micros(),
+		Retransmits:  st.Retransmits,
+		AckTimeouts:  st.AckTimeouts,
+		AcksPosted:   r.Stats().AcksPosted,
+		MasterAborts: sumCounter(c, "nb.master_aborts"),
+	}
+}
+
+func faultDegradeRun(rate float64) faultDegradePoint {
+	topo, err := tccluster.Chain(2)
+	check(err)
+	var opts []tccluster.Option
+	if rate > 0 {
+		// Degrade from (clamped) boot through the whole window.
+		opts = append(opts, tccluster.WithFaults(
+			tccluster.LinkDegrade(0, tccluster.Microsecond, 20*tccluster.Millisecond, rate)))
+	}
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(), opts...)
+	check(err)
+	s, r, err := c.OpenChannel(0, 1, tccluster.DefaultMsgParams())
+	check(err)
+	start := c.Now()
+	delivered, _ := faultStream(c, s, r)
+	elapsed := (c.Now() - start).Seconds()
+	return faultDegradePoint{
+		Rate:        rate,
+		Delivered:   delivered,
+		GoodputMBps: float64(delivered*faultMsgBytes) / elapsed / 1e6,
+		CRCRetries:  sumCounter(c, "port.retries"),
+	}
+}
+
+// sumCounter totals every metrics counter with the given name.
+func sumCounter(c *tccluster.Cluster, name string) uint64 {
+	var total uint64
+	for k, v := range c.Metrics().Counters {
+		if k.Name == name {
+			total += v
+		}
+	}
+	return total
+}
+
+func runFaultsBench(out string) {
+	report := faultsReport{
+		Meta:         newBenchMeta(),
+		MsgBytes:     faultMsgBytes,
+		WindowNs:     faultMeasureWindow.Nanos(),
+		AckTimeoutNs: faultAckTimeout.Nanos(),
+	}
+
+	for _, outage := range []tccluster.Time{
+		0,
+		50 * tccluster.Microsecond,
+		100 * tccluster.Microsecond,
+		200 * tccluster.Microsecond,
+		400 * tccluster.Microsecond,
+		800 * tccluster.Microsecond,
+	} {
+		report.OutageSweep = append(report.OutageSweep, faultOutageRun(outage))
+	}
+	for _, rate := range []float64{0, 0.05, 0.1, 0.2, 0.4} {
+		report.DegradeSweeps = append(report.DegradeSweeps, faultDegradeRun(rate))
+	}
+
+	ot := &stats.Table{
+		Title:   "tccbench faults: reliable-channel goodput vs cable outage (virtual time)",
+		Columns: []string{"outage us", "delivered", "goodput MB/s", "max stall us", "retransmits", "ack timeouts"},
+	}
+	for _, p := range report.OutageSweep {
+		ot.AddRow(
+			fmt.Sprintf("%.0f", p.OutageUs),
+			fmt.Sprintf("%d", p.Delivered),
+			fmt.Sprintf("%.1f", p.GoodputMBps),
+			fmt.Sprintf("%.1f", p.MaxStallUs),
+			fmt.Sprintf("%d", p.Retransmits),
+			fmt.Sprintf("%d", p.AckTimeouts))
+	}
+	ot.Render(os.Stdout)
+	fmt.Println()
+
+	dt := &stats.Table{
+		Title:   "tccbench faults: raw-protocol goodput vs injected CRC error rate",
+		Columns: []string{"error rate", "delivered", "goodput MB/s", "crc retries"},
+	}
+	for _, p := range report.DegradeSweeps {
+		dt.AddRow(
+			fmt.Sprintf("%.2f", p.Rate),
+			fmt.Sprintf("%d", p.Delivered),
+			fmt.Sprintf("%.1f", p.GoodputMBps),
+			fmt.Sprintf("%d", p.CRCRetries))
+	}
+	dt.Render(os.Stdout)
+
+	if out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		check(err)
+		check(os.WriteFile(out, append(data, '\n'), 0o644))
+		fmt.Printf("\nwrote %s (commit %s, %s)\n",
+			out, report.Meta.Commit, time.Now().Format(time.RFC3339))
+	}
+}

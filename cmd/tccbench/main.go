@@ -13,6 +13,7 @@
 //	tccbench -bench monitor  [-out BENCH_monitor.json]
 //	tccbench -bench engine   [-out BENCH_engine.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	tccbench -bench parallel [-out BENCH_parallel.json] [-nodes 8]
+//	tccbench -bench faults   [-out BENCH_faults.json]
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "latency", "latency | bw | bibw | allreduce | monitor | engine | parallel")
+	bench := flag.String("bench", "latency", "latency | bw | bibw | allreduce | monitor | engine | parallel | faults")
 	maxSize := flag.Int("max", 4096, "largest message size to sweep")
 	nodes := flag.Int("nodes", 4, "cluster size (allreduce; parallel defaults to 8)")
 	out := flag.String("out", "", "JSON output path (monitor and engine benchmarks)")
@@ -52,6 +53,8 @@ func main() {
 			n = 8 // the -nodes default targets allreduce; parallel wants 8
 		}
 		runParallelBench(*out, n)
+	case "faults":
+		runFaultsBench(*out)
 	default:
 		fmt.Fprintf(os.Stderr, "tccbench: unknown benchmark %q\n", *bench)
 		os.Exit(2)

@@ -137,6 +137,9 @@ func main() {
 		t, err := experiments.FaultTolerance()
 		check(err)
 		emitTable(t)
+		t, err = experiments.FaultRecovery()
+		check(err)
+		emitTable(t)
 	}
 	if run("traffic") {
 		ran = true

@@ -104,11 +104,13 @@ func renderLinks(b *strings.Builder, st *monitor.Status) {
 	}
 	w := st.Window
 	durPS := w.EndPS - w.StartPS
-	fmt.Fprintf(b, "LINK  STATE         UTIL              TX/win  STALL/win  P99 LAT\n")
+	fmt.Fprintf(b, "LINK  STATE         UTIL              TX/win  STALL/win  ABORT/win  FLAPS  P99 LAT\n")
 	for _, l := range w.Links {
 		tx := counterTotal(w.Counters, "port.pkts_sent", onLink(l.ID))
 		bytes := counterTotal(w.Counters, "port.bytes_sent", onLink(l.ID))
 		stalls := counterTotal(w.Counters, "port.credit_stalls", onLink(l.ID))
+		aborted := counterTotal(w.Counters, "port.aborted_pkts", onLink(l.ID))
+		flaps := counterTotal(st.Counters, "link.state_changes", onLink(l.ID))
 		util := 0.0
 		if l.Bandwidth > 0 && durPS > 0 {
 			secs := float64(durPS) / 1e12
@@ -122,8 +124,8 @@ func renderLinks(b *strings.Builder, st *monitor.Status) {
 				p99 = fmt.Sprintf("%.0fns", h.P99/1000)
 			}
 		}
-		fmt.Fprintf(b, "%-5d %-13s %s %4.0f%%  %6d  %9d  %s\n",
-			l.ID, l.State, bar(util, 10), util*100, tx, stalls, p99)
+		fmt.Fprintf(b, "%-5d %-13s %s %4.0f%%  %6d  %9d  %9d  %5d  %s\n",
+			l.ID, l.State, bar(util, 10), util*100, tx, stalls, aborted, flaps, p99)
 	}
 	fmt.Fprintln(b)
 }

@@ -250,6 +250,84 @@ func lossyRun(t *testing.T, opts ...tccluster.Option) queueFingerprint {
 	return fingerprint(c)
 }
 
+// faultRecoveryRun exercises the fault campaign and recovery stack
+// under the determinism gate: a chain4 whose far link is cut and
+// re-seated mid-transfer under a reliable channel (ack timeouts,
+// go-back-N retransmission, retraining) while the near link runs
+// degraded (seeded CRC retries) under a posted-store stream. Action
+// cuts, retransmit timers and the stochastic retry path must all
+// reproduce exactly on every executor.
+func faultRecoveryRun(t *testing.T, opts ...tccluster.Option) queueFingerprint {
+	t.Helper()
+	topo, err := tccluster.Chain(4)
+	mustOK(t, err)
+	opts = append(opts, tccluster.WithFaults(
+		tccluster.LinkDegrade(0, 100*tccluster.Microsecond, 2*tccluster.Millisecond, 0.3),
+		tccluster.LinkDownFor(2, 2500*tccluster.Microsecond, 150*tccluster.Microsecond)))
+	cfg := tccluster.DefaultConfig()
+	cfg.Seed = 11
+	c, err := tccluster.New(topo, cfg, opts...)
+	mustOK(t, err)
+	par := tccluster.DefaultMsgParams()
+	par.Reliable = true
+	par.AckTimeout = 20 * tccluster.Microsecond
+	s, r, err := c.OpenChannel(2, 3, par)
+	mustOK(t, err)
+	var delivered atomic.Int64
+	var serve func()
+	serve = func() {
+		r.Recv(func(_ []byte, err error) {
+			if err != nil {
+				return
+			}
+			delivered.Add(1)
+			serve()
+		})
+	}
+	serve()
+	var acked atomic.Int64
+	var send func(i int)
+	send = func(i int) {
+		if i >= 60 {
+			return
+		}
+		s.Send(make([]byte, 64), func(err error) {
+			mustOK(t, err)
+			acked.Add(1)
+			send(i + 1)
+		})
+	}
+	send(0)
+	// A posted-store stream across the degraded near link.
+	base := c.Node(1).MemBase() + 8<<20
+	var stored atomic.Int64
+	var step func(i int)
+	step = func(i int) {
+		if i >= 80 {
+			return
+		}
+		c.Node(0).Core().StoreBlock(base+uint64(i%8)*64, make([]byte, 64), func(err error) {
+			mustOK(t, err)
+			stored.Add(1)
+			step(i + 1)
+		})
+	}
+	step(0)
+	c.RunFor(6 * tccluster.Millisecond)
+	r.Stop()
+	c.Run()
+	if delivered.Load() != 60 || acked.Load() != 60 {
+		t.Fatalf("fault-recovery: delivered %d acked %d of 60 messages", delivered.Load(), acked.Load())
+	}
+	if stored.Load() != 80 {
+		t.Fatalf("fault-recovery: %d of 80 stores retired", stored.Load())
+	}
+	if s.Stats().Retransmits == 0 {
+		t.Fatal("fault-recovery: outage produced no retransmissions")
+	}
+	return fingerprint(c)
+}
+
 // TestLadderMatchesLegacyOnAllExampleTopologies is the determinism
 // gate: for each example-shaped workload, the ladder and heap queues
 // must agree on event count, final virtual time, and every per-link
@@ -265,6 +343,7 @@ func TestLadderMatchesLegacyOnAllExampleTopologies(t *testing.T) {
 		{"pgas-chain4", pgasRun},
 		{"cluster16-mesh4x4", meshRun},
 		{"failures-lossy-chain2", lossyRun},
+		{"fault-recovery-chain4", faultRecoveryRun},
 	}
 	for _, sc := range scenarios {
 		t.Run(sc.name, func(t *testing.T) {
@@ -300,6 +379,7 @@ func TestParallelMatchesSerialOnAllExampleTopologies(t *testing.T) {
 		{"pgas-chain4", pgasRun},
 		{"cluster16-mesh4x4", meshRun},
 		{"failures-lossy-chain2", lossyRun},
+		{"fault-recovery-chain4", faultRecoveryRun},
 	}
 	for _, sc := range scenarios {
 		t.Run(sc.name, func(t *testing.T) {

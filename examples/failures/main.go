@@ -14,6 +14,12 @@
 //     retries eat the bandwidth — why the prototype backed its link
 //     down to HT800 (§VI).
 //
+//  5. A pulled cable master-aborts every in-flight packet. The raw
+//     protocol loses them silently — end-to-end reliability has to be
+//     built above the fabric, as acks carried in remote posted writes.
+//     Re-seat the cable and the reliable channel delivers everything;
+//     leave it pulled and the retransmit budget declares the peer dead.
+//
 //     go run ./examples/failures [-parallel N]
 package main
 
@@ -22,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 
 	tccluster "repro"
 )
@@ -38,6 +45,8 @@ func main() {
 	smcLeak()
 	fmt.Println("\n== 4. the lossy cable ==")
 	lossyCable()
+	fmt.Println("\n== 5. the pulled cable ==")
+	pulledCable()
 }
 
 func cluster(kopt tccluster.KernelOptions, cfg tccluster.Config) *tccluster.Cluster {
@@ -155,6 +164,106 @@ func lossyCable() {
 		fmt.Printf("error rate %4.0f%%: %6.0f MB/s, %3d link-level retries (all data delivered)\n",
 			rate*100, mbps, retries)
 	}
+}
+
+// pulledCable runs the fault campaign engine against a reliable
+// channel: scenario (a) pulls the cable for 200 us mid-stream and
+// re-seats it — go-back-N retransmission delivers every message;
+// scenario (b) pulls it for good — the retransmit budget runs out and
+// the sender declares the peer dead. Campaign actions cut the timeline
+// at exact virtual times, so the counters below are identical under
+// -parallel.
+func pulledCable() {
+	topo, err := tccluster.Chain(2)
+	check(err)
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(),
+		tccluster.WithKernelOptions(tccluster.KernelOptions{SMCDisabled: true}),
+		tccluster.WithParallel(*parWorkers),
+		tccluster.WithFaults(
+			tccluster.LinkDownFor(0, 1500*tccluster.Microsecond, 200*tccluster.Microsecond)))
+	check(err)
+	par := tccluster.DefaultMsgParams()
+	par.Reliable = true
+	par.AckTimeout = 20 * tccluster.Microsecond
+	s, r, err := c.OpenChannel(0, 1, par)
+	check(err)
+	const total = 60
+	var delivered atomic.Int64
+	var serve func()
+	serve = func() {
+		r.Recv(func(_ []byte, err error) {
+			if err != nil {
+				return
+			}
+			delivered.Add(1)
+			serve()
+		})
+	}
+	serve()
+	var send func(i int)
+	send = func(i int) {
+		if i >= total {
+			return
+		}
+		s.Send(make([]byte, 64), func(err error) {
+			check(err)
+			send(i + 1)
+		})
+	}
+	send(0)
+	c.RunFor(8 * tccluster.Millisecond)
+	r.Stop()
+	st := s.Stats()
+	var aborts uint64
+	for k, v := range c.Metrics().Counters {
+		if k.Name == "nb.master_aborts" {
+			aborts += v
+		}
+	}
+	fmt.Printf("cable pulled 200us mid-stream: %d/%d delivered, %d master-aborts, %d retransmissions (%d ack timeouts), link %s again\n",
+		delivered.Load(), total, aborts, st.Retransmits, st.AckTimeouts,
+		c.ExternalLinks()[0].State())
+
+	// (b) Pull it and leave it: the budget is finite by design — an
+	// unreachable peer must surface as an error, not an infinite stall.
+	c2, err := tccluster.New(topo, tccluster.DefaultConfig(),
+		tccluster.WithKernelOptions(tccluster.KernelOptions{SMCDisabled: true}),
+		tccluster.WithParallel(*parWorkers),
+		tccluster.WithFaults(tccluster.LinkDown(0, 1500*tccluster.Microsecond)))
+	check(err)
+	par2 := tccluster.DefaultMsgParams()
+	par2.Reliable = true
+	par2.AckTimeout = 10 * tccluster.Microsecond
+	par2.RetransmitBudget = 3
+	s2, r2, err := c2.OpenChannel(0, 1, par2)
+	check(err)
+	var serve2 func()
+	serve2 = func() {
+		r2.Recv(func(_ []byte, err error) {
+			if err != nil {
+				return
+			}
+			serve2()
+		})
+	}
+	serve2()
+	var sendErr atomic.Value
+	var send2 func()
+	send2 = func() {
+		s2.Send(make([]byte, 64), func(err error) {
+			if err != nil {
+				sendErr.CompareAndSwap(nil, err)
+				return
+			}
+			send2()
+		})
+	}
+	send2()
+	c2.RunFor(3 * tccluster.Millisecond)
+	r2.Stop()
+	err, _ = sendErr.Load().(error)
+	fmt.Printf("cable pulled for good: sender dead=%v, ErrPeerDead=%v\n  send error: %v\n",
+		s2.Dead(), errors.Is(err, tccluster.ErrPeerDead), err)
 }
 
 func check(err error) {

@@ -1,0 +1,354 @@
+// End-to-end exercises of the fault campaign engine and the recovery
+// stack above it: master-abort accounting when a campaign kills a link
+// mid-run, the monitor latching a dead-link alert off an injected
+// death, reliable channels riding out an outage through retransmission,
+// the retransmit budget surfacing ErrPeerDead on a peer that never
+// comes back, and MPI completing collectives over a shrunk communicator
+// after a node crash.
+package tccluster_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	tccluster "repro"
+)
+
+// sumCounters adds every counter whose name matches.
+func sumCounters(s tccluster.MetricsSnapshot, name string) uint64 {
+	var total uint64
+	for k, v := range s.Counters {
+		if k.Name == name {
+			total += v
+		}
+	}
+	return total
+}
+
+// abortRun drives a chain4 cluster whose middle link is killed mid-run
+// by a campaign, with node 0 streaming posted stores into node 3's
+// DRAM the whole time. Posted stores complete at retirement whether or
+// not the fabric delivers them, so the stream keeps flowing across the
+// cut; every packet that reaches the dead link is master-aborted.
+// Returns the stores retired and the final metrics.
+func abortRun(t *testing.T, opts ...tccluster.Option) (int64, tccluster.MetricsSnapshot) {
+	t.Helper()
+	topo, err := tccluster.Chain(4)
+	mustOK(t, err)
+	opts = append(opts, tccluster.WithFaults(
+		tccluster.LinkDown(1, 2500*tccluster.Microsecond)))
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(), opts...)
+	mustOK(t, err)
+	base := c.Node(3).MemBase() + 8<<20
+	var stored atomic.Int64
+	var step func(i int)
+	step = func(i int) {
+		c.Node(0).Core().StoreBlock(base+uint64(i%8)*64, make([]byte, 256), func(err error) {
+			mustOK(t, err)
+			stored.Add(1)
+			step(i + 1)
+		})
+	}
+	step(0)
+	c.RunFor(2 * tccluster.Millisecond)
+	return stored.Load(), c.Metrics()
+}
+
+// TestCampaignKillsLinkMidRun is the first acceptance gate: a campaign
+// killing a link mid-run must produce nonzero master-abort and
+// aborted-packet counters, identically on the serial and parallel
+// engines.
+func TestCampaignKillsLinkMidRun(t *testing.T) {
+	stored, snap := abortRun(t)
+	if stored == 0 {
+		t.Fatal("no stores retired")
+	}
+	aborts := sumCounters(snap, "nb.master_aborts")
+	if aborts == 0 {
+		t.Error("no nb.master_aborts after a campaign killed link 1 mid-stream")
+	}
+	if drops := sumCounters(snap, "nb.dead_link_drops"); drops == 0 {
+		t.Error("no nb.dead_link_drops recorded")
+	}
+	pstored, psnap := abortRun(t, tccluster.WithParallel(2))
+	if pstored != stored {
+		t.Errorf("parallel run retired %d stores, serial %d", pstored, stored)
+	}
+	if pa := sumCounters(psnap, "nb.master_aborts"); pa != aborts {
+		t.Errorf("parallel master-aborts %d, serial %d", pa, aborts)
+	}
+}
+
+// TestDeadLinkAlertAndAutoDump drives a campaign-injected link death
+// under the live monitor and requires the watchdog to latch a
+// dead-link alert and the auto-dump hook to write the flight-recorder
+// incident file. Run with -race: monitor sampling, the watchdog and
+// the workload all share the simulation goroutine.
+func TestDeadLinkAlertAndAutoDump(t *testing.T) {
+	topo, err := tccluster.Chain(2)
+	mustOK(t, err)
+	dump := filepath.Join(t.TempDir(), "incident.json")
+	var raised atomic.Int64
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(),
+		tccluster.WithTracer(tccluster.NewCollector(1<<16)),
+		tccluster.WithMonitor("",
+			tccluster.MonitorSampleEvery(50*tccluster.Microsecond),
+			tccluster.MonitorOnAlert(func(a tccluster.Alert) {
+				if a.Rule == "dead-link" && a.Active() {
+					raised.Add(1)
+				}
+			}),
+			tccluster.MonitorAutoDump(dump)),
+		tccluster.WithFaults(tccluster.LinkDown(0, 1500*tccluster.Microsecond)))
+	mustOK(t, err)
+	defer c.Close()
+
+	// Stream stores across the link for the whole run: deliveries before
+	// the death, failed attempts after it — the signature DeadLinkRule
+	// wants, sustained over its windows. The chain is unbounded; RunFor
+	// cuts it off, and the steady event flow is what keeps sampling
+	// windows closing after the link dies.
+	base := c.Node(1).MemBase() + 8<<20
+	var step func(i int)
+	step = func(i int) {
+		c.Node(0).Core().StoreBlock(base+uint64(i%8)*64, make([]byte, 64), func(error) {
+			step(i + 1)
+		})
+	}
+	step(0)
+	c.RunFor(3 * tccluster.Millisecond)
+
+	if raised.Load() == 0 {
+		t.Error("watchdog never raised a dead-link alert")
+	}
+	var active *tccluster.Alert
+	for _, a := range c.Monitor().ActiveAlerts() {
+		if a.Rule == "dead-link" {
+			a := a
+			active = &a
+		}
+	}
+	if active == nil {
+		t.Fatal("no active dead-link alert after the campaign killed the only link")
+	}
+	if fi, err := os.Stat(dump); err != nil {
+		t.Fatalf("auto-dump file missing: %v", err)
+	} else if fi.Size() == 0 {
+		t.Fatal("auto-dump file is empty")
+	}
+}
+
+// TestReliableChannelRecoversAfterRejoin pulls the cable under a
+// reliable channel mid-transfer and re-seats it: every message must
+// still be delivered exactly once, via retransmission, and the sender
+// must not have declared the peer dead.
+func TestReliableChannelRecoversAfterRejoin(t *testing.T) {
+	topo, err := tccluster.Chain(2)
+	mustOK(t, err)
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(),
+		tccluster.WithFaults(
+			tccluster.LinkDownFor(0, 1500*tccluster.Microsecond, 150*tccluster.Microsecond)))
+	mustOK(t, err)
+	par := tccluster.DefaultMsgParams()
+	par.Reliable = true
+	par.AckTimeout = 20 * tccluster.Microsecond
+	s, r, err := c.OpenChannel(0, 1, par)
+	mustOK(t, err)
+
+	const total = 60
+	var delivered atomic.Int64
+	var serve func()
+	serve = func() {
+		r.Recv(func(_ []byte, err error) {
+			if err != nil {
+				return
+			}
+			delivered.Add(1)
+			serve()
+		})
+	}
+	serve()
+	var acked atomic.Int64
+	var send func(i int)
+	send = func(i int) {
+		if i >= total {
+			return
+		}
+		s.Send(make([]byte, 64), func(err error) {
+			mustOK(t, err)
+			acked.Add(1)
+			send(i + 1)
+		})
+	}
+	send(0)
+	c.RunFor(8 * tccluster.Millisecond)
+	r.Stop()
+
+	if delivered.Load() != total {
+		t.Errorf("delivered %d of %d messages across the outage", delivered.Load(), total)
+	}
+	if acked.Load() != total {
+		t.Errorf("acked %d of %d sends", acked.Load(), total)
+	}
+	if s.Dead() {
+		t.Error("sender declared the peer dead despite the link rejoining")
+	}
+	if st := s.Stats(); st.Retransmits == 0 {
+		t.Error("no retransmissions recorded across a 150us outage")
+	} else if st.AckTimeouts == 0 {
+		t.Error("no ack timeouts recorded across a 150us outage")
+	}
+}
+
+// TestReliableChannelPeerDead pulls the cable permanently: once the
+// retransmit budget is exhausted every pending and future send must
+// fail with ErrPeerDead and the sender must latch dead.
+func TestReliableChannelPeerDead(t *testing.T) {
+	topo, err := tccluster.Chain(2)
+	mustOK(t, err)
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(),
+		tccluster.WithFaults(tccluster.LinkDown(0, 1500*tccluster.Microsecond)))
+	mustOK(t, err)
+	par := tccluster.DefaultMsgParams()
+	par.Reliable = true
+	par.AckTimeout = 10 * tccluster.Microsecond
+	par.RetransmitBudget = 3
+	s, r, err := c.OpenChannel(0, 1, par)
+	mustOK(t, err)
+
+	var serve func()
+	serve = func() {
+		r.Recv(func(_ []byte, err error) {
+			if err != nil {
+				return
+			}
+			serve()
+		})
+	}
+	serve()
+	var firstErr error
+	var failed atomic.Int64
+	var send func(i int)
+	send = func(i int) {
+		s.Send(make([]byte, 64), func(err error) {
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				failed.Add(1)
+				return
+			}
+			send(i + 1)
+		})
+	}
+	send(0)
+	c.RunFor(3 * tccluster.Millisecond)
+	r.Stop()
+
+	if failed.Load() == 0 {
+		t.Fatal("no send failed after a permanent link death")
+	}
+	if !errors.Is(firstErr, tccluster.ErrPeerDead) {
+		t.Fatalf("send failed with %v, want ErrPeerDead", firstErr)
+	}
+	if !s.Dead() {
+		t.Error("sender did not latch dead after exhausting its budget")
+	}
+	// Sends after the latch fail immediately with the same error.
+	var lateErr error
+	s.Send(make([]byte, 8), func(err error) { lateErr = err })
+	if !errors.Is(lateErr, tccluster.ErrPeerDead) {
+		t.Errorf("post-latch send failed with %v, want ErrPeerDead", lateErr)
+	}
+}
+
+// TestAllreduceOverShrunkWorld is the degraded-collectives gate: a
+// chain4 world completes an allreduce over all ranks, rank 3's node
+// fail-stops, a reliable sender's exhausted budget feeds the failure
+// detector, the application shrinks, and the survivors' next allreduce
+// completes with the correct sum while the dead rank's collectives
+// fail fast.
+func TestAllreduceOverShrunkWorld(t *testing.T) {
+	topo, err := tccluster.Chain(4)
+	mustOK(t, err)
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(),
+		tccluster.WithFaults(tccluster.NodeCrash(3, 5*tccluster.Millisecond)))
+	mustOK(t, err)
+	cfg := tccluster.DefaultMPIConfig()
+	cfg.Msg.Reliable = true
+	cfg.Msg.AckTimeout = 10 * tccluster.Microsecond
+	cfg.Msg.RetransmitBudget = 3
+	w, err := c.NewWorld(cfg)
+	mustOK(t, err)
+
+	var deadRank atomic.Int64
+	deadRank.Store(-1)
+	w.OnPeerDead(func(rank int) { deadRank.Store(int64(rank)) })
+
+	// Phase 1: a full-world allreduce, well before the crash.
+	var sums atomic.Int64
+	for rk := 0; rk < 4; rk++ {
+		w.Rank(rk).Allreduce([]float64{float64(rk + 1)}, tccluster.Sum,
+			func(out []float64, err error) {
+				mustOK(t, err)
+				if len(out) != 1 || out[0] != 10 {
+					t.Errorf("full-world allreduce got %v, want [10]", out)
+				}
+				sums.Add(1)
+			})
+	}
+	c.RunFor(2 * tccluster.Millisecond)
+	if sums.Load() != 4 {
+		t.Fatalf("pre-crash allreduce: %d of 4 ranks completed", sums.Load())
+	}
+
+	// Phase 2: let the crash land, then probe the dead rank. The fabric
+	// is write-only, so failure is detected by a sender: rank 0's
+	// reliable channel to rank 3 burns its retransmit budget and reports
+	// ErrPeerDead, which feeds the world's failure detector.
+	c.RunFor(4 * tccluster.Millisecond)
+	var probeErr error
+	w.Rank(0).Send(3, 9, []byte("are you there"), func(err error) { probeErr = err })
+	c.RunFor(3 * tccluster.Millisecond)
+	if !errors.Is(probeErr, tccluster.ErrPeerDead) {
+		t.Fatalf("probe send to the crashed rank completed with %v, want ErrPeerDead", probeErr)
+	}
+	if deadRank.Load() != 3 {
+		t.Fatalf("failure detector reported rank %d, want 3", deadRank.Load())
+	}
+	if w.Alive(3) {
+		t.Fatal("rank 3 still marked alive after detection")
+	}
+
+	// Phase 3: shrink and reduce over the survivors.
+	group := w.Shrink()
+	if len(group) != 3 || group[0] != 0 || group[1] != 1 || group[2] != 2 {
+		t.Fatalf("shrunk group %v, want [0 1 2]", group)
+	}
+	var shrunk atomic.Int64
+	for _, rk := range group {
+		rk := rk
+		w.Rank(rk).Allreduce([]float64{float64(rk + 1)}, tccluster.Sum,
+			func(out []float64, err error) {
+				mustOK(t, err)
+				if len(out) != 1 || out[0] != 6 {
+					t.Errorf("shrunk allreduce got %v, want [6]", out)
+				}
+				shrunk.Add(1)
+			})
+	}
+	// The dead rank's collectives fail fast without touching the fabric.
+	var deadErr error
+	w.Rank(3).Allreduce([]float64{4}, tccluster.Sum,
+		func(_ []float64, err error) { deadErr = err })
+	if !errors.Is(deadErr, tccluster.ErrPeerDead) {
+		t.Errorf("dead rank's allreduce returned %v, want ErrPeerDead", deadErr)
+	}
+	c.RunFor(3 * tccluster.Millisecond)
+	if shrunk.Load() != 3 {
+		t.Fatalf("shrunk allreduce: %d of 3 survivors completed", shrunk.Load())
+	}
+}

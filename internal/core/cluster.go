@@ -33,6 +33,21 @@ type Cluster struct {
 	runner *sim.Parallel
 	shards *trace.Shards
 	exiled [][]*ht.Packet // per partition: foreign pooled packets awaiting repatriation
+
+	// Scripted fault-action source, nil unless a campaign is installed.
+	actions ActionSource
+}
+
+// ActionSource feeds scripted actions (fault campaigns) into the run
+// loop. NextAction reports the earliest pending action's absolute
+// virtual time; FireActions applies every action due at or before now.
+// Actions fire on a clean cut of the timeline — after every event
+// strictly before their timestamp, before any event at or after it —
+// identically under the serial and parallel executors. FireActions may
+// only schedule follow-up actions strictly later than now.
+type ActionSource interface {
+	NextAction() (sim.Time, bool)
+	FireActions(now sim.Time)
 }
 
 // Node is the software-visible handle of one supernode.
@@ -320,6 +335,14 @@ func (c *Cluster) Nodes() []*Node { return c.nodes }
 // ExternalLinks returns the TCCluster links, for stats inspection.
 func (c *Cluster) ExternalLinks() []*ht.Link { return c.extLinks }
 
+// ExternalLinkEnds returns the node indices on the A and B side of
+// external link id. Fault campaigns use it to resolve node-scoped
+// targets (a node crash downs every cable touching the node).
+func (c *Cluster) ExternalLinkEnds(id int) (a, b int) {
+	e := c.extEnds[id]
+	return e[0], e[1]
+}
+
 // Tracer returns the observability tracer the cluster was built with,
 // nil when tracing is disabled. Layers above core (kernel, msg, mpi)
 // reach the tracer through this accessor.
@@ -349,6 +372,7 @@ func (c *Cluster) Metrics() trace.Snapshot {
 			put("port.send_errors", st.SendErrors)
 			put("port.crc_errors", st.CRCErrors)
 			put("port.retries", st.Retries)
+			put("port.aborted_pkts", st.AbortedPkts)
 		}
 	}
 	for _, node := range c.nodes {
@@ -439,10 +463,30 @@ func (c *Cluster) LinkStatuses() []LinkStatus {
 	return out
 }
 
-// Run drains all pending simulation events.
+// SetActionSource installs a scripted-action source (a fault
+// campaign). On parallel clusters the source also hooks the window
+// coordinator so actions fire in its serial sections.
+func (c *Cluster) SetActionSource(src ActionSource) {
+	c.actions = src
+	if c.runner != nil {
+		if src == nil {
+			c.runner.SetActionHook(nil, nil)
+			return
+		}
+		c.runner.SetActionHook(src.NextAction, src.FireActions)
+	}
+}
+
+// Run drains all pending simulation events. Pending scripted actions
+// count as work: a fault campaign's rejoin fires even on an idle
+// fabric.
 func (c *Cluster) Run() {
 	if c.runner != nil {
 		c.runner.Run()
+		return
+	}
+	if c.actions != nil {
+		c.runActions(0, false)
 		return
 	}
 	c.eng.Run()
@@ -454,7 +498,39 @@ func (c *Cluster) RunFor(d sim.Time) {
 		c.runner.RunFor(d)
 		return
 	}
+	if c.actions != nil {
+		c.runActions(c.eng.Now()+d, true)
+		return
+	}
 	c.eng.RunFor(d)
+}
+
+// runActions is the serial run loop with a campaign installed: run up
+// to (but not including) the next action's timestamp, align the clock
+// onto it, fire, repeat. Time is integer picoseconds, so "every event
+// strictly before t" is exactly RunUntil(t-1); AlignTo then parks the
+// clock at t itself so the actions' mutations and any follow-ups they
+// schedule observe the same instant the parallel coordinator produces.
+func (c *Cluster) runActions(deadline sim.Time, bounded bool) {
+	for {
+		at, ok := c.actions.NextAction()
+		if ok && bounded && at > deadline {
+			ok = false
+		}
+		if !ok {
+			if bounded {
+				c.eng.RunUntil(deadline)
+			} else {
+				c.eng.Run()
+			}
+			return
+		}
+		if at > c.eng.Now() {
+			c.eng.RunUntil(at - 1)
+			c.eng.AlignTo(at)
+		}
+		c.actions.FireActions(at)
+	}
 }
 
 // GlobalBase returns the first global physical address of node i's DRAM.

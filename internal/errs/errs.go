@@ -25,4 +25,10 @@ var (
 	// sizes, socket counts, ring parameters, or malformed topology
 	// constructor arguments.
 	ErrBadConfig = errors.New("bad configuration")
+
+	// ErrPeerDead marks a peer a reliable channel has given up on: the
+	// retransmit budget is exhausted without an acknowledgment, so every
+	// path to the remote ring is presumed gone (cable pulled, node
+	// crashed). MPI surfaces it as the ULFM-style process-failure signal.
+	ErrPeerDead = errors.New("peer dead")
 )

@@ -1,0 +1,81 @@
+// The sentinel contract: every layer wraps these with %w, and callers
+// classify failures with errors.Is. These tests pin the properties that
+// contract depends on — distinctness, wrap transparency, and stable
+// message fragments — so a refactor cannot silently merge two failure
+// classes or break errors.Is chains.
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// sentinels is the complete exported set; tests iterate it so adding a
+// sentinel without updating the contract checks is impossible.
+var sentinels = []struct {
+	name string
+	err  error
+}{
+	{"ErrUnroutable", ErrUnroutable},
+	{"ErrRingFull", ErrRingFull},
+	{"ErrDeadlockTopology", ErrDeadlockTopology},
+	{"ErrBadConfig", ErrBadConfig},
+	{"ErrPeerDead", ErrPeerDead},
+}
+
+func TestSentinelsAreDistinct(t *testing.T) {
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if i == j {
+				continue
+			}
+			if errors.Is(a.err, b.err) {
+				t.Errorf("%s matches %s: sentinels must be distinct", a.name, b.name)
+			}
+		}
+	}
+}
+
+func TestWrappedSentinelsSurviveErrorsIs(t *testing.T) {
+	for _, s := range sentinels {
+		wrapped := fmt.Errorf("msg: open channel 3 -> 7: %w", s.err)
+		if !errors.Is(wrapped, s.err) {
+			t.Errorf("%s: single %%w wrap lost the sentinel", s.name)
+		}
+		double := fmt.Errorf("mpi: world boot: %w", wrapped)
+		if !errors.Is(double, s.err) {
+			t.Errorf("%s: double %%w wrap lost the sentinel", s.name)
+		}
+		if errors.Is(wrapped, errors.New(s.err.Error())) {
+			t.Errorf("%s: errors.Is matched by message, not identity", s.name)
+		}
+	}
+}
+
+func TestBareSentinelMatchesItself(t *testing.T) {
+	for _, s := range sentinels {
+		if !errors.Is(s.err, s.err) {
+			t.Errorf("%s does not match itself", s.name)
+		}
+	}
+}
+
+// TestPeerDeadMessage pins the message fragment operators will grep
+// logs for when a reliable channel gives up on its peer.
+func TestPeerDeadMessage(t *testing.T) {
+	if got := ErrPeerDead.Error(); got != "peer dead" {
+		t.Errorf("ErrPeerDead message = %q, want %q", got, "peer dead")
+	}
+}
+
+// TestUnwrapChainTerminates pins that the sentinels are roots: they
+// wrap nothing, so errors.Unwrap on them is nil and classification
+// cannot loop.
+func TestUnwrapChainTerminates(t *testing.T) {
+	for _, s := range sentinels {
+		if errors.Unwrap(s.err) != nil {
+			t.Errorf("%s unexpectedly wraps another error", s.name)
+		}
+	}
+}

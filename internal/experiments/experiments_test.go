@@ -290,6 +290,45 @@ func TestFaultToleranceShape(t *testing.T) {
 	}
 }
 
+func TestFaultRecoveryShape(t *testing.T) {
+	tab, err := FaultRecovery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	get := func(row int) (goodput, stall, retransmits float64) {
+		fmtSscan(tab.Rows[row][2], &goodput)
+		fmtSscan(tab.Rows[row][3], &stall)
+		fmtSscan(tab.Rows[row][4], &retransmits)
+		return
+	}
+	// The no-fault baseline retransmits nothing and stalls no longer
+	// than the ack-timeout quantum allows.
+	bw0, _, r0 := get(0)
+	if r0 != 0 {
+		t.Errorf("fault-free run recorded %v retransmissions", r0)
+	}
+	// Each longer outage costs goodput and stretches the worst stall;
+	// recovery is always via retransmission.
+	prevStall := 0.0
+	prevBW := bw0 + 1
+	for row := 1; row < 4; row++ {
+		bw, stall, retr := get(row)
+		if retr == 0 {
+			t.Errorf("row %d: outage produced no retransmissions", row)
+		}
+		if bw >= prevBW {
+			t.Errorf("row %d: goodput %.1f did not drop below %.1f", row, bw, prevBW)
+		}
+		if stall <= prevStall {
+			t.Errorf("row %d: max stall %.1f did not grow past %.1f", row, stall, prevStall)
+		}
+		prevBW, prevStall = bw, stall
+	}
+}
+
 func TestMeshTrafficShape(t *testing.T) {
 	tab, err := MeshTraffic(8 << 10)
 	if err != nil {

@@ -101,6 +101,33 @@ func (s LinkState) String() string {
 	}
 }
 
+// LinkHealth is the operational condition of a link as a fault campaign
+// (and the monitor) sees it — a projection of the training state machine
+// plus the runtime error model: alive → degraded → dead → retraining →
+// alive. Training state says whether the link *can* carry packets;
+// health additionally says how well.
+type LinkHealth int
+
+const (
+	HealthAlive LinkHealth = iota
+	HealthDegraded
+	HealthDead
+	HealthRetraining
+)
+
+func (h LinkHealth) String() string {
+	switch h {
+	case HealthAlive:
+		return "alive"
+	case HealthDegraded:
+		return "degraded"
+	case HealthRetraining:
+		return "retraining"
+	default:
+		return "dead"
+	}
+}
+
 // LinkConfig describes the fixed physical properties of a link.
 type LinkConfig struct {
 	AClass, BClass DeviceClass
@@ -147,6 +174,7 @@ type PortStats struct {
 	SendErrors   uint64
 	CRCErrors    uint64 // corrupted serializations detected by the CRC window
 	Retries      uint64 // replay-buffer retransmissions
+	AbortedPkts  uint64 // queued packets completed as aborts when the link dropped
 }
 
 // portCounters is the live, race-safe backing store for PortStats. The
@@ -163,6 +191,7 @@ type portCounters struct {
 	sendErrors   atomic.Uint64
 	crcErrors    atomic.Uint64
 	retries      atomic.Uint64
+	abortedPkts  atomic.Uint64
 }
 
 // Sink consumes delivered packets at a link end. done must be called
@@ -262,6 +291,13 @@ type Link struct {
 	speed Speed
 	width int
 
+	// Runtime error model: initialized from cfg, overridden by fault
+	// campaigns (SetFaultRate). degraded marks the override as a health
+	// downgrade without disturbing the configured baseline.
+	faultRate    float64
+	faultPenalty sim.Time
+	degraded     bool
+
 	trainings int
 	log       func(string)
 	trace     func(event, side string, pkt *Packet)
@@ -350,7 +386,8 @@ func NewLink(eng *sim.Engine, cfg LinkConfig) *Link {
 	if cfg.ErrorRate > 0 && cfg.RetryPenalty == 0 {
 		cfg.RetryPenalty = 500 * sim.Nanosecond
 	}
-	l := &Link{engs: [2]*sim.Engine{eng, eng}, cfg: cfg, state: StateDown, typ: TypeDown}
+	l := &Link{engs: [2]*sim.Engine{eng, eng}, cfg: cfg, state: StateDown, typ: TypeDown,
+		faultRate: cfg.ErrorRate, faultPenalty: cfg.RetryPenalty}
 	l.ports[0] = &Port{link: l, side: 0, name: "A", class: cfg.AClass,
 		progSpeed: ColdResetSpeed, progWidth: ColdResetWidth}
 	l.ports[1] = &Port{link: l, side: 1, name: "B", class: cfg.BClass,
@@ -502,6 +539,7 @@ func (p *Port) Stats() PortStats {
 		SendErrors:   p.stats.sendErrors.Load(),
 		CRCErrors:    p.stats.crcErrors.Load(),
 		Retries:      p.stats.retries.Load(),
+		AbortedPkts:  p.stats.abortedPkts.Load(),
 	}
 	for vc := range s.PerVCSent {
 		s.PerVCSent[vc] = p.stats.perVCSent[vc].Load()
@@ -621,11 +659,11 @@ func (p *Port) transmit(pkt *Packet) {
 	// interleave — and serial and partition-split runs corrupt exactly
 	// the same packets.
 	attempts := sim.Time(0)
-	if l.cfg.ErrorRate > 0 {
-		for n := uint64(0); faultU01(l.cfg.ErrorSeed, uint64(p.side), seq, n) < l.cfg.ErrorRate; n++ {
+	if l.faultRate > 0 {
+		for n := uint64(0); faultU01(l.cfg.ErrorSeed, uint64(p.side), seq, n) < l.faultRate; n++ {
 			p.stats.crcErrors.Add(1)
 			p.stats.retries.Add(1)
-			attempts += ser + l.cfg.RetryPenalty
+			attempts += ser + l.faultPenalty
 		}
 	}
 	_, done := p.tx.Schedule(eng.Now(), attempts+ser)
@@ -713,20 +751,130 @@ func (l *Link) creditReturn(rec *txRec) {
 }
 
 // ForceDown models a cable pull or unrecoverable link failure: the link
-// drops immediately, queued packets are discarded, and every subsequent
-// Send fails until a reset retrains it. TCCluster has no routing-level
-// failover — the paper's architecture simply loses the path, which is
-// what tests built on this observe.
+// drops immediately, queued packets complete as aborts (the posted
+// store finished at the CPU; the data simply never arrives), and every
+// subsequent Send fails until a reset retrains it. TCCluster has no
+// routing-level failover — the paper's architecture simply loses the
+// path, which is what tests built on this observe.
+//
+// ForceDown only mutates link state — it schedules nothing — so a fault
+// campaign may call it from the parallel coordinator's serial section
+// even on a partition-split link.
 func (l *Link) ForceDown() {
 	l.state = StateDown
 	l.typ = TypeDown
+	l.abortQueued()
+	l.logf("link forced down")
+}
+
+// abortQueued flushes both ports' wait queues and tx servers, completing
+// every queued packet as an abort. Accept fires each packet's completion
+// chain (ingress credit release, CPU store retirement) exactly as a real
+// posted write that master-aborts downstream would: the sender never
+// learns, the bytes are gone. Without this, a cable pull would strand
+// the upstream completion forever and wedge the sender.
+func (l *Link) abortQueued() {
 	for _, p := range l.ports {
 		for vc := range p.waitq {
-			p.waitq[vc].reset()
+			q := &p.waitq[vc]
+			for q.len() > 0 {
+				pkt := q.pop()
+				p.stats.abortedPkts.Add(1)
+				pkt.Accept()
+			}
+			q.reset()
 		}
 		p.tx.Reset()
 	}
-	l.logf("link forced down")
+}
+
+// SetFaultRate overrides the runtime error model — the campaign's "link
+// degrade" knob. A rate above the configured baseline marks the link
+// degraded; penalty <= 0 keeps the current replay penalty (defaulting
+// to 500 ns if none was configured). Rates are clamped below 1 so the
+// retry loop always terminates. Mutation-only: safe from the serial
+// section of a parallel run.
+func (l *Link) SetFaultRate(rate float64, penalty sim.Time) {
+	if rate > 0.95 {
+		rate = 0.95
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	l.faultRate = rate
+	if penalty > 0 {
+		l.faultPenalty = penalty
+	} else if l.faultPenalty == 0 {
+		l.faultPenalty = 500 * sim.Nanosecond
+	}
+	l.degraded = rate > l.cfg.ErrorRate
+	l.logf(fmt.Sprintf("link fault rate set to %.3f", rate))
+}
+
+// ClearFaultOverride restores the configured baseline error model.
+func (l *Link) ClearFaultOverride() {
+	l.faultRate = l.cfg.ErrorRate
+	l.faultPenalty = l.cfg.RetryPenalty
+	l.degraded = false
+}
+
+// Health projects training state plus the runtime error model onto the
+// alive/degraded/dead/retraining ladder fault campaigns and the monitor
+// reason about.
+func (l *Link) Health() LinkHealth {
+	switch l.state {
+	case StateActive:
+		if l.degraded {
+			return HealthDegraded
+		}
+		return HealthAlive
+	case StateTraining:
+		return HealthRetraining
+	default:
+		return HealthDead
+	}
+}
+
+// TrainTime returns the configured duration of one training sequence.
+func (l *Link) TrainTime() sim.Time { return l.cfg.TrainTime }
+
+// StartRetrain begins a training sequence without scheduling its
+// completion: the state flips to Training, queued packets abort, and
+// the caller owns delivering FinishRetrain after TrainTime. This is the
+// campaign-driven counterpart of beginTraining — mutation-only, so the
+// parallel coordinator can retrain even a partition-split link from its
+// serial section, where beginTraining (which schedules on an engine)
+// must panic. Returns false when training is already in progress (one
+// shared reset wire: a second assert is absorbed), in which case the
+// caller must not schedule another completion.
+func (l *Link) StartRetrain() bool {
+	if l.state == StateTraining {
+		return false
+	}
+	l.state = StateTraining
+	l.typ = TypeDown
+	l.abortQueued()
+	l.logf("link retraining (fault campaign)")
+	return true
+}
+
+// RetrainTarget returns the speed and width the next campaign-driven
+// retrain will land on: the programmed registers of both ends, clamped
+// to the wired lanes — the same negotiation WarmReset performs.
+func (l *Link) RetrainTarget() (Speed, int) {
+	speed := l.ports[0].progSpeed
+	if l.ports[1].progSpeed < speed {
+		speed = l.ports[1].progSpeed
+	}
+	width := minInt(l.ports[0].progWidth, l.ports[1].progWidth)
+	width = minInt(width, l.cfg.MaxWidth)
+	return speed, width
+}
+
+// FinishRetrain completes a StartRetrain with the negotiated speed and
+// width. Mutation-only, serial-section safe on split links.
+func (l *Link) FinishRetrain(speed Speed, width int) {
+	l.finishTraining(speed, minInt(width, l.cfg.MaxWidth))
 }
 
 // ColdReset drops the link and trains it from scratch: width and clock

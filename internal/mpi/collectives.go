@@ -3,8 +3,41 @@ package mpi
 import (
 	"fmt"
 
+	"repro/internal/errs"
 	"repro/internal/trace"
 )
+
+// grp returns the current communicator group (surviving global ranks,
+// ascending), this rank's position in it, and whether this rank is a
+// member. Collectives do all their rank arithmetic on group positions
+// and translate back to global ranks only when addressing a channel, so
+// after a Shrink they run over exactly the survivors — with the same
+// algorithms and, on a full group, the same wire traffic as before.
+func (c *Comm) grp() (g []int, me int, ok bool) {
+	g = c.w.group
+	for i, r := range g {
+		if r == c.rank {
+			return g, i, true
+		}
+	}
+	return g, -1, false
+}
+
+// notMember is what a collective returns on a rank that failed (or was
+// shrunk out): it cannot participate, mirroring MPI_ERR_PROC_FAILED.
+func (c *Comm) notMember() error {
+	return fmt.Errorf("mpi: rank %d is not in the communicator group: %w", c.rank, errs.ErrPeerDead)
+}
+
+// groupIndex finds a global rank's position in g, -1 if absent.
+func groupIndex(g []int, rank int) int {
+	for i, r := range g {
+		if r == rank {
+			return i
+		}
+	}
+	return -1
+}
 
 // Collective op identifiers for the internal tag space.
 const (
@@ -68,7 +101,12 @@ var Min Op = func(dst, src []float64) {
 // using the dissemination algorithm: ceil(log2 n) rounds of one send
 // and one receive each. done fires when this rank may proceed.
 func (c *Comm) Barrier(done func(error)) {
-	n := c.w.n
+	g, me, ok := c.grp()
+	if !ok {
+		done(c.notMember())
+		return
+	}
+	n := len(g)
 	if n == 1 {
 		done(nil)
 		return
@@ -96,8 +134,8 @@ func (c *Comm) Barrier(done func(error)) {
 			done(nil)
 			return
 		}
-		to := (c.rank + dist) % n
-		from := (c.rank - dist + n) % n
+		to := g[(me+dist)%n]
+		from := g[(me-dist+n)%n]
 		tag := c.ctag(opBarrier, k)
 		pending := 2
 		var firstErr error
@@ -142,11 +180,22 @@ func bcastTree(vrank, n int) (parent int, children []int) {
 // On the root, data is the payload; elsewhere data is ignored. cb fires
 // with the payload once this rank has received and forwarded it.
 func (c *Comm) Bcast(root int, data []byte, cb func([]byte, error)) {
-	n := c.w.n
+	g, me, ok := c.grp()
+	if !ok {
+		cb(nil, c.notMember())
+		return
+	}
+	ri := groupIndex(g, root)
+	if ri < 0 {
+		cb(nil, fmt.Errorf("mpi: bcast root %d is not in the communicator group", root))
+		return
+	}
+	n := len(g)
 	tag := c.ctag(opBcast, 0)
 	c.bumpEpoch(opBcast)
-	vrank := (c.rank - root + n) % n
+	vrank := (me - ri + n) % n
 	parent, children := bcastTree(vrank, n)
+	glob := func(v int) int { return g[(v+ri)%n] }
 
 	forward := func(payload []byte) {
 		pending := len(children)
@@ -156,8 +205,7 @@ func (c *Comm) Bcast(root int, data []byte, cb func([]byte, error)) {
 		}
 		var firstErr error
 		for _, child := range children {
-			dst := (child + root) % n
-			c.send(dst, tag, payload, func(err error) {
+			c.send(glob(child), tag, payload, func(err error) {
 				if err != nil && firstErr == nil {
 					firstErr = err
 				}
@@ -172,7 +220,7 @@ func (c *Comm) Bcast(root int, data []byte, cb func([]byte, error)) {
 		forward(data)
 		return
 	}
-	c.Recv((parent+root)%n, tag, func(payload []byte, err error) {
+	c.Recv(glob(parent), tag, func(payload []byte, err error) {
 		if err != nil {
 			cb(nil, err)
 			return
@@ -184,11 +232,22 @@ func (c *Comm) Bcast(root int, data []byte, cb func([]byte, error)) {
 // Reduce folds every rank's vector into the root along a binomial tree.
 // cb on the root receives the reduction; other ranks get nil.
 func (c *Comm) Reduce(root int, vec []float64, op Op, cb func([]float64, error)) {
-	n := c.w.n
+	g, me, ok := c.grp()
+	if !ok {
+		cb(nil, c.notMember())
+		return
+	}
+	ri := groupIndex(g, root)
+	if ri < 0 {
+		cb(nil, fmt.Errorf("mpi: reduce root %d is not in the communicator group", root))
+		return
+	}
+	n := len(g)
 	tag := c.ctag(opReduce, 0)
 	c.bumpEpoch(opReduce)
-	vrank := (c.rank - root + n) % n
+	vrank := (me - ri + n) % n
 	parent, children := bcastTree(vrank, n)
+	glob := func(v int) int { return g[(v+ri)%n] }
 
 	acc := append([]float64(nil), vec...)
 	pending := len(children)
@@ -197,7 +256,7 @@ func (c *Comm) Reduce(root int, vec []float64, op Op, cb func([]float64, error))
 			cb(acc, nil)
 			return
 		}
-		c.send((parent+root)%n, tag, Float64s(acc), func(err error) {
+		c.send(glob(parent), tag, Float64s(acc), func(err error) {
 			cb(nil, err)
 		})
 	}
@@ -206,7 +265,7 @@ func (c *Comm) Reduce(root int, vec []float64, op Op, cb func([]float64, error))
 		return
 	}
 	for _, child := range children {
-		src := (child + root) % n
+		src := glob(child)
 		c.Recv(src, tag, func(payload []byte, err error) {
 			if err != nil {
 				cb(nil, err)
@@ -231,18 +290,24 @@ func (c *Comm) Reduce(root int, vec []float64, op Op, cb func([]float64, error))
 }
 
 // Allreduce gives every rank the reduction of all vectors (reduce to
-// rank 0, then broadcast).
+// the group's first survivor, then broadcast).
 func (c *Comm) Allreduce(vec []float64, op Op, cb func([]float64, error)) {
-	c.Reduce(0, vec, op, func(result []float64, err error) {
+	g, _, ok := c.grp()
+	if !ok {
+		cb(nil, c.notMember())
+		return
+	}
+	root := g[0]
+	c.Reduce(root, vec, op, func(result []float64, err error) {
 		if err != nil {
 			cb(nil, err)
 			return
 		}
 		var payload []byte
-		if c.rank == 0 {
+		if c.rank == root {
 			payload = Float64s(result)
 		}
-		c.Bcast(0, payload, func(data []byte, err error) {
+		c.Bcast(root, payload, func(data []byte, err error) {
 			if err != nil {
 				cb(nil, err)
 				return
@@ -253,11 +318,22 @@ func (c *Comm) Allreduce(vec []float64, op Op, cb func([]float64, error)) {
 	})
 }
 
-// Scatter distributes parts[i] from the root to rank i. On the root,
-// parts must hold one slice per rank; elsewhere parts is ignored. cb
-// receives this rank's part.
+// Scatter distributes parts[i] from the root to the group's i-th
+// member. On the root, parts must hold one slice per group member (in
+// group order — identical to rank order until a Shrink); elsewhere
+// parts is ignored. cb receives this rank's part.
 func (c *Comm) Scatter(root int, parts [][]byte, cb func([]byte, error)) {
-	n := c.w.n
+	g, _, ok := c.grp()
+	if !ok {
+		cb(nil, c.notMember())
+		return
+	}
+	ri := groupIndex(g, root)
+	if ri < 0 {
+		cb(nil, fmt.Errorf("mpi: scatter root %d is not in the communicator group", root))
+		return
+	}
+	n := len(g)
 	tag := c.ctag(opScatter, 0)
 	c.bumpEpoch(opScatter)
 	if c.rank != root {
@@ -269,17 +345,17 @@ func (c *Comm) Scatter(root int, parts [][]byte, cb func([]byte, error)) {
 		return
 	}
 	pending := n - 1
-	own := append([]byte(nil), parts[root]...)
+	own := append([]byte(nil), parts[ri]...)
 	if pending == 0 {
 		cb(own, nil)
 		return
 	}
 	var firstErr error
-	for dst := 0; dst < n; dst++ {
-		if dst == root {
+	for i := 0; i < n; i++ {
+		if i == ri {
 			continue
 		}
-		c.send(dst, tag, parts[dst], func(err error) {
+		c.send(g[i], tag, parts[i], func(err error) {
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -291,12 +367,19 @@ func (c *Comm) Scatter(root int, parts [][]byte, cb func([]byte, error)) {
 	}
 }
 
-// Alltoall sends data[j] to every rank j and collects the slice each
-// rank addressed to us: out[i] is rank i's contribution (out[rank] is
-// our own data[rank]). The personalized all-to-all is the heaviest
-// collective on any network; on TCCluster it is n*(n-1) eager frames.
+// Alltoall sends data[j] to the group's j-th member and collects the
+// slice each member addressed to us: out[i] is member i's contribution
+// (out[me] is our own data[me], with me this rank's group position —
+// identical to rank order until a Shrink). The personalized all-to-all
+// is the heaviest collective on any network; on TCCluster it is
+// n*(n-1) eager frames.
 func (c *Comm) Alltoall(data [][]byte, cb func([][]byte, error)) {
-	n := c.w.n
+	g, me, ok := c.grp()
+	if !ok {
+		cb(nil, c.notMember())
+		return
+	}
+	n := len(g)
 	tag := c.ctag(opAlltoall, 0)
 	c.bumpEpoch(opAlltoall)
 	if len(data) != n {
@@ -304,7 +387,7 @@ func (c *Comm) Alltoall(data [][]byte, cb func([][]byte, error)) {
 		return
 	}
 	out := make([][]byte, n)
-	out[c.rank] = append([]byte(nil), data[c.rank]...)
+	out[me] = append([]byte(nil), data[me]...)
 	pending := 2 * (n - 1)
 	if pending == 0 {
 		cb(out, nil)
@@ -320,16 +403,16 @@ func (c *Comm) Alltoall(data [][]byte, cb func([][]byte, error)) {
 			cb(out, firstErr)
 		}
 	}
-	for peer := 0; peer < n; peer++ {
-		if peer == c.rank {
+	for i := 0; i < n; i++ {
+		if i == me {
 			continue
 		}
-		p := peer
-		c.Recv(p, tag, func(payload []byte, err error) {
+		p := i
+		c.Recv(g[p], tag, func(payload []byte, err error) {
 			out[p] = payload
 			step(err)
 		})
-		c.send(p, tag, data[p], step)
+		c.send(g[p], tag, data[p], step)
 	}
 }
 
@@ -340,7 +423,12 @@ func (c *Comm) Alltoall(data [][]byte, cb func([][]byte, error)) {
 // tiny vectors the tree's log2(n) latency wins — the ablation in
 // experiment E15 quantifies the crossover.
 func (c *Comm) AllreduceRing(vec []float64, op Op, cb func([]float64, error)) {
-	n := c.w.n
+	g, me, ok := c.grp()
+	if !ok {
+		cb(nil, c.notMember())
+		return
+	}
+	n := len(g)
 	if n == 1 {
 		cb(append([]float64(nil), vec...), nil)
 		return
@@ -364,8 +452,8 @@ func (c *Comm) AllreduceRing(vec []float64, op Op, cb func([]float64, error)) {
 	acc := append([]float64(nil), vec...)
 	bound := func(i int) int { return i * len(vec) / n }
 	chunk := func(i int) []float64 { return acc[bound(i):bound(i+1)] }
-	right := (c.rank + 1) % n
-	left := (c.rank - 1 + n) % n
+	right := g[(me+1)%n]
+	left := g[(me-1+n)%n]
 
 	// Phase 1: reduce-scatter. After step s, chunk (rank-s-1) holds the
 	// partial reduction of s+2 contributors.
@@ -378,8 +466,8 @@ func (c *Comm) AllreduceRing(vec []float64, op Op, cb func([]float64, error)) {
 			gatherStep(0)
 			return
 		}
-		sendIdx := (c.rank - s + n) % n
-		recvIdx := (c.rank - s - 1 + n) % n
+		sendIdx := (me - s + n) % n
+		recvIdx := (me - s - 1 + n) % n
 		tag := epoch(s)
 		pending := 2
 		var firstErr error
@@ -412,8 +500,8 @@ func (c *Comm) AllreduceRing(vec []float64, op Op, cb func([]float64, error)) {
 			cb(acc, nil)
 			return
 		}
-		sendIdx := (c.rank - s + 1 + n) % n
-		recvIdx := (c.rank - s + n) % n
+		sendIdx := (me - s + 1 + n) % n
+		recvIdx := (me - s + n) % n
 		tag := epoch(128 + s) // distinct from phase-1 tags
 		pending := 2
 		var firstErr error
@@ -444,10 +532,21 @@ func (c *Comm) AllreduceRing(vec []float64, op Op, cb func([]float64, error)) {
 	reduceStep(0)
 }
 
-// Gather collects every rank's payload at the root. cb on the root
-// receives a slice indexed by rank; other ranks get nil.
+// Gather collects every member's payload at the root. cb on the root
+// receives a slice indexed by group position (identical to rank order
+// until a Shrink); other ranks get nil.
 func (c *Comm) Gather(root int, data []byte, cb func([][]byte, error)) {
-	n := c.w.n
+	g, _, ok := c.grp()
+	if !ok {
+		cb(nil, c.notMember())
+		return
+	}
+	ri := groupIndex(g, root)
+	if ri < 0 {
+		cb(nil, fmt.Errorf("mpi: gather root %d is not in the communicator group", root))
+		return
+	}
+	n := len(g)
 	tag := c.ctag(opGather, 0)
 	c.bumpEpoch(opGather)
 	if c.rank != root {
@@ -455,18 +554,18 @@ func (c *Comm) Gather(root int, data []byte, cb func([][]byte, error)) {
 		return
 	}
 	out := make([][]byte, n)
-	out[root] = append([]byte(nil), data...)
+	out[ri] = append([]byte(nil), data...)
 	pending := n - 1
 	if pending == 0 {
 		cb(out, nil)
 		return
 	}
-	for src := 0; src < n; src++ {
-		if src == root {
+	for i := 0; i < n; i++ {
+		if i == ri {
 			continue
 		}
-		s := src
-		c.Recv(s, tag, func(payload []byte, err error) {
+		s := i
+		c.Recv(g[s], tag, func(payload []byte, err error) {
 			if err != nil {
 				cb(nil, err)
 				return

@@ -1,8 +1,10 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/errs"
 	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -186,8 +188,18 @@ func (c *Comm) Send(dst, tag int, data []byte, done func(error)) {
 }
 
 // send is the unchecked path collectives use (they own the internal tag
-// space).
+// space). Every completion is watched for errs.ErrPeerDead — the one
+// failure a write-only fabric can detect, raised by a reliable channel
+// whose retransmit budget ran out — and feeds the world's failure
+// detector before reaching the caller.
 func (c *Comm) send(dst, tag int, data []byte, done func(error)) {
+	inner := done
+	done = func(err error) {
+		if err != nil && errors.Is(err, errs.ErrPeerDead) {
+			c.w.noteFault(dst)
+		}
+		inner(err)
+	}
 	if len(data) <= c.w.cfg.EagerLimit {
 		c.stats.EagerSends++
 		env := encodeEnvelope(envelope{kind: kindEager, tag: int32(tag), data: data})

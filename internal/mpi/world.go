@@ -44,6 +44,16 @@ type World struct {
 	cfg   Config
 	n     int
 	comms []*Comm
+
+	// Process-failure state (ULFM-style). failed collects ranks declared
+	// dead — by a reliable sender exhausting its retransmit budget or by
+	// an explicit Fail. group is the communicator the collectives run
+	// over: all ranks at first, survivors after each Shrink. Failure
+	// detection is continuous; shrinking is an explicit, application-
+	// driven act, exactly as in MPI_Comm_shrink.
+	failed  map[int]bool
+	group   []int
+	deadCBs []func(rank int)
 }
 
 // NewWorld opens channels between every pair of nodes and starts the
@@ -64,7 +74,10 @@ func NewWorld(os *kernel.OS, cfg Config) (*World, error) {
 	}
 	cl := os.Cluster()
 	n := cl.N()
-	w := &World{cfg: cfg, n: n}
+	w := &World{cfg: cfg, n: n, failed: make(map[int]bool)}
+	for i := 0; i < n; i++ {
+		w.group = append(w.group, i)
+	}
 	// Each rank's communicator timestamps and traces on its own node's
 	// engine and shard, so rank callbacks stay partition-local on
 	// parallel clusters.
@@ -92,6 +105,68 @@ func (w *World) Size() int { return w.n }
 
 // Rank returns rank i's communicator.
 func (w *World) Rank(i int) *Comm { return w.comms[i] }
+
+// ---- process-failure handling (ULFM-style) ------------------------------
+
+// OnPeerDead registers cb to run (on the simulation goroutine) the
+// first time each rank is declared failed — when a reliable channel to
+// it exhausts its retransmit budget, or when Fail names it. The fabric
+// is write-only, so only senders ever detect a dead peer; ranks that
+// merely receive from it learn of the failure through this callback (in
+// a real deployment, through the surviving ranks' agreement protocol).
+func (w *World) OnPeerDead(cb func(rank int)) {
+	w.deadCBs = append(w.deadCBs, cb)
+}
+
+// Fail declares rank failed, as a failure detector or the application
+// would. Idempotent; triggers OnPeerDead callbacks on first use.
+func (w *World) Fail(rank int) { w.noteFault(rank) }
+
+// noteFault latches one rank's failure and notifies.
+func (w *World) noteFault(rank int) {
+	if rank < 0 || rank >= w.n || w.failed[rank] {
+		return
+	}
+	w.failed[rank] = true
+	for _, cb := range w.deadCBs {
+		cb(rank)
+	}
+}
+
+// Alive reports whether rank has not been declared failed.
+func (w *World) Alive(rank int) bool { return !w.failed[rank] }
+
+// FailedRanks returns the ranks declared failed so far, ascending.
+func (w *World) FailedRanks() []int {
+	var out []int
+	for r := 0; r < w.n; r++ {
+		if w.failed[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Group returns the current communicator group: the global ranks the
+// collectives run over, ascending.
+func (w *World) Group() []int { return append([]int(nil), w.group...) }
+
+// Shrink rebuilds the communicator over the surviving ranks and returns
+// the new group. Like MPI_Comm_shrink this is explicit: the application
+// decides when to cut the failed ranks out, and every surviving rank
+// must make the same decision before its next collective (in the
+// simulation all ranks share the World, so one call suffices).
+// Collectives invoked by a rank outside the group fail immediately;
+// collectives over the shrunk group complete among survivors.
+func (w *World) Shrink() []int {
+	w.group = w.group[:0]
+	for r := 0; r < w.n; r++ {
+		if !w.failed[r] {
+			w.group = append(w.group, r)
+		}
+	}
+	return w.Group()
+}
 
 // ---- envelope wire format ----------------------------------------------
 

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/errs"
 	"repro/internal/kernel"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -92,6 +93,12 @@ type Stats struct {
 	SeqErrors  uint64
 	Puts       uint64
 	PutBytes   uint64
+
+	// Reliable-mode counters.
+	Retransmits uint64 // frames rewritten at their original offsets
+	AckTimeouts uint64 // sender timeout rounds without ack progress
+	Probes      uint64 // ack probes written into the ring
+	AcksPosted  uint64 // cumulative acks the receiver stored remotely
 }
 
 // Sender is the source endpoint of a channel.
@@ -114,6 +121,31 @@ type Sender struct {
 	// time, and ring offsets are claimed in issue order.
 	busy  bool
 	queue []queuedSend
+
+	// Reliable-mode state. unacked holds every frame whose sequence the
+	// receiver has not yet acknowledged, in sequence order; its store
+	// images are what a timeout retransmits (go-back-N at original
+	// offsets — the receiver's lap-staleness check makes duplicates
+	// read as empty). The ack timer is a generation-tagged event so a
+	// re-arm invalidates any timer already in flight.
+	unacked    []relFrame
+	acked      uint32 // last cumulative ack read from the fc page
+	attempts   int    // consecutive no-progress timeouts
+	timerGen   uint64
+	timerArmed bool
+	dead       bool // retransmit budget exhausted; channel abandoned
+}
+
+// relFrame is one unacknowledged reliable frame: enough to rewrite it
+// byte-identically at its original ring offset. Wrap markers ride along
+// (flag set, no completion) so a retransmission round reproduces the
+// exact ring layout the receiver walks.
+type relFrame struct {
+	seq  uint32
+	off  uint64
+	img  []byte
+	wrap bool
+	done func(error)
 }
 
 type queuedSend struct {
@@ -135,10 +167,16 @@ func (s *Sender) MaxMessage() int { return s.par.MaxMessage() }
 
 // Send delivers payload to the receiver's ring. done fires once the
 // frame — payload fenced before header — has left the store pipeline;
-// HyperTransport's ordered posted channel takes it from there. Send
-// blocks (in virtual time, polling the flow-control slot) while the
-// ring is full.
+// HyperTransport's ordered posted channel takes it from there. In
+// reliable mode done instead fires when the receiver's cumulative ack
+// covers the frame (or with errs.ErrPeerDead once the retransmit
+// budget is exhausted). Send blocks (in virtual time, polling the
+// flow-control slot) while the ring is full.
 func (s *Sender) Send(payload []byte, done func(error)) {
+	if s.dead {
+		done(s.deadErr())
+		return
+	}
 	if len(payload) == 0 || len(payload) > s.MaxMessage() {
 		done(fmt.Errorf("msg: payload %d bytes outside 1..%d", len(payload), s.MaxMessage()))
 		return
@@ -166,11 +204,14 @@ func (s *Sender) drain() {
 			s.drain()
 			return
 		}
-		s.writeFrame(q.payload, func(err error) {
-			q.done(err)
-			s.drain()
-		})
+		s.writeFrame(q.payload, q.done, s.drain)
 	})
+}
+
+// deadErr is the error a dead-latched sender hands every completion.
+func (s *Sender) deadErr() error {
+	return fmt.Errorf("msg: peer %d unreachable after %d retransmit rounds: %w",
+		s.dst, s.par.RetransmitBudget, errs.ErrPeerDead)
 }
 
 // reserve waits (polling flow control) until fs ring bytes are free,
@@ -184,6 +225,10 @@ func (s *Sender) reserve(fs uint64, cont func(error)) {
 	}
 	var wait func()
 	wait = func() {
+		if s.dead {
+			cont(s.deadErr())
+			return
+		}
 		if ring-(s.sent-s.consumed) >= need {
 			if off+fs > ring {
 				s.writeWrap(ring-off, func(err error) {
@@ -234,32 +279,50 @@ func (s *Sender) writeWrap(remainder uint64, done func(error)) {
 		}
 		s.ring.Sync(func() {
 			s.sent += remainder
+			if s.par.Reliable && !s.dead {
+				s.unacked = append(s.unacked, relFrame{seq: s.seq, off: off, img: hdr, wrap: true})
+				s.armTimer(s.par.AckTimeout)
+			}
 			done(nil)
 		})
 	})
 }
 
-// writeFrame stores the frame. A frame contained in one cache line goes
-// out as a single write-combined packet; larger frames store the payload
-// first, fence, then release the header.
-func (s *Sender) writeFrame(payload []byte, done func(error)) {
+// writeFrame stores the frame and then calls next to continue the send
+// queue. done is the application completion: it fires with the store
+// pipeline in unreliable mode, and is parked on the unacked list until
+// the receiver's ack covers the frame in reliable mode.
+func (s *Sender) writeFrame(payload []byte, done func(error), next func()) {
 	off := s.sent % s.par.RingBytes
 	fs := frameSize(len(payload))
 	s.seq++
 	seq := s.seq
+	var frame []byte
 	finish := func(err error) {
 		if err != nil {
 			done(err)
+			next()
 			return
 		}
 		s.sent += fs
 		s.stats.Messages++
 		s.stats.Bytes += uint64(len(payload))
+		if s.par.Reliable {
+			if s.dead {
+				done(s.deadErr())
+			} else {
+				s.unacked = append(s.unacked, relFrame{seq: seq, off: off, img: frame, done: done})
+				s.armTimer(s.par.AckTimeout)
+			}
+			next()
+			return
+		}
 		done(nil)
+		next()
 	}
 	addr := s.ring.Addr(off) // for line-crossing check only
+	frame = buildFrame(payload, seq)
 	if fs <= 64 && addr/64 == (addr+fs-1)/64 {
-		frame := buildFrame(payload, seq)
 		s.ring.Write(off, frame, func(err error) {
 			if err != nil {
 				finish(err)
@@ -269,7 +332,6 @@ func (s *Sender) writeFrame(payload []byte, done func(error)) {
 		})
 		return
 	}
-	frame := buildFrame(payload, seq)
 	s.ring.Write(off+headerBytes, frame[headerBytes:], func(err error) {
 		if err != nil {
 			finish(err)
@@ -286,6 +348,159 @@ func (s *Sender) writeFrame(payload []byte, done func(error)) {
 		})
 	})
 }
+
+// armTimer schedules the ack-progress timer d from now unless one is
+// already pending. Timers are generation-tagged: bumping the generation
+// invalidates any event already in flight.
+func (s *Sender) armTimer(d sim.Time) {
+	if s.timerArmed || s.dead {
+		return
+	}
+	s.timerArmed = true
+	s.timerGen++
+	s.eng.ScheduleAfter(d, s, sim.EventArg{I: int64(s.timerGen)})
+}
+
+// OnEvent is the ack timer: read the cumulative ack from the local
+// flow-control page, complete what it covers, and retransmit — or give
+// the peer up — when it stalls.
+func (s *Sender) OnEvent(_ *sim.Engine, arg sim.EventArg) {
+	if uint64(arg.I) != s.timerGen {
+		return // superseded by a later arm
+	}
+	s.timerArmed = false
+	if s.dead || len(s.unacked) == 0 {
+		s.attempts = 0
+		return
+	}
+	s.fc.Read(ackOff, 8, func(d []byte, err error) {
+		if err != nil {
+			s.armTimer(s.par.AckTimeout)
+			return
+		}
+		a := uint32(binary.LittleEndian.Uint64(d))
+		progress := seqDelta(a, s.acked) > 0
+		if progress {
+			s.acked = a
+		}
+		s.completeAcked()
+		if len(s.unacked) == 0 {
+			s.attempts = 0
+			return
+		}
+		if progress {
+			s.attempts = 0
+			s.armTimer(s.par.AckTimeout)
+			return
+		}
+		s.attempts++
+		s.stats.AckTimeouts++
+		if s.attempts > s.par.RetransmitBudget {
+			s.latchDead()
+			return
+		}
+		shift := s.attempts
+		if shift > 5 {
+			shift = 5 // cap the backoff at 32x
+		}
+		backoff := s.par.AckTimeout << shift
+		s.retransmit(0, func() { s.armTimer(backoff) })
+	})
+}
+
+// completeAcked fires the completions of the acked prefix of the
+// unacked list, in sequence order. A wrap marker is passed only once a
+// later frame is acked — the receiver walks the ring in order, so an
+// ack beyond the wrap proves the marker was seen.
+func (s *Sender) completeAcked() {
+	i := 0
+	for ; i < len(s.unacked); i++ {
+		f := s.unacked[i]
+		d := seqDelta(s.acked, f.seq)
+		if f.wrap {
+			if d <= 0 {
+				break
+			}
+		} else if d < 0 {
+			break
+		}
+	}
+	if i == 0 {
+		return
+	}
+	acked := s.unacked[:i]
+	s.unacked = s.unacked[i:]
+	for _, f := range acked {
+		if f.done != nil {
+			f.done(nil)
+		}
+	}
+}
+
+// retransmit rewrites every unacked frame, byte-identical at its
+// original ring offset (go-back-N: cumulative acks cannot name gaps).
+// Offsets the receiver already consumed hold duplicates its
+// lap-staleness check reads as empty, so over-sending is safe; offsets
+// it never saw get the frame again. The round ends with an ack probe.
+func (s *Sender) retransmit(i int, done func()) {
+	if i >= len(s.unacked) {
+		s.probe(done)
+		return
+	}
+	f := s.unacked[i]
+	s.stats.Retransmits++
+	s.ring.Write(f.off, f.img, func(err error) {
+		if err != nil {
+			done()
+			return
+		}
+		s.ring.Sync(func() { s.retransmit(i+1, done) })
+	})
+}
+
+// probe writes an ack-probe pseudo-frame at the next fresh slot. If the
+// receiver consumed everything and only the ack was lost, every
+// retransmitted frame lands behind its poll position — invisible. The
+// probe lands exactly where it polls and makes it repost the ack.
+// Skipped while a send is in flight (fresh traffic is its own probe) or
+// when the slot may still hold unconsumed data.
+func (s *Sender) probe(done func()) {
+	ring := s.par.RingBytes
+	if s.busy || ring-(s.sent-s.consumed) < frameAlign {
+		done()
+		return
+	}
+	s.stats.Probes++
+	s.ring.Write(s.sent%ring, packHeader(probeMark, s.seq), func(err error) {
+		if err != nil {
+			done()
+			return
+		}
+		s.ring.Sync(done)
+	})
+}
+
+// latchDead abandons the channel: the retransmit budget is spent, so
+// every unacked frame, queued send and future Send completes with
+// errs.ErrPeerDead. The latch is permanent — recovering a peer that
+// came back later means opening a fresh channel.
+func (s *Sender) latchDead() {
+	s.dead = true
+	unacked, queue := s.unacked, s.queue
+	s.unacked, s.queue = nil, nil
+	err := s.deadErr()
+	for _, f := range unacked {
+		if f.done != nil {
+			f.done(err)
+		}
+	}
+	for _, q := range queue {
+		q.done(err)
+	}
+}
+
+// Dead reports whether the sender has given the peer up.
+func (s *Sender) Dead() bool { return s.dead }
 
 // Put performs a one-sided rendezvous write into the receiver's bulk
 // region at off (§IV.A): data lands directly at its final destination;
@@ -321,6 +536,11 @@ type Receiver struct {
 	expectSeq  uint32 // sequence number of the last consumed frame
 	stats      Stats
 	stopped    bool
+
+	// Reliable-mode state: repost throttling, so a parked probe or a
+	// duplicate frame cannot make the receiver re-ack unboundedly.
+	lastAckAt  sim.Time
+	ackReposts int
 
 	// Poll-loop state. Recv is single-outstanding, so the in-flight
 	// delivery callback and peek position live on the receiver; peekFn
@@ -409,6 +629,15 @@ func (r *Receiver) handlePeek(d []byte, err error) {
 	switch {
 	case length == 0:
 		r.again()
+	case length == probeMark:
+		// Sender ack probe: it timed out without seeing our cumulative
+		// ack. Matching sequence means we are fully caught up and only
+		// the ack went missing — repost it. A mismatch is a stale probe
+		// (or one racing real traffic); fresh frames overwrite it.
+		if seqDelta(seq, r.expectSeq) == 0 {
+			r.repostAck()
+		}
+		r.again()
 	case length == wrapMark:
 		if seqDelta(seq, r.expectSeq) != 0 {
 			r.again() // stale wrap from a previous lap
@@ -416,12 +645,13 @@ func (r *Receiver) handlePeek(d []byte, err error) {
 		}
 		r.recvd += ring - off
 		r.fcUnposted += ring - off
-		r.freeHeader(off)
+		r.freeHeader(off, false)
 		r.poll()
 	default:
 		switch delta := seqDelta(seq, r.expectSeq+1); {
 		case delta < 0:
-			r.again() // stale frame from a previous lap
+			r.repostAck() // duplicate from a retransmission round
+			r.again()
 		case delta > 0:
 			r.stats.SeqErrors++
 			cb(nil, fmt.Errorf("msg: sequence break: got %d, want %d", seq, r.expectSeq+1))
@@ -449,7 +679,7 @@ func (r *Receiver) consume(off uint64, length int, peek []byte, cb func([]byte, 
 		r.fcUnposted += fs
 		r.stats.Messages++
 		r.stats.Bytes += uint64(length)
-		r.freeHeader(off)
+		r.freeHeader(off, true)
 		cb(payload, nil)
 	}
 	if headerBytes+length <= len(peek) {
@@ -474,12 +704,49 @@ func (r *Receiver) consume(off uint64, length int, peek []byte, cb func([]byte, 
 }
 
 // freeHeader overwrites a consumed slot's header ("It then has to
-// overwrite the slot to free it", §IV.A) and posts flow control behind
-// it.
-func (r *Receiver) freeHeader(off uint64) {
+// overwrite the slot to free it", §IV.A) and posts flow control —
+// plus, for a consumed data frame in reliable mode, the cumulative
+// ack — behind it.
+func (r *Receiver) freeHeader(off uint64, acked bool) {
 	r.ring.Write(off, make([]byte, headerBytes), func(error) {
+		if acked && r.par.Reliable {
+			r.ackReposts = 0
+			r.postAck()
+		}
 		r.postFC(false, func() {})
 	})
+}
+
+// postAck stores the cumulative consumed sequence number into the
+// sender's flow-control page. The fabric is write-only, so an
+// acknowledgment is itself just a remote posted store the sender polls
+// locally (§IV.A) — and like any posted store it can vanish on a dead
+// link; the sender's probe/retransmit timer covers that.
+func (r *Receiver) postAck() {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, uint64(r.expectSeq))
+	r.lastAckAt = r.eng.Now()
+	r.stats.AcksPosted++
+	r.fc.Write(ackOff, buf, func(err error) {
+		if err == nil {
+			r.fc.Sync(func() {})
+		}
+	})
+}
+
+// repostAck re-posts the cumulative ack when the sender shows signs of
+// having missed it (an ack probe, a duplicate frame). Throttled to half
+// an ack timeout and bounded per ack value so a parked probe cannot
+// spin the receiver forever.
+func (r *Receiver) repostAck() {
+	if !r.par.Reliable || r.ackReposts > r.par.RetransmitBudget {
+		return
+	}
+	if r.lastAckAt != 0 && r.eng.Now()-r.lastAckAt < r.par.AckTimeout/2 {
+		return
+	}
+	r.ackReposts++
+	r.postAck()
 }
 
 // postFC reports consumed bytes to the sender's flow-control slot once

@@ -31,7 +31,22 @@ const (
 	headerBytes = 8
 	frameAlign  = 64
 	wrapMark    = 0xFFFFFFFF
+	// probeMark is an ack-probe pseudo-frame: a reliable sender that
+	// times out without ack progress writes one at its next fresh slot
+	// to make the receiver repost its cumulative ack. Probes carry the
+	// sender's latest sequence number, occupy no ring space (the next
+	// real frame overwrites them) and are never delivered.
+	probeMark = 0xFFFFFFFE
 )
+
+// Flow-control page layout (one page in the sender's uncachable window,
+// written remotely by the receiver, read locally by the sender):
+//
+//	bytes 0..7    cumulative consumed ring bytes (flow control)
+//	bytes 64..71  cumulative acked sequence number (reliable mode)
+//
+// Both live on distinct cache lines so each update is one posted write.
+const ackOff = 64
 
 // frameSize returns the ring bytes a payload of n occupies: header plus
 // payload, rounded up to whole cache lines.
@@ -79,6 +94,25 @@ type Params struct {
 	// traffic — the "additional processor-memory bus overhead when
 	// polling" the paper concedes (§VI).
 	PollInterval sim.Time
+
+	// Reliable turns on end-to-end delivery over a fabric that can lose
+	// posted writes (dead links master-abort in-flight packets). The
+	// receiver posts cumulative acks into the sender's flow-control page
+	// — the fabric is write-only, so acknowledgment is itself a remote
+	// posted store (§IV.A) — and the sender holds every frame until it
+	// is acked, retransmitting the unacked window (go-back-N, at the
+	// frames' original ring offsets) on timeout with exponential
+	// backoff. Send completion callbacks fire on acknowledgment, not on
+	// store retirement. Off by default: on a healthy fabric HT links
+	// are lossless and the paper's raw protocol applies.
+	Reliable bool
+	// AckTimeout is the sender's ack-progress timeout in reliable mode
+	// (default 5 us). Each timeout without progress doubles the wait.
+	AckTimeout sim.Time
+	// RetransmitBudget is how many consecutive no-progress timeouts the
+	// sender tolerates before declaring the peer dead (default 10):
+	// every pending and future Send fails with errs.ErrPeerDead.
+	RetransmitBudget int
 }
 
 // DefaultParams returns the paper's configuration.
@@ -99,6 +133,20 @@ func (p *Params) validate() error {
 	if p.FCThreshold > p.RingBytes/2 {
 		return fmt.Errorf("msg: flow-control threshold %d exceeds half the ring (%d): senders could stall forever: %w",
 			p.FCThreshold, p.RingBytes, errs.ErrBadConfig)
+	}
+	if p.Reliable {
+		if p.AckTimeout == 0 {
+			p.AckTimeout = 5 * sim.Microsecond
+		}
+		if p.AckTimeout < 0 {
+			return fmt.Errorf("msg: negative ack timeout: %w", errs.ErrBadConfig)
+		}
+		if p.RetransmitBudget == 0 {
+			p.RetransmitBudget = 10
+		}
+		if p.RetransmitBudget < 0 {
+			return fmt.Errorf("msg: negative retransmit budget: %w", errs.ErrBadConfig)
+		}
 	}
 	return nil
 }

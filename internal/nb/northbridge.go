@@ -675,7 +675,17 @@ func (n *Northbridge) forward(fromLink, idx int, pkt *ht.Packet, done func()) {
 	}
 	pkt.OnAccept = accept
 	if err := n.links[idx].Send(pkt); err != nil {
+		// A dead egress link master-aborts the packet: the posted store
+		// already completed at its source (the fabric is write-only, so
+		// nobody is waiting for a response), the bytes just never arrive.
 		n.cnt.deadLinkDrops.Add(1)
+		n.cnt.masterAborts.Add(1)
+		if n.tracer != nil {
+			n.tracer.Emit(trace.Event{
+				At: n.eng.Now(), Kind: trace.KindMasterAbort,
+				Node: n.traceID, Link: idx, Label: pkt.String(),
+			})
+		}
 		n.logf("drop %v: %v", pkt, err)
 		pkt.Accept()
 		n.recycle(pkt) // terminal: dropped

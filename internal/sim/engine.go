@@ -329,6 +329,24 @@ func (e *Engine) runEvents(deadline Time) {
 // It is intended to be called from inside an event callback.
 func (e *Engine) Halt() { e.halted = true }
 
+// AlignTo advances the clock to t without executing anything: a no-op
+// when the clock is already at or past t, a panic when a pending event
+// would be skipped by the jump. Fault campaigns use it to park every
+// engine exactly at an action's timestamp — after all events before it,
+// before any event at or after it — so a fault applies at the same
+// instant under the serial and parallel executors. Unlike RunUntil the
+// jump is a synchronization artifact: it goes through advanceTo so an
+// armed probe still fires, but no events run.
+func (e *Engine) AlignTo(t Time) {
+	if t <= e.now {
+		return
+	}
+	if next, ok := e.nextTime(); ok && next < t {
+		panic(fmt.Sprintf("sim: AlignTo(%v) would skip an event pending at %v", t, next))
+	}
+	e.advanceTo(t)
+}
+
 // WarpTo jumps an idle engine's clock forward to t without executing
 // anything. The parallel executor uses it to start freshly created
 // partition engines at the boot-end time of the engine that booted the

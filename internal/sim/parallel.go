@@ -94,6 +94,9 @@ type Parallel struct {
 	sampleNext  Time
 	sampleFn    func(now Time)
 
+	actionNext func() (Time, bool) // earliest pending scripted action
+	actionFire func(now Time)      // apply every action due at now
+
 	active []bool // scratch: partitions with work this window
 }
 
@@ -170,7 +173,23 @@ func (p *Parallel) SetSampleHook(every Time, fn func(now Time)) {
 	p.sampleFn = fn
 }
 
+// SetActionHook installs a scripted-action source (a fault campaign).
+// next reports the earliest pending action's absolute time; fire applies
+// every action due at that time. The coordinator clamps each window to
+// end strictly before the next action, aligns all partition clocks to
+// the action time, and calls fire in the serial section with every
+// worker parked — so an action observes exactly the events before its
+// timestamp and none at or after it, the same cut a serial engine
+// produces. fire may only schedule follow-up actions strictly later
+// than now.
+func (p *Parallel) SetActionHook(next func() (Time, bool), fire func(now Time)) {
+	p.actionNext = next
+	p.actionFire = fire
+}
+
 // Run executes windows until no partition has pending events or mail.
+// Pending scripted actions count as work: a rejoin scheduled on an idle
+// fabric still fires.
 func (p *Parallel) Run() { p.run(maxTime, false) }
 
 // RunUntil executes windows until every event at or before deadline has
@@ -224,6 +243,29 @@ func (p *Parallel) run(deadline Time, bounded bool) {
 				have = true
 			}
 		}
+		// Scripted actions (fault campaigns) cut the timeline exactly at
+		// their timestamp: fire when nothing earlier is pending, otherwise
+		// clamp the window to end strictly before the action.
+		aat, aok := Time(0), false
+		if p.actionNext != nil {
+			aat, aok = p.actionNext()
+			if aok && bounded && aat > deadline {
+				aok = false
+			}
+		}
+		if aok && (!have || aat <= tnext) {
+			for _, e := range p.engs {
+				e.AlignTo(aat)
+			}
+			if p.sampleFn != nil && p.sampleNext <= aat {
+				for p.sampleNext <= aat {
+					p.sampleNext += p.sampleEvery
+				}
+				p.sampleFn(aat)
+			}
+			p.actionFire(aat)
+			continue
+		}
 		if !have || (bounded && tnext > deadline) {
 			break
 		}
@@ -234,6 +276,9 @@ func (p *Parallel) run(deadline Time, bounded bool) {
 		}
 		if p.sampleFn != nil && p.sampleNext > tnext && w > p.sampleNext {
 			w = p.sampleNext
+		}
+		if aok && w >= aat {
+			w = aat - 1 // aat > tnext here, so the window stays non-empty
 		}
 		if bounded && w > deadline {
 			w = deadline

@@ -68,6 +68,10 @@ const (
 	// KindAlertResolved fires when the condition behind a previously
 	// raised alert clears (same Label/Node/Link as the KindAlert).
 	KindAlertResolved
+	// KindLinkState fires when a fault campaign moves an external link
+	// through its health state machine (Link = link id, Label = the new
+	// state: alive, degraded, dead, retraining).
+	KindLinkState
 )
 
 func (k Kind) String() string {
@@ -98,6 +102,8 @@ func (k Kind) String() string {
 		return "alert"
 	case KindAlertResolved:
 		return "alert-resolved"
+	case KindLinkState:
+		return "link-state"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -211,6 +217,8 @@ func (c *Collector) observe(ev Event) {
 		c.metrics.Counter(Key{Name: "alerts.raised"}).Add(1)
 	case KindAlertResolved:
 		c.metrics.Counter(Key{Name: "alerts.resolved"}).Add(1)
+	case KindLinkState:
+		c.metrics.Counter(Key{Name: "link.state_changes", Link: ev.Link}).Add(1)
 	}
 }
 

@@ -40,6 +40,7 @@ package tccluster
 import (
 	"repro/internal/core"
 	"repro/internal/errs"
+	"repro/internal/fault"
 	"repro/internal/ht"
 	"repro/internal/kernel"
 	"repro/internal/monitor"
@@ -132,6 +133,18 @@ type (
 	WatchdogRule = monitor.Rule
 	// RecorderWindow is one closed flight-recorder sampling window.
 	RecorderWindow = monitor.Window
+
+	// FaultAction is one scripted fault (see LinkDegrade, LinkDown,
+	// LinkFlap, RetrainStorm, NodeCrash and friends). Pass them to
+	// WithFaults.
+	FaultAction = fault.Action
+	// FaultCampaign is an immutable script of fault actions.
+	FaultCampaign = fault.Campaign
+	// FaultInjector replays a campaign against the booted cluster;
+	// Cluster.Faults returns it for stats inspection.
+	FaultInjector = fault.Injector
+	// FaultStats counts what the injector has applied so far.
+	FaultStats = fault.Stats
 )
 
 // Typed sentinel errors. Constructors and channel operations wrap these
@@ -150,6 +163,37 @@ var (
 	// ErrBadConfig: an out-of-range size, socket count, ring parameter
 	// or malformed topology-constructor argument.
 	ErrBadConfig = errs.ErrBadConfig
+	// ErrPeerDead: a reliable channel exhausted its retransmit budget
+	// without an acknowledgment — every path to the peer is presumed
+	// gone. MPI surfaces it as the process-failure signal.
+	ErrPeerDead = errs.ErrPeerDead
+)
+
+// Fault-action constructors, re-exported for WithFaults. Times are
+// absolute virtual times; actions landing before boot finishes are
+// deferred to the first instant after it.
+var (
+	// LinkDegrade raises an external link's runtime CRC error rate for a
+	// duration (0 = forever) — the marginal-cable model.
+	LinkDegrade = fault.LinkDegrade
+	// LinkDegradeWithPenalty is LinkDegrade with an explicit
+	// resync-and-replay penalty per corrupted packet.
+	LinkDegradeWithPenalty = fault.LinkDegradeWithPenalty
+	// LinkDown pulls an external link's cable, permanently.
+	LinkDown = fault.LinkDown
+	// LinkDownFor pulls the cable and re-seats it after a duration (the
+	// link retrains and carries traffic again one TrainTime later).
+	LinkDownFor = fault.LinkDownFor
+	// LinkFlap oscillates a link between dead and retraining — the
+	// half-seated connector.
+	LinkFlap = fault.LinkFlap
+	// RetrainStorm repeatedly asserts warm reset on a link.
+	RetrainStorm = fault.RetrainStorm
+	// NodeCrash fail-stops a node: every external cable drops at once.
+	NodeCrash = fault.NodeCrash
+	// NodeCrashFor fail-stops a node and warm-resets it back in after a
+	// duration.
+	NodeCrashFor = fault.NodeCrashFor
 )
 
 // NewCollector returns a Collector keeping the most recent capacity
@@ -236,6 +280,7 @@ type Cluster struct {
 	*core.Cluster
 	os  *kernel.OS
 	mon *monitor.Monitor
+	inj *fault.Injector
 }
 
 // Option customizes New beyond the hardware Config: kernel selection,
@@ -249,6 +294,7 @@ type buildOptions struct {
 	monitorOn   bool
 	monitorAddr string
 	monitorOpts []MonitorOption
+	faults      []FaultAction
 }
 
 // WithKernelOptions selects the per-node OS configuration. The default
@@ -318,6 +364,24 @@ func WithMonitor(addr string, opts ...MonitorOption) Option {
 	}
 }
 
+// WithFaults schedules a fault campaign against the cluster: each
+// action (LinkDegrade, LinkDown, LinkFlap, RetrainStorm, NodeCrash,
+// ...) applies at its absolute virtual time during Run/RunFor. Actions
+// are not ordinary events — the executor cuts the timeline exactly at
+// each action's timestamp (all events before it executed, none at or
+// after it) and applies the mutation with the simulation parked, so a
+// campaign produces bit-identical results on the serial and WithParallel
+// engines. Actions timed before boot completes are deferred to the
+// first instant after it:
+//
+//	c, err := tccluster.New(topo, cfg,
+//		tccluster.WithFaults(
+//			tccluster.LinkDownFor(1, 200*tccluster.Microsecond, 80*tccluster.Microsecond),
+//			tccluster.NodeCrash(3, 500*tccluster.Microsecond)))
+func WithFaults(actions ...FaultAction) Option {
+	return func(b *buildOptions) { b.faults = append(b.faults, actions...) }
+}
+
 // Monitor sub-options, re-exported so callers configure WithMonitor
 // without importing internal packages.
 var (
@@ -366,6 +430,14 @@ func New(topo *Topology, cfg Config, opts ...Option) (*Cluster, error) {
 		return nil, err
 	}
 	cl := &Cluster{Cluster: c, os: kernel.Install(c, b.kopt)}
+	if len(b.faults) > 0 {
+		inj, err := fault.NewInjector(c, fault.NewCampaign(b.faults...))
+		if err != nil {
+			return nil, err
+		}
+		cl.inj = inj
+		c.SetActionSource(inj)
+	}
 	if b.monitorOn {
 		mopts := append([]MonitorOption{
 			monitor.WithLinkStatus(func() []monitor.LinkStatus {
@@ -399,6 +471,10 @@ func monitorLinkStatuses(c *core.Cluster) []monitor.LinkStatus {
 // Monitor returns the live-monitoring subsystem, nil unless the cluster
 // was built WithMonitor.
 func (c *Cluster) Monitor() *Monitor { return c.mon }
+
+// Faults returns the campaign injector, nil unless the cluster was
+// built WithFaults.
+func (c *Cluster) Faults() *FaultInjector { return c.inj }
 
 // Close releases live resources (the monitor's HTTP listener). It is
 // safe on clusters built without a monitor, and safe to call more than
