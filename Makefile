@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt fmt-check vet build test race test-race bench bench-smoke bench-json bench-engine bench-parallel bench-faults fuzz
+.PHONY: all check fmt fmt-check vet build test race test-race bench bench-smoke bench-json bench-engine bench-parallel bench-faults fuzz scenario-smoke
 
 all: check
 
@@ -59,6 +59,13 @@ bench-parallel:
 # goodput vs injected CRC error rate.
 bench-faults:
 	$(GO) run ./cmd/tccbench -bench faults -out BENCH_faults.json
+
+# Smoke-run the scenario runner: the committed fault-recovery spec with
+# the serial-vs-parallel determinism gate, then the committed 2x2 sweep
+# grid archiving one metadata-stamped result JSON per cell.
+scenario-smoke:
+	$(GO) run ./cmd/tccrun -check -out scenario-results scenarios/fault-recovery-chain4.json
+	$(GO) run ./cmd/tccrun -out scenario-results scenarios/allreduce-sweep.json
 
 # Short fuzz of the message-library wire format (frame build/parse and
 # receiver-side header classification). The committed corpus runs on

@@ -17,6 +17,7 @@ import (
 
 	tccluster "repro"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 type engineRun struct {
@@ -37,7 +38,7 @@ type engineWorkload struct {
 }
 
 type engineReport struct {
-	Meta      benchMeta        `json:"meta"`
+	Meta      stats.BenchMeta  `json:"meta"`
 	Workloads []engineWorkload `json:"workloads"`
 }
 
@@ -226,7 +227,7 @@ func runEngineBench(out, cpuprofile, memprofile string) {
 		return w
 	}
 
-	rep := engineReport{Meta: newBenchMeta()}
+	rep := engineReport{Meta: stats.NewBenchMeta()}
 
 	w := pair("selfclock", func(legacy bool) engineRun { return selfClockRun(legacy, 2_000_000) })
 	rep.Workloads = append(rep.Workloads, w)

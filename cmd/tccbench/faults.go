@@ -55,7 +55,7 @@ type faultDegradePoint struct {
 }
 
 type faultsReport struct {
-	Meta          benchMeta           `json:"meta"`
+	Meta          stats.BenchMeta     `json:"meta"`
 	MsgBytes      int                 `json:"msg_bytes"`
 	WindowNs      float64             `json:"window_ns"`
 	AckTimeoutNs  float64             `json:"ack_timeout_ns"`
@@ -165,7 +165,7 @@ func sumCounter(c *tccluster.Cluster, name string) uint64 {
 
 func runFaultsBench(out string) {
 	report := faultsReport{
-		Meta:         newBenchMeta(),
+		Meta:         stats.NewBenchMeta(),
 		MsgBytes:     faultMsgBytes,
 		WindowNs:     faultMeasureWindow.Nanos(),
 		AckTimeoutNs: faultAckTimeout.Nanos(),

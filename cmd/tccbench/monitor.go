@@ -9,6 +9,7 @@ import (
 	"time"
 
 	tccluster "repro"
+	"repro/internal/stats"
 )
 
 // The monitor benchmark quantifies what live monitoring costs on top of
@@ -20,14 +21,14 @@ import (
 // enough to leave on.
 
 type monitorBench struct {
-	Meta              benchMeta `json:"meta"`
-	Rounds            int       `json:"rounds"`
-	Trials            int       `json:"trials"`
-	BaselineNsPerOp   float64   `json:"baseline_ns_per_op"`
-	TracerNsPerOp     float64   `json:"tracer_ns_per_op"`
-	MonitorNsPerOp    float64   `json:"monitor_ns_per_op"`
-	TracerOverheadPct float64   `json:"tracer_overhead_pct_vs_baseline"`
-	MonitorPct        float64   `json:"monitor_overhead_pct_vs_tracer"`
+	Meta              stats.BenchMeta `json:"meta"`
+	Rounds            int             `json:"rounds"`
+	Trials            int             `json:"trials"`
+	BaselineNsPerOp   float64         `json:"baseline_ns_per_op"`
+	TracerNsPerOp     float64         `json:"tracer_ns_per_op"`
+	MonitorNsPerOp    float64         `json:"monitor_ns_per_op"`
+	TracerOverheadPct float64         `json:"tracer_overhead_pct_vs_baseline"`
+	MonitorPct        float64         `json:"monitor_overhead_pct_vs_tracer"`
 }
 
 // pingPongRounds drives rounds of 64-byte ping-pong on a fresh 2-node
@@ -107,7 +108,7 @@ func runMonitorBench(out string) {
 	}
 
 	res := monitorBench{
-		Meta:              newBenchMeta(),
+		Meta:              stats.NewBenchMeta(),
 		Rounds:            rounds,
 		Trials:            trials,
 		BaselineNsPerOp:   bests[0],

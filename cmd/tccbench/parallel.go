@@ -16,6 +16,7 @@ import (
 	"time"
 
 	tccluster "repro"
+	"repro/internal/stats"
 )
 
 type parallelRun struct {
@@ -36,7 +37,7 @@ type parallelWorkload struct {
 }
 
 type parallelReport struct {
-	Meta      benchMeta          `json:"meta"`
+	Meta      stats.BenchMeta    `json:"meta"`
 	Workloads []parallelWorkload `json:"workloads"`
 }
 
@@ -186,7 +187,7 @@ func runParallelBench(out string, nodes int) {
 		nodes = 8
 	}
 	workers := []int{1, 2, 4, 8}
-	rep := parallelReport{Meta: newBenchMeta()}
+	rep := parallelReport{Meta: stats.NewBenchMeta()}
 
 	rep.Workloads = append(rep.Workloads,
 		benchParallelWorkload("pingpong-64B", nodes, workers, func(w int) parallelRun {

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
@@ -29,8 +30,7 @@ func main() {
 	exp := flag.String("exp", "all",
 		"experiment: fig6|fig7|hops|baseline|coherency|wc|linkspeed|endpoints|mpi|pgas|addrmap|faults|traffic|jitter|breakdown|boot|all")
 	csv := flag.Bool("csv", false, "emit figures as CSV instead of tables")
-	par := flag.Int("parallel", 0,
-		"partition workers for experiment clusters (0 = serial; results are identical either way)")
+	par := scenario.AddParallelFlag(flag.CommandLine)
 	flag.Parse()
 	experiments.SetParallel(*par)
 

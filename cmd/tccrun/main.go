@@ -1,0 +1,142 @@
+// Command tccrun executes declarative scenario specs: one file, or the
+// parameter-sweep grid the file's "sweep" block expands to. Each cell
+// runs to stdout under a "== name ==" header; with -out every cell also
+// archives a result JSON stamped with commit/toolchain/hardware
+// metadata, so a results directory is self-describing. With -check
+// every cell runs twice — serial and parallel — and the run fails
+// unless both produce byte-identical output and the same fingerprint:
+// the determinism contract, enforced from the command line.
+//
+// Usage:
+//
+//	tccrun scenario.json                 # run one spec (or its sweep grid)
+//	tccrun -out results scenario.json    # archive one JSON per cell
+//	tccrun -check scenario.json          # serial ≡ parallel gate per cell
+//	tccrun -parallel 4 scenario.json     # override the spec's parallelism
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// cellRecord is the archived form of one cell: the exact spec that ran,
+// the run's fingerprint, and enough metadata to judge the numbers later.
+type cellRecord struct {
+	Meta         stats.BenchMeta    `json:"meta"`
+	Scenario     *scenario.Scenario `json:"scenario"`
+	Result       *scenario.Result   `json:"result"`
+	WallMS       float64            `json:"wall_ms"`
+	OutputSHA256 string             `json:"output_sha256"`
+	Check        *checkRecord       `json:"check,omitempty"`
+}
+
+// checkRecord captures the -check twin run.
+type checkRecord struct {
+	Parallel  []int `json:"parallel"` // the two worker counts compared
+	Identical bool  `json:"identical"`
+}
+
+func main() {
+	out := flag.String("out", "", "directory for per-cell result JSON (empty = no archive)")
+	check := flag.Bool("check", false, "run each cell serial and parallel; fail unless byte-identical")
+	checkPar := flag.Int("check-parallel", 2, "worker count for the -check parallel twin")
+	cf := scenario.RegisterCommonFlags(flag.CommandLine)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tccrun [flags] scenario.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	fatalIf(err)
+	s, err := scenario.Parse(data)
+	fatalIf(err)
+	cf.Apply(s)
+	cells, err := s.Cells()
+	fatalIf(err)
+	if *out != "" {
+		fatalIf(os.MkdirAll(*out, 0o755))
+	}
+	for i, cell := range cells {
+		if i > 0 {
+			fmt.Println()
+		}
+		fatalIf(runCell(cell, *out, *check, *checkPar))
+	}
+	if len(cells) > 1 {
+		fmt.Printf("\nsweep complete: %d cells\n", len(cells))
+	}
+}
+
+func runCell(cell *scenario.Scenario, outDir string, check bool, checkPar int) error {
+	fmt.Printf("== %s ==\n", cell.Name)
+	var buf bytes.Buffer
+	start := time.Now()
+	res, err := cell.Run(&buf)
+	wall := time.Since(start)
+	os.Stdout.Write(buf.Bytes())
+	if err != nil {
+		return fmt.Errorf("%s: %w", cell.Name, err)
+	}
+	rec := cellRecord{
+		Meta:         stats.NewBenchMeta(),
+		Scenario:     cell,
+		Result:       res,
+		WallMS:       float64(wall.Microseconds()) / 1e3,
+		OutputSHA256: fmt.Sprintf("%x", sha256.Sum256(buf.Bytes())),
+	}
+	if check {
+		twin := cell.Clone()
+		if cell.Parallel == 0 {
+			twin.Parallel = checkPar
+		} else {
+			twin.Parallel = 0
+		}
+		var twinBuf bytes.Buffer
+		twinRes, err := twin.Run(&twinBuf)
+		if err != nil {
+			return fmt.Errorf("%s (parallel=%d twin): %w", cell.Name, twin.Parallel, err)
+		}
+		identical := bytes.Equal(buf.Bytes(), twinBuf.Bytes()) && *res == *twinRes
+		rec.Check = &checkRecord{Parallel: []int{cell.Parallel, twin.Parallel}, Identical: identical}
+		if !identical {
+			return fmt.Errorf("%s: parallel=%d and parallel=%d runs diverged (%d vs %d events, %d vs %d output bytes)",
+				cell.Name, cell.Parallel, twin.Parallel,
+				res.EventsFired, twinRes.EventsFired, buf.Len(), twinBuf.Len())
+		}
+		fmt.Printf("determinism check: parallel=%d ≡ parallel=%d (%d events, identical output)\n",
+			cell.Parallel, twin.Parallel, res.EventsFired)
+	}
+	if outDir != "" {
+		data, err := json.MarshalIndent(&rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, cell.Name+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("archived %s\n", path)
+	}
+	return nil
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tccrun:", err)
+		os.Exit(1)
+	}
+}

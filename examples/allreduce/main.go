@@ -7,95 +7,12 @@
 package main
 
 import (
-	"flag"
-	"fmt"
-	"math"
-	"os"
-	"sync/atomic"
+	_ "embed"
 
-	tccluster "repro"
+	"repro/internal/scenario"
 )
 
-const (
-	nodes       = 4
-	perNode     = 100_000
-	totalPoints = nodes * perNode
-)
+//go:embed scenario.json
+var spec []byte
 
-func main() {
-	par := flag.Int("parallel", 0, "partition workers (0 = serial; results are identical either way)")
-	flag.Parse()
-
-	topo, err := tccluster.Chain(nodes)
-	check(err)
-	c, err := tccluster.New(topo, tccluster.DefaultConfig(), tccluster.WithParallel(*par))
-	check(err)
-	w, err := c.NewWorld(tccluster.DefaultMPIConfig())
-	check(err)
-
-	// Deterministic synthetic samples; shard i holds points [i*perNode,
-	// (i+1)*perNode).
-	sample := func(i int) float64 {
-		x := float64(i)
-		return math.Sin(x*0.001)*3 + math.Mod(x, 17)/17
-	}
-
-	// Serial reference.
-	var sum, sumSq float64
-	for i := 0; i < totalPoints; i++ {
-		v := sample(i)
-		sum += v
-		sumSq += v * v
-	}
-	wantMean := sum / totalPoints
-	wantVar := sumSq/totalPoints - wantMean*wantMean
-
-	// Distributed: each rank reduces its shard locally, then two
-	// allreduces combine [sum, sumSq, count] across the cluster.
-	type result struct {
-		mean, variance float64
-	}
-	results := make([]result, nodes)
-	var finished atomic.Int64 // rank callbacks may run on different partitions
-	start := c.Now()
-	for r := 0; r < nodes; r++ {
-		r := r
-		var s, sq float64
-		for i := r * perNode; i < (r+1)*perNode; i++ {
-			v := sample(i)
-			s += v
-			sq += v * v
-		}
-		w.Rank(r).Allreduce([]float64{s, sq, perNode}, tccluster.Sum, func(g []float64, err error) {
-			check(err)
-			mean := g[0] / g[2]
-			results[r] = result{mean: mean, variance: g[1]/g[2] - mean*mean}
-			finished.Add(1)
-		})
-	}
-	c.Run()
-	elapsed := c.Now() - start
-
-	if finished.Load() != nodes {
-		check(fmt.Errorf("only %d of %d ranks finished", finished.Load(), nodes))
-	}
-	fmt.Printf("distributed over %d nodes (%d points each):\n", nodes, perNode)
-	for r, res := range results {
-		fmt.Printf("  rank %d: mean=%.9f var=%.9f\n", r, res.mean, res.variance)
-	}
-	fmt.Printf("serial reference: mean=%.9f var=%.9f\n", wantMean, wantVar)
-	for r, res := range results {
-		if math.Abs(res.mean-wantMean) > 1e-9 || math.Abs(res.variance-wantVar) > 1e-9 {
-			check(fmt.Errorf("rank %d disagrees with the serial reference", r))
-		}
-	}
-	fmt.Printf("all ranks agree; allreduce wall time (virtual): %v\n", elapsed)
-	fmt.Printf("rank 0 traffic: %+v\n", w.Rank(0).Stats())
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "allreduce:", err)
-		os.Exit(1)
-	}
-}
+func main() { scenario.Main(spec) }

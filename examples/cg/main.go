@@ -8,240 +8,12 @@
 package main
 
 import (
-	"flag"
-	"fmt"
-	"math"
-	"os"
-	"sync/atomic"
+	_ "embed"
 
-	tccluster "repro"
+	"repro/internal/scenario"
 )
 
-const (
-	ranks  = 4
-	localN = 32
-	n      = ranks * localN
-	tol    = 1e-10
-	maxIt  = 200
-)
+//go:embed scenario.json
+var spec []byte
 
-// rankState holds one rank's slice of every CG vector.
-type rankState struct {
-	comm           *tccluster.Comm
-	rank           int
-	x, r, p, ap    []float64
-	haloLo, haloHi float64 // neighbor boundary values of p
-	rsold          float64
-	iters          int
-	b              []float64
-}
-
-func newRank(comm *tccluster.Comm, rank int, b []float64) *rankState {
-	s := &rankState{comm: comm, rank: rank, b: b}
-	s.x = make([]float64, localN)
-	s.r = append([]float64(nil), b...) // r = b - A*0 = b
-	s.p = append([]float64(nil), b...)
-	s.ap = make([]float64, localN)
-	for _, v := range s.r {
-		s.rsold += v * v
-	}
-	return s
-}
-
-// exchangeHalo swaps boundary p values with both neighbors.
-func (s *rankState) exchangeHalo(tag int, done func(error)) {
-	s.haloLo, s.haloHi = 0, 0 // Dirichlet boundary outside the domain
-	pending := 0
-	var firstErr error
-	finish := func(err error) {
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-		pending--
-		if pending == 0 {
-			done(firstErr)
-		}
-	}
-	if s.rank > 0 {
-		pending++
-		s.comm.SendRecv(s.rank-1, tag, tccluster.Float64s(s.p[:1]), func(d []byte, err error) {
-			if err == nil {
-				var v []float64
-				if v, err = tccluster.ToFloat64s(d); err == nil {
-					s.haloLo = v[0]
-				}
-			}
-			finish(err)
-		})
-	}
-	if s.rank < ranks-1 {
-		pending++
-		s.comm.SendRecv(s.rank+1, tag, tccluster.Float64s(s.p[localN-1:]), func(d []byte, err error) {
-			if err == nil {
-				var v []float64
-				if v, err = tccluster.ToFloat64s(d); err == nil {
-					s.haloHi = v[0]
-				}
-			}
-			finish(err)
-		})
-	}
-	if pending == 0 {
-		done(nil)
-	}
-}
-
-// matvec computes ap = A p for the tridiagonal Laplacian using the halo.
-func (s *rankState) matvec() (localDot float64) {
-	for i := 0; i < localN; i++ {
-		lo := s.haloLo
-		if i > 0 {
-			lo = s.p[i-1]
-		}
-		hi := s.haloHi
-		if i < localN-1 {
-			hi = s.p[i+1]
-		}
-		s.ap[i] = 2*s.p[i] - lo - hi
-		localDot += s.p[i] * s.ap[i]
-	}
-	return localDot
-}
-
-// start globalizes the initial residual dot product, then iterates:
-// every CG scalar (rsold, pAp) must be a GLOBAL reduction or the ranks
-// compute divergent step sizes.
-func (s *rankState) start(done func(float64, error)) {
-	s.comm.Allreduce([]float64{s.rsold}, tccluster.Sum, func(g []float64, err error) {
-		if err != nil {
-			done(0, err)
-			return
-		}
-		s.rsold = g[0]
-		s.iterate(0, done)
-	})
-}
-
-// iterate runs CG until convergence; done receives the final residual.
-func (s *rankState) iterate(iter int, done func(float64, error)) {
-	if iter >= maxIt {
-		done(math.Sqrt(s.rsold), fmt.Errorf("rank %d: no convergence in %d iterations", s.rank, maxIt))
-		return
-	}
-	s.exchangeHalo(iter, func(err error) {
-		if err != nil {
-			done(0, err)
-			return
-		}
-		localPAp := s.matvec()
-		s.comm.Allreduce([]float64{localPAp}, tccluster.Sum, func(g []float64, err error) {
-			if err != nil {
-				done(0, err)
-				return
-			}
-			alpha := s.rsold / g[0]
-			var localRs float64
-			for i := 0; i < localN; i++ {
-				s.x[i] += alpha * s.p[i]
-				s.r[i] -= alpha * s.ap[i]
-				localRs += s.r[i] * s.r[i]
-			}
-			s.comm.Allreduce([]float64{localRs}, tccluster.Sum, func(g []float64, err error) {
-				if err != nil {
-					done(0, err)
-					return
-				}
-				rsnew := g[0]
-				s.iters = iter + 1
-				if math.Sqrt(rsnew) < tol {
-					done(math.Sqrt(rsnew), nil)
-					return
-				}
-				beta := rsnew / s.rsold
-				for i := 0; i < localN; i++ {
-					s.p[i] = s.r[i] + beta*s.p[i]
-				}
-				s.rsold = rsnew
-				s.iterate(iter+1, done)
-			})
-		})
-	})
-}
-
-func main() {
-	par := flag.Int("parallel", 0, "partition workers (0 = serial; results are identical either way)")
-	flag.Parse()
-
-	topo, err := tccluster.Chain(ranks)
-	check(err)
-	c, err := tccluster.New(topo, tccluster.DefaultConfig(), tccluster.WithParallel(*par))
-	check(err)
-	w, err := c.NewWorld(tccluster.DefaultMPIConfig())
-	check(err)
-
-	// Known solution: a mix of many Laplacian eigenmodes (a parabola
-	// plus two sine modes), so CG must genuinely iterate; b = A x_true.
-	xTrue := make([]float64, n)
-	for i := range xTrue {
-		t := float64(i+1) / float64(n+1)
-		xTrue[i] = 4*t*(1-t) + 0.3*math.Sin(5*math.Pi*t) + 0.1*math.Sin(11*math.Pi*t)
-	}
-	ax := func(i int) float64 {
-		lo, hi := 0.0, 0.0
-		if i > 0 {
-			lo = xTrue[i-1]
-		}
-		if i < n-1 {
-			hi = xTrue[i+1]
-		}
-		return 2*xTrue[i] - lo - hi
-	}
-
-	states := make([]*rankState, ranks)
-	var finished atomic.Int64 // rank callbacks may run on different partitions
-	var residual float64      // written by rank 0's callback only
-	start := c.Now()
-	for rk := 0; rk < ranks; rk++ {
-		b := make([]float64, localN)
-		for i := range b {
-			b[i] = ax(rk*localN + i)
-		}
-		states[rk] = newRank(w.Rank(rk), rk, b)
-		rk := rk
-		states[rk].start(func(res float64, err error) {
-			check(err)
-			if rk == 0 {
-				residual = res
-			}
-			finished.Add(1)
-		})
-	}
-	c.Run()
-	if finished.Load() != ranks {
-		check(fmt.Errorf("only %d of %d ranks converged", finished.Load(), ranks))
-	}
-
-	maxErr := 0.0
-	for rk, s := range states {
-		for i, v := range s.x {
-			if e := math.Abs(v - xTrue[rk*localN+i]); e > maxErr {
-				maxErr = e
-			}
-		}
-	}
-	fmt.Printf("cg: %d unknowns across %d ranks\n", n, ranks)
-	fmt.Printf("converged in %d iterations, residual %.2e, virtual time %v\n",
-		states[0].iters, residual, c.Now()-start)
-	fmt.Printf("max |x - x_true| = %.2e\n", maxErr)
-	if maxErr > 1e-8 {
-		check(fmt.Errorf("solution diverged from the analytic reference"))
-	}
-	fmt.Println("verified against the analytic solution")
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cg:", err)
-		os.Exit(1)
-	}
-}
+func main() { scenario.Main(spec) }

@@ -8,117 +8,12 @@
 package main
 
 import (
-	"flag"
-	"fmt"
-	"os"
-	"sync/atomic"
+	_ "embed"
 
-	tccluster "repro"
-	"repro/internal/workload"
+	"repro/internal/scenario"
 )
 
-func main() {
-	par := flag.Int("parallel", 0, "partition workers (0 = serial; results are identical either way)")
-	flag.Parse()
+//go:embed scenario.json
+var spec []byte
 
-	topo, err := tccluster.Mesh(4, 4)
-	check(err)
-	cfg := tccluster.DefaultConfig()
-	cfg.SocketsPerNode = 2 // interior mesh nodes need 4 external links
-	c, err := tccluster.New(topo, cfg, tccluster.WithParallel(*par))
-	check(err)
-
-	sockets := 0
-	for _, n := range c.Nodes() {
-		sockets += n.Sockets()
-	}
-	fmt.Printf("booted %s: %d supernodes, %d sockets, %d TCCluster links\n",
-		topo.Name(), c.N(), sockets, len(c.ExternalLinks()))
-	fmt.Printf("topology: diameter %d hops, avg %.2f, max %d address intervals/node\n\n",
-		topo.Diameter(), topo.AvgHops(), topo.MaxIntervals())
-
-	// MPI across all 16 ranks.
-	w, err := c.NewWorld(tccluster.DefaultMPIConfig())
-	check(err)
-	// Completion callbacks run on each rank's partition, so the finish
-	// time is the max over node-local clocks (kept with a CAS) rather
-	// than a read of the global clock mid-window.
-	timeAll := func(name string, op func(rank int, done func(error))) {
-		start := c.Now()
-		var pending atomic.Int64
-		pending.Store(int64(c.N()))
-		var finishPs atomic.Int64
-		for r := 0; r < c.N(); r++ {
-			r := r
-			op(r, func(err error) {
-				check(err)
-				t := int64(c.Node(r).Now())
-				for {
-					cur := finishPs.Load()
-					if t <= cur || finishPs.CompareAndSwap(cur, t) {
-						break
-					}
-				}
-				pending.Add(-1)
-			})
-		}
-		c.Run()
-		if pending.Load() != 0 {
-			check(fmt.Errorf("%s never completed", name))
-		}
-		finish := tccluster.Time(finishPs.Load())
-		fmt.Printf("%-24s %8.2f us\n", name, (finish - start).Micros())
-	}
-	timeAll("barrier (16 ranks)", func(r int, done func(error)) {
-		w.Rank(r).Barrier(done)
-	})
-	vec := make([]float64, 256)
-	timeAll("allreduce 256 doubles", func(r int, done func(error)) {
-		w.Rank(r).Allreduce(vec, tccluster.Sum, func(_ []float64, err error) { done(err) })
-	})
-	timeAll("ring allreduce 256", func(r int, done func(error)) {
-		w.Rank(r).AllreduceRing(vec, tccluster.Sum, func(_ []float64, err error) { done(err) })
-	})
-	payload := make([]byte, 1024)
-	timeAll("bcast 1KB", func(r int, done func(error)) {
-		var in []byte
-		if r == 0 {
-			in = payload
-		}
-		w.Rank(r).Bcast(0, in, func(_ []byte, err error) { done(err) })
-	})
-
-	// Traffic patterns over the same fabric.
-	fmt.Println()
-	for _, pat := range []workload.Pattern{
-		workload.NearestNeighbor{},
-		workload.Transpose{Width: 4},
-		workload.HotSpot{Target: 5},
-	} {
-		res, err := workload.Run(c.Cluster, pat, 1, 16<<10)
-		check(err)
-		fmt.Println(res)
-	}
-
-	// Fabric accounting.
-	var pkts, bytes, retries uint64
-	for _, l := range c.ExternalLinks() {
-		a, b := l.A().Stats(), l.B().Stats()
-		pkts += a.PktsSent + b.PktsSent
-		bytes += a.BytesSent + b.BytesSent
-		retries += a.Retries + b.Retries
-	}
-	fmt.Printf("\nfabric totals: %d packets, %d KB on the wire, %d retries\n",
-		pkts, bytes>>10, retries)
-	if err := c.CheckQuiescent(); err != nil {
-		check(fmt.Errorf("fabric not quiescent after the run: %w", err))
-	}
-	fmt.Println("fabric quiescent: all credits returned, no orphans, no leaks")
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cluster16:", err)
-		os.Exit(1)
-	}
-}
+func main() { scenario.Main(spec) }

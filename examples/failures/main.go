@@ -24,251 +24,12 @@
 package main
 
 import (
-	"errors"
-	"flag"
-	"fmt"
-	"os"
-	"sync/atomic"
+	_ "embed"
 
-	tccluster "repro"
+	"repro/internal/scenario"
 )
 
-var parWorkers = flag.Int("parallel", 0, "partition workers (0 = serial; results are identical either way)")
+//go:embed scenario.json
+var spec []byte
 
-func main() {
-	flag.Parse()
-	fmt.Println("== 1. the write-only network ==")
-	writeOnly()
-	fmt.Println("\n== 2. the stale write-back receive buffer ==")
-	staleCache()
-	fmt.Println("\n== 3. the leaking stock kernel ==")
-	smcLeak()
-	fmt.Println("\n== 4. the lossy cable ==")
-	lossyCable()
-	fmt.Println("\n== 5. the pulled cable ==")
-	pulledCable()
-}
-
-func cluster(kopt tccluster.KernelOptions, cfg tccluster.Config) *tccluster.Cluster {
-	topo, err := tccluster.Chain(2)
-	check(err)
-	c, err := tccluster.New(topo, cfg,
-		tccluster.WithKernelOptions(kopt), tccluster.WithParallel(*parWorkers))
-	check(err)
-	return c
-}
-
-func writeOnly() {
-	c := cluster(tccluster.KernelOptions{SMCDisabled: true}, tccluster.DefaultConfig())
-	// A store to the remote window works...
-	okStore := false
-	c.Node(0).Core().StoreBlock(c.Node(1).MemBase()+8<<20, make([]byte, 64), func(err error) {
-		okStore = err == nil
-	})
-	c.Run()
-	fmt.Printf("remote posted store: delivered=%v\n", okStore)
-
-	// ...but a driver window refuses reads, and if you force a read at
-	// the hardware level the response orphans at the peer.
-	w, err := c.Kernel(0).MapRemote(1, 0, 4096)
-	check(err)
-	w.Read(0, 8, func(_ []byte, err error) {
-		fmt.Printf("driver-level remote read: %v\n", err)
-	})
-	answered := false
-	c.Node(0).Machine().Procs[0].NB.CPURead(c.Node(1).MemBase()+0x40, 64,
-		func([]byte, error) { answered = true })
-	c.Run()
-	fmt.Printf("hardware-level remote read: answered=%v, peer orphaned responses=%d\n",
-		answered, c.Node(1).Machine().Procs[0].NB.Counters().OrphanResponses)
-}
-
-func staleCache() {
-	c := cluster(tccluster.KernelOptions{SMCDisabled: true}, tccluster.DefaultConfig())
-	coreA := c.Node(0).Core()
-	flag := c.Node(0).MemBase() + 8<<20 // WB-mapped DRAM (outside the UC window)
-
-	// Node 0 polls once: the line is now cached.
-	coreA.Load(flag, 8, func([]byte, error) {})
-	c.Run()
-	// Node 1 remote-stores the flag.
-	c.Node(1).Core().StoreBlock(flag, []byte{0xFF, 0, 0, 0, 0, 0, 0, 0}, func(error) {
-		c.Node(1).Core().Sfence(func() {})
-	})
-	c.Run()
-	inDRAM, err := c.Node(0).PeekMem(8<<20, 1)
-	check(err)
-	var polled byte
-	coreA.Load(flag, 8, func(d []byte, err error) {
-		check(err)
-		polled = d[0]
-	})
-	c.Run()
-	fmt.Printf("DRAM holds %#x, but the WB-mapped poll reads %#x — stale forever\n",
-		inDRAM[0], polled)
-
-	// The driver refuses to create such a mapping in the first place.
-	_, err = c.Kernel(0).MapLocal(8<<20, 4096)
-	if err == nil {
-		check(errors.New("driver accepted a cachable receive buffer"))
-	}
-	fmt.Printf("driver's answer: %v\n", err)
-}
-
-func smcLeak() {
-	// Stock kernel on node 0, custom kernel on node 1.
-	topo, err := tccluster.Chain(2)
-	check(err)
-	c, err := tccluster.New(topo, tccluster.DefaultConfig(),
-		tccluster.WithKernelOptions(tccluster.KernelOptions{SMCDisabled: false}),
-		tccluster.WithParallel(*parWorkers))
-	check(err)
-	before := c.Kernel(1).Interrupts()
-	c.Kernel(0).RaiseSMC(0xFEE0_0000)
-	c.Run()
-	fmt.Printf("stock kernel SMC: peer interrupts %d -> %d (leaked across the cluster)\n",
-		before, c.Kernel(1).Interrupts())
-
-	c2 := cluster(tccluster.KernelOptions{SMCDisabled: true}, tccluster.DefaultConfig())
-	before = c2.Kernel(1).Interrupts()
-	c2.Kernel(0).RaiseSMC(0xFEE0_0000)
-	c2.Run()
-	fmt.Printf("custom kernel SMC: peer interrupts %d -> %d (suppressed at the source, %d swallowed)\n",
-		before, c2.Kernel(1).Interrupts(), c2.Kernel(0).SuppressedSMCs())
-}
-
-func lossyCable() {
-	measure := func(rate float64) (mbps float64, retries uint64) {
-		cfg := tccluster.DefaultConfig()
-		cfg.CableErrorRate = rate
-		c := cluster(tccluster.KernelOptions{SMCDisabled: true}, cfg)
-		const total = 64 << 10
-		start := c.Now()
-		var finish tccluster.Time
-		c.Node(0).Core().StoreBlock(c.Node(1).MemBase()+8<<20, make([]byte, total), func(err error) {
-			check(err)
-			// Node-local clock: this callback runs on node 0's partition.
-			c.Node(0).Core().Sfence(func() { finish = c.Node(0).Now() })
-		})
-		c.Run()
-		got, err := c.Node(1).PeekMem(8<<20, total)
-		check(err)
-		for _, b := range got[:64] {
-			_ = b
-		}
-		st := c.ExternalLinks()[0].A().Stats()
-		return float64(total) / float64(finish-start) * 1e12 / 1e6, st.Retries
-	}
-	for _, rate := range []float64{0, 0.01, 0.05, 0.20} {
-		mbps, retries := measure(rate)
-		fmt.Printf("error rate %4.0f%%: %6.0f MB/s, %3d link-level retries (all data delivered)\n",
-			rate*100, mbps, retries)
-	}
-}
-
-// pulledCable runs the fault campaign engine against a reliable
-// channel: scenario (a) pulls the cable for 200 us mid-stream and
-// re-seats it — go-back-N retransmission delivers every message;
-// scenario (b) pulls it for good — the retransmit budget runs out and
-// the sender declares the peer dead. Campaign actions cut the timeline
-// at exact virtual times, so the counters below are identical under
-// -parallel.
-func pulledCable() {
-	topo, err := tccluster.Chain(2)
-	check(err)
-	c, err := tccluster.New(topo, tccluster.DefaultConfig(),
-		tccluster.WithKernelOptions(tccluster.KernelOptions{SMCDisabled: true}),
-		tccluster.WithParallel(*parWorkers),
-		tccluster.WithFaults(
-			tccluster.LinkDownFor(0, 1500*tccluster.Microsecond, 200*tccluster.Microsecond)))
-	check(err)
-	par := tccluster.DefaultMsgParams()
-	par.Reliable = true
-	par.AckTimeout = 20 * tccluster.Microsecond
-	s, r, err := c.OpenChannel(0, 1, par)
-	check(err)
-	const total = 60
-	var delivered atomic.Int64
-	var serve func()
-	serve = func() {
-		r.Recv(func(_ []byte, err error) {
-			if err != nil {
-				return
-			}
-			delivered.Add(1)
-			serve()
-		})
-	}
-	serve()
-	var send func(i int)
-	send = func(i int) {
-		if i >= total {
-			return
-		}
-		s.Send(make([]byte, 64), func(err error) {
-			check(err)
-			send(i + 1)
-		})
-	}
-	send(0)
-	c.RunFor(8 * tccluster.Millisecond)
-	r.Stop()
-	st := s.Stats()
-	var aborts uint64
-	for k, v := range c.Metrics().Counters {
-		if k.Name == "nb.master_aborts" {
-			aborts += v
-		}
-	}
-	fmt.Printf("cable pulled 200us mid-stream: %d/%d delivered, %d master-aborts, %d retransmissions (%d ack timeouts), link %s again\n",
-		delivered.Load(), total, aborts, st.Retransmits, st.AckTimeouts,
-		c.ExternalLinks()[0].State())
-
-	// (b) Pull it and leave it: the budget is finite by design — an
-	// unreachable peer must surface as an error, not an infinite stall.
-	c2, err := tccluster.New(topo, tccluster.DefaultConfig(),
-		tccluster.WithKernelOptions(tccluster.KernelOptions{SMCDisabled: true}),
-		tccluster.WithParallel(*parWorkers),
-		tccluster.WithFaults(tccluster.LinkDown(0, 1500*tccluster.Microsecond)))
-	check(err)
-	par2 := tccluster.DefaultMsgParams()
-	par2.Reliable = true
-	par2.AckTimeout = 10 * tccluster.Microsecond
-	par2.RetransmitBudget = 3
-	s2, r2, err := c2.OpenChannel(0, 1, par2)
-	check(err)
-	var serve2 func()
-	serve2 = func() {
-		r2.Recv(func(_ []byte, err error) {
-			if err != nil {
-				return
-			}
-			serve2()
-		})
-	}
-	serve2()
-	var sendErr atomic.Value
-	var send2 func()
-	send2 = func() {
-		s2.Send(make([]byte, 64), func(err error) {
-			if err != nil {
-				sendErr.CompareAndSwap(nil, err)
-				return
-			}
-			send2()
-		})
-	}
-	send2()
-	c2.RunFor(3 * tccluster.Millisecond)
-	r2.Stop()
-	err, _ = sendErr.Load().(error)
-	fmt.Printf("cable pulled for good: sender dead=%v, ErrPeerDead=%v\n  send error: %v\n",
-		s2.Dead(), errors.Is(err, tccluster.ErrPeerDead), err)
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "failures:", err)
-		os.Exit(1)
-	}
-}
+func main() { scenario.Main(spec) }

@@ -8,201 +8,12 @@
 package main
 
 import (
-	"flag"
-	"fmt"
-	"math"
-	"os"
-	"sync/atomic"
+	_ "embed"
 
-	tccluster "repro"
+	"repro/internal/scenario"
 )
 
-const (
-	ranks    = 4
-	width    = 48 // columns
-	rowsPer  = 12 // interior rows per rank
-	height   = ranks * rowsPer
-	steps    = 12
-	hotValue = 1.0 // Dirichlet top edge
-)
+//go:embed scenario.json
+var spec []byte
 
-type worker struct {
-	rank int
-	comm *tccluster.Comm
-	// grid rows 0 and rowsPer+1 are ghost rows.
-	grid, next [][]float64
-	stepsDone  int
-}
-
-func newWorker(rank int, comm *tccluster.Comm) *worker {
-	w := &worker{rank: rank, comm: comm}
-	w.grid = make([][]float64, rowsPer+2)
-	w.next = make([][]float64, rowsPer+2)
-	for i := range w.grid {
-		w.grid[i] = make([]float64, width)
-		w.next[i] = make([]float64, width)
-	}
-	if rank == 0 {
-		// Global row 0 is the hot plate: initialized to hotValue and
-		// held constant by the fixed-boundary rule in relax.
-		for j := 0; j < width; j++ {
-			w.grid[1][j] = hotValue
-			w.next[1][j] = hotValue
-		}
-	}
-	return w
-}
-
-// run executes the step loop; done fires when all steps complete.
-func (w *worker) run(step int, done func(error)) {
-	if step >= steps {
-		done(nil)
-		return
-	}
-	pending := 0
-	var firstErr error
-	finish := func(err error) {
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-		pending--
-		if pending == 0 {
-			if firstErr != nil {
-				done(firstErr)
-				return
-			}
-			w.relax()
-			w.stepsDone++
-			w.run(step+1, done)
-		}
-	}
-	// Exchange boundary rows with both neighbors; matching is by
-	// (source, tag), so one tag per step suffices.
-	if w.rank > 0 {
-		pending++
-		w.comm.SendRecv(w.rank-1, step, tccluster.Float64s(w.grid[1]), func(d []byte, err error) {
-			if err == nil {
-				var row []float64
-				if row, err = tccluster.ToFloat64s(d); err == nil {
-					copy(w.grid[0], row)
-				}
-			}
-			finish(err)
-		})
-	}
-	if w.rank < ranks-1 {
-		pending++
-		w.comm.SendRecv(w.rank+1, step, tccluster.Float64s(w.grid[rowsPer]), func(d []byte, err error) {
-			if err == nil {
-				var row []float64
-				if row, err = tccluster.ToFloat64s(d); err == nil {
-					copy(w.grid[rowsPer+1], row)
-				}
-			}
-			finish(err)
-		})
-	}
-	if pending == 0 {
-		done(fmt.Errorf("rank %d has no neighbors", w.rank))
-	}
-}
-
-// relax applies one Jacobi step to the interior rows.
-func (w *worker) relax() {
-	for i := 1; i <= rowsPer; i++ {
-		globalRow := w.rank*rowsPer + (i - 1)
-		for j := 0; j < width; j++ {
-			if globalRow == 0 || globalRow == height-1 || j == 0 || j == width-1 {
-				w.next[i][j] = w.grid[i][j] // fixed boundary
-				continue
-			}
-			w.next[i][j] = 0.25 * (w.grid[i-1][j] + w.grid[i+1][j] +
-				w.grid[i][j-1] + w.grid[i][j+1])
-		}
-	}
-	w.grid, w.next = w.next, w.grid
-}
-
-// serialReference runs the same solver on one grid.
-func serialReference() [][]float64 {
-	g := make([][]float64, height)
-	n := make([][]float64, height)
-	for i := range g {
-		g[i] = make([]float64, width)
-		n[i] = make([]float64, width)
-	}
-	for j := 0; j < width; j++ {
-		g[0][j] = hotValue // hot plate = global row 0
-		n[0][j] = hotValue
-	}
-	for s := 0; s < steps; s++ {
-		for r := 0; r < height; r++ {
-			for c := 0; c < width; c++ {
-				if r == 0 || r == height-1 || c == 0 || c == width-1 {
-					n[r][c] = g[r][c]
-					continue
-				}
-				n[r][c] = 0.25 * (g[r-1][c] + g[r+1][c] + g[r][c-1] + g[r][c+1])
-			}
-		}
-		g, n = n, g
-	}
-	return g
-}
-
-func main() {
-	par := flag.Int("parallel", 0, "partition workers (0 = serial; results are identical either way)")
-	flag.Parse()
-
-	topo, err := tccluster.Chain(ranks)
-	check(err)
-	c, err := tccluster.New(topo, tccluster.DefaultConfig(), tccluster.WithParallel(*par))
-	check(err)
-	world, err := c.NewWorld(tccluster.DefaultMPIConfig())
-	check(err)
-
-	workers := make([]*worker, ranks)
-	var completed atomic.Int64 // rank callbacks may run on different partitions
-	start := c.Now()
-	for r := 0; r < ranks; r++ {
-		workers[r] = newWorker(r, world.Rank(r))
-		workers[r].run(0, func(err error) {
-			check(err)
-			completed.Add(1)
-		})
-	}
-	c.Run()
-	elapsed := c.Now() - start
-	if completed.Load() != ranks {
-		check(fmt.Errorf("only %d of %d ranks completed", completed.Load(), ranks))
-	}
-
-	// Gather the distributed field at rank 0 and verify.
-	ref := serialReference()
-	maxErr := 0.0
-	for r := 0; r < ranks; r++ {
-		for i := 1; i <= rowsPer; i++ {
-			globalRow := r*rowsPer + (i - 1)
-			for j := 0; j < width; j++ {
-				if e := math.Abs(workers[r].grid[i][j] - ref[globalRow][j]); e > maxErr {
-					maxErr = e
-				}
-			}
-		}
-	}
-	fmt.Printf("heat2d: %dx%d grid, %d ranks, %d steps\n", height, width, ranks, steps)
-	fmt.Printf("halo exchanges per step: %d; virtual time: %v (%.0f ns/step)\n",
-		2*(ranks-1), elapsed, elapsed.Nanos()/steps)
-	fmt.Printf("max |distributed - serial| = %.3g\n", maxErr)
-	if maxErr > 1e-12 {
-		check(fmt.Errorf("distributed solution diverged from the serial reference"))
-	}
-	fmt.Println("verified against the serial solver")
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "heat2d:", err)
-		os.Exit(1)
-	}
-}
+func main() { scenario.Main(spec) }

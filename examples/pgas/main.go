@@ -10,122 +10,12 @@
 package main
 
 import (
-	"encoding/binary"
-	"flag"
-	"fmt"
-	"os"
-	"sync/atomic"
+	_ "embed"
 
-	tccluster "repro"
+	"repro/internal/scenario"
 )
 
-const (
-	nodes     = 4
-	blockSize = 4096 // bytes rotated per round
-	rounds    = nodes
-)
+//go:embed scenario.json
+var spec []byte
 
-func main() {
-	par := flag.Int("parallel", 0, "partition workers (0 = serial; results are identical either way)")
-	flag.Parse()
-
-	topo, err := tccluster.Chain(nodes)
-	check(err)
-	c, err := tccluster.New(topo, tccluster.DefaultConfig(), tccluster.WithParallel(*par))
-	check(err)
-	sp, err := c.NewSpace(tccluster.DefaultPGASConfig())
-	check(err)
-
-	segBytes := sp.Size() / uint64(nodes)
-	fmt.Printf("global space: %d KB across %d nodes (%d KB per segment)\n",
-		sp.Size()>>10, nodes, segBytes>>10)
-
-	// Each node stamps a block with (origin, round) and pushes it to its
-	// right neighbor's segment; after n rounds every block has visited
-	// every node and carries the full provenance trail.
-	block := func(origin, round int) []byte {
-		b := make([]byte, blockSize)
-		binary.LittleEndian.PutUint32(b[0:4], uint32(origin))
-		binary.LittleEndian.PutUint32(b[4:8], uint32(round))
-		for i := 8; i < blockSize; i++ {
-			b[i] = byte(origin*31 + round*7)
-		}
-		return b
-	}
-	segBase := func(node int) uint64 { return uint64(node) * segBytes }
-
-	// Each round is issued from driver context and drained with c.Run():
-	// a node's barrier callback runs on that node's partition, so chaining
-	// the next round's puts for *all* nodes from inside one callback would
-	// cross partition boundaries mid-window. Between runs every partition
-	// is parked, so the driver may touch any node freely.
-	start := c.Now()
-	for round := 0; round < rounds; round++ {
-		var pending atomic.Int64
-		pending.Store(nodes)
-		for n := 0; n < nodes; n++ {
-			n := n
-			dst := (n + 1) % nodes
-			// The block currently "held" by node n originated at
-			// (n - round) mod nodes.
-			origin := ((n-round)%nodes + nodes) % nodes
-			sp.PutStrict(n, segBase(dst)+uint64(n)*blockSize, block(origin, round), func(err error) {
-				check(err)
-				sp.Barrier(n, func(err error) {
-					check(err)
-					pending.Add(-1)
-				})
-			})
-		}
-		c.Run()
-		if pending.Load() != 0 {
-			check(fmt.Errorf("round %d never finished (%d nodes still pending)", round, pending.Load()))
-		}
-	}
-	fmt.Printf("%d rounds of put+barrier in %v virtual time\n", rounds, c.Now()-start)
-
-	// Verify locally: after `rounds` rounds, node n's slot written by
-	// node n-1 holds the block that originated at n (full circle).
-	var verified atomic.Int64
-	for n := 0; n < nodes; n++ {
-		n := n
-		writer := ((n-1)%nodes + nodes) % nodes
-		sp.Get(n, segBase(n)+uint64(writer)*blockSize, 8, func(d []byte, err error) {
-			check(err)
-			origin := int(binary.LittleEndian.Uint32(d[0:4]))
-			round := int(binary.LittleEndian.Uint32(d[4:8]))
-			wantOrigin := ((writer-(rounds-1))%nodes + nodes) % nodes
-			if origin != wantOrigin || round != rounds-1 {
-				check(fmt.Errorf("node %d: got block (origin=%d round=%d), want (origin=%d round=%d)",
-					n, origin, round, wantOrigin, rounds-1))
-			}
-			verified.Add(1)
-		})
-	}
-	c.Run()
-	fmt.Printf("local verification: %d/%d segments hold the expected blocks\n", verified.Load(), nodes)
-
-	// Cross-node Get through the active-message service: node 0 reads a
-	// block out of node 2's segment.
-	sp.Serve(2)
-	var remote []byte
-	sp.Get(0, segBase(2)+uint64(1)*blockSize, 8, func(d []byte, err error) {
-		check(err)
-		remote = d
-	})
-	c.RunFor(tccluster.Millisecond)
-	sp.StopServing(2)
-	c.Run()
-	if remote == nil {
-		check(fmt.Errorf("remote get never completed"))
-	}
-	fmt.Printf("remote get via AM service: node0 read block header %x from node2's segment\n", remote)
-	fmt.Printf("node0 stats: %+v\n", sp.Stats(0))
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pgas:", err)
-		os.Exit(1)
-	}
-}
+func main() { scenario.Main(spec) }

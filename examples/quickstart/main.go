@@ -5,89 +5,12 @@
 package main
 
 import (
-	"flag"
-	"fmt"
-	"os"
+	_ "embed"
 
-	tccluster "repro"
+	"repro/internal/scenario"
 )
 
-func main() {
-	par := flag.Int("parallel", 0, "partition workers (0 = serial; results are identical either way)")
-	flag.Parse()
+//go:embed scenario.json
+var spec []byte
 
-	// The prototype: two single-socket boards joined by an HTX cable,
-	// link forced non-coherent at HT800 x16 by the firmware sequence.
-	topo, err := tccluster.Chain(2)
-	check(err)
-	c, err := tccluster.New(topo, tccluster.DefaultConfig(), tccluster.WithParallel(*par))
-	check(err)
-
-	fmt.Printf("booted %d nodes; TCCluster link is %v at %v x%d\n",
-		c.N(),
-		c.ExternalLinks()[0].Type(),
-		c.ExternalLinks()[0].Speed(),
-		c.ExternalLinks()[0].Width())
-
-	// A unidirectional channel node0 -> node1: a 4 KB ring in node1's
-	// uncachable memory, written by remote posted stores, read by
-	// polling.
-	s, r, err := c.OpenChannel(0, 1, tccluster.DefaultMsgParams())
-	check(err)
-	back, ack, err := c.OpenChannel(1, 0, tccluster.DefaultMsgParams())
-	check(err)
-
-	// Node 1 echoes everything.
-	var serve func()
-	serve = func() {
-		r.Recv(func(data []byte, err error) {
-			if err != nil {
-				return
-			}
-			back.Send(data, func(error) {})
-			serve()
-		})
-	}
-	serve()
-
-	// Node 0 sends a message and waits for the echo.
-	const rounds = 8
-	done := 0
-	var round func(i int)
-	round = func(i int) {
-		if i >= rounds {
-			return
-		}
-		// Node-local clock: round is driven from node 0's partition, and
-		// in a parallel run the global clock is off-limits mid-window.
-		start := c.Node(0).Now()
-		ack.Recv(func(data []byte, err error) {
-			check(err)
-			rtt := c.Node(0).Now() - start
-			fmt.Printf("round %d: %q echoed in %v (half RTT %v)\n",
-				i, data, rtt, rtt/2)
-			done++
-			round(i + 1)
-		})
-		s.Send([]byte(fmt.Sprintf("ping %d over the host interface", i)), func(err error) {
-			check(err)
-		})
-	}
-	round(0)
-
-	c.RunFor(tccluster.Millisecond)
-	r.Stop()
-	ack.Stop()
-	c.Run()
-	if done != rounds {
-		check(fmt.Errorf("only %d of %d rounds completed", done, rounds))
-	}
-	fmt.Printf("\nvirtual time elapsed: %v; sender stats: %+v\n", c.Now(), s.Stats())
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "quickstart:", err)
-		os.Exit(1)
-	}
-}
+func main() { scenario.Main(spec) }

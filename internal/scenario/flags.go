@@ -1,0 +1,62 @@
+package scenario
+
+import "flag"
+
+// parallelUsage is the one usage string every runner shows for
+// -parallel, formerly copy-pasted across the seven example mains and
+// cmd/tccfig.
+const parallelUsage = "partition workers (0 = serial; results are identical either way)"
+
+// AddParallelFlag registers the canonical -parallel flag on fs and
+// returns its destination. Commands that take no scenario (tccfig's
+// experiment clusters) share the flag's name and usage through this
+// helper.
+func AddParallelFlag(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", 0, parallelUsage)
+}
+
+// CommonFlags are the run-control overrides every scenario runner
+// accepts: partition workers, seed, and trace export. Register them
+// with RegisterCommonFlags, then Apply after the flag set is parsed —
+// only flags the user actually set override the spec.
+type CommonFlags struct {
+	Parallel    *int
+	Seed        uint64
+	TraceOut    string
+	TraceFormat string
+
+	fs *flag.FlagSet
+}
+
+// RegisterCommonFlags registers -parallel, -seed, -trace and
+// -trace-format on fs.
+func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
+	f := &CommonFlags{fs: fs}
+	f.Parallel = AddParallelFlag(fs)
+	fs.Uint64Var(&f.Seed, "seed", 0, "override the scenario's stochastic-model seed")
+	fs.StringVar(&f.TraceOut, "trace", "", "write a trace of the run to this file")
+	fs.StringVar(&f.TraceFormat, "trace-format", "chrome", "trace export format: chrome or csv")
+	return f
+}
+
+// Apply overlays the flags the user set onto the scenario. Call after
+// fs.Parse.
+func (f *CommonFlags) Apply(s *Scenario) {
+	set := map[string]bool{}
+	f.fs.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
+	if set["parallel"] {
+		s.Parallel = *f.Parallel
+	}
+	if set["seed"] {
+		s.Seed = f.Seed
+	}
+	if set["trace"] {
+		if s.Trace == nil {
+			s.Trace = &TraceSpec{}
+		}
+		s.Trace.Output = f.TraceOut
+		if s.Trace.Format == "" || set["trace-format"] {
+			s.Trace.Format = f.TraceFormat
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestRunDefaultScenario smoke-tests the whole lowering path: the
+// default spec must boot, run and report a sane fingerprint.
+func TestRunDefaultScenario(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Default().Run(&buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.EventsFired == 0 || res.FinalVirtualPS == 0 || res.Clusters != 1 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("booted 2 nodes")) {
+		t.Fatalf("output missing boot line:\n%s", buf.Bytes())
+	}
+}
+
+// TestFaultRecoveryScenarioDeterminism is the tccrun determinism gate
+// in test form: the committed fault-recovery-chain4 spec must produce
+// byte-identical output and the same fingerprint serially and at every
+// parallel width — a scenario run IS the event stream, and the spec
+// file is the archival record of it.
+func TestFaultRecoveryScenarioDeterminism(t *testing.T) {
+	data, err := os.ReadFile("../../scenarios/fault-recovery-chain4.json")
+	if err != nil {
+		t.Fatalf("read spec: %v", err)
+	}
+	base, err := Parse(data)
+	if err != nil {
+		t.Fatalf("parse spec: %v", err)
+	}
+	var refOut bytes.Buffer
+	refRes, err := base.Run(&refOut)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	for _, par := range []int{2, 4} {
+		s := base.Clone()
+		s.Parallel = par
+		var out bytes.Buffer
+		res, err := s.Run(&out)
+		if err != nil {
+			t.Fatalf("parallel=%d run: %v", par, err)
+		}
+		if *res != *refRes {
+			t.Errorf("parallel=%d fingerprint diverged: serial %+v, parallel %+v", par, refRes, res)
+		}
+		if !bytes.Equal(refOut.Bytes(), out.Bytes()) {
+			t.Errorf("parallel=%d output diverged:\nserial:\n%s\nparallel:\n%s",
+				par, refOut.Bytes(), out.Bytes())
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package stats
 
 import (
 	"os/exec"
@@ -8,13 +8,13 @@ import (
 	"time"
 )
 
-// benchMeta stamps every benchmark JSON with enough context to judge
-// the numbers later: which commit produced them and how much real
-// hardware the run had. A parallel-speedup figure from a 1-CPU CI
-// container means something very different from the same figure on a
-// 16-core workstation, and the only honest way to compare archived
-// BENCH_*.json files is to record that alongside the result.
-type benchMeta struct {
+// BenchMeta stamps a result JSON with enough context to judge the
+// numbers later: which commit produced them and how much real hardware
+// the run had. A parallel-speedup figure from a 1-CPU CI container
+// means something very different from the same figure on a 16-core
+// workstation, and the only honest way to compare archived result
+// files is to record that alongside the result.
+type BenchMeta struct {
 	Commit      string    `json:"commit"`
 	GoVersion   string    `json:"go_version"`
 	GOMAXPROCS  int       `json:"gomaxprocs"`
@@ -22,8 +22,9 @@ type benchMeta struct {
 	GeneratedAt time.Time `json:"generated_at"`
 }
 
-func newBenchMeta() benchMeta {
-	m := benchMeta{
+// NewBenchMeta captures the current toolchain, hardware and commit.
+func NewBenchMeta() BenchMeta {
+	m := BenchMeta{
 		Commit:      "unknown",
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),

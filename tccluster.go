@@ -486,13 +486,6 @@ func (c *Cluster) Close() error {
 	return c.mon.Close()
 }
 
-// NewWithKernel is New with explicit kernel options.
-//
-// Deprecated: use New(topo, cfg, WithKernelOptions(kopt)).
-func NewWithKernel(topo *Topology, cfg Config, kopt KernelOptions) (*Cluster, error) {
-	return New(topo, cfg, WithKernelOptions(kopt))
-}
-
 // OS exposes the kernel layer (drivers, mappings, SMC counters).
 func (c *Cluster) OS() *kernel.OS { return c.os }
 
