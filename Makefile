@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt fmt-check vet build test race test-race bench bench-smoke bench-json bench-engine bench-parallel bench-faults fuzz scenario-smoke
+.PHONY: all check fmt fmt-check vet build test race test-race bench bench-smoke bench-json bench-engine bench-parallel bench-faults bench-prof fuzz scenario-smoke
 
 all: check
 
@@ -60,12 +60,21 @@ bench-parallel:
 bench-faults:
 	$(GO) run ./cmd/tccbench -bench faults -out BENCH_faults.json
 
+# Regenerate the profiler numbers and enforce its cost contract:
+# profiled chain16 allreduce within 5% of the tracer-only baseline
+# (per-round CPU-time minima), zero allocations on the disabled link
+# send path. Exits nonzero when either gate fails.
+bench-prof:
+	$(GO) run ./cmd/tccbench -bench prof -out BENCH_prof.json
+
 # Smoke-run the scenario runner: the committed fault-recovery spec with
-# the serial-vs-parallel determinism gate, then the committed 2x2 sweep
-# grid archiving one metadata-stamped result JSON per cell.
+# the serial-vs-parallel determinism gate, the committed 2x2 sweep grid
+# archiving one metadata-stamped result JSON per cell, and the profiled
+# allreduce spec whose result embeds the latency budget.
 scenario-smoke:
 	$(GO) run ./cmd/tccrun -check -out scenario-results scenarios/fault-recovery-chain4.json
 	$(GO) run ./cmd/tccrun -out scenario-results scenarios/allreduce-sweep.json
+	$(GO) run ./cmd/tccrun -check -out scenario-results scenarios/allreduce-chain16-profiled.json
 
 # Short fuzz of the message-library wire format (frame build/parse and
 # receiver-side header classification). The committed corpus runs on

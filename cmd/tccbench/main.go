@@ -14,6 +14,7 @@
 //	tccbench -bench engine   [-out BENCH_engine.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	tccbench -bench parallel [-out BENCH_parallel.json] [-nodes 8]
 //	tccbench -bench faults   [-out BENCH_faults.json]
+//	tccbench -bench prof     [-out BENCH_prof.json]
 package main
 
 import (
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "latency", "latency | bw | bibw | allreduce | monitor | engine | parallel | faults")
+	bench := flag.String("bench", "latency", "latency | bw | bibw | allreduce | monitor | engine | parallel | faults | prof")
 	maxSize := flag.Int("max", 4096, "largest message size to sweep")
 	nodes := flag.Int("nodes", 4, "cluster size (allreduce; parallel defaults to 8)")
 	out := flag.String("out", "", "JSON output path (monitor and engine benchmarks)")
@@ -55,6 +56,8 @@ func main() {
 		runParallelBench(*out, n)
 	case "faults":
 		runFaultsBench(*out)
+	case "prof":
+		runProfBench(*out)
 	default:
 		fmt.Fprintf(os.Stderr, "tccbench: unknown benchmark %q\n", *bench)
 		os.Exit(2)

@@ -91,6 +91,14 @@ func runCell(cell *scenario.Scenario, outDir string, check bool, checkPar int) e
 	if err != nil {
 		return fmt.Errorf("%s: %w", cell.Name, err)
 	}
+	if res.Profile != nil {
+		// Printed outside buf: the -check twin comparison is on workload
+		// output only, and the PDES section carries wall-clock numbers
+		// that legitimately differ between twins.
+		if err := res.Profile.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
 	rec := cellRecord{
 		Meta:         stats.NewBenchMeta(),
 		Scenario:     cell,
@@ -110,7 +118,9 @@ func runCell(cell *scenario.Scenario, outDir string, check bool, checkPar int) e
 		if err != nil {
 			return fmt.Errorf("%s (parallel=%d twin): %w", cell.Name, twin.Parallel, err)
 		}
-		identical := bytes.Equal(buf.Bytes(), twinBuf.Bytes()) && *res == *twinRes
+		// Fingerprint, not struct equality: Result carries a profile
+		// pointer whose PDES section is wall-clock and twin-divergent.
+		identical := bytes.Equal(buf.Bytes(), twinBuf.Bytes()) && res.Fingerprint(twinRes)
 		rec.Check = &checkRecord{Parallel: []int{cell.Parallel, twin.Parallel}, Identical: identical}
 		if !identical {
 			return fmt.Errorf("%s: parallel=%d and parallel=%d runs diverged (%d vs %d events, %d vs %d output bytes)",

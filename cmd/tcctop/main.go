@@ -1,7 +1,9 @@
 // Command tcctop is a live terminal dashboard over a running cluster's
 // monitor endpoint (tccluster.WithMonitor): per-link utilization and
-// stall rates, per-node routing health, MPI phase, and active watchdog
-// alerts, refreshed in place like top(1).
+// stall rates, per-node routing health, MPI phase, active watchdog
+// alerts and — when the cluster was built with WithProfile — the
+// profiler's live latency budget and PDES partition accounting,
+// refreshed in place like top(1).
 //
 // Usage:
 //
@@ -20,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/monitor"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -43,10 +46,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tcctop: %v\n", err)
 			os.Exit(1)
 		}
+		// The profile panel is optional: clusters built without
+		// WithProfile serve 404 here and the panel is simply absent.
+		ps, _ := fetchProfile(client, "http://"+*addr+"/profile")
 		if !*once {
 			fmt.Print("\x1b[2J\x1b[H") // clear and home: refresh in place
 		}
 		fmt.Print(render(st))
+		fmt.Print(renderProfile(ps))
 	}
 }
 
@@ -61,6 +68,22 @@ func fetch(c *http.Client, url string) (*monitor.Status, error) {
 		return nil, fmt.Errorf("decoding %s: %w", url, err)
 	}
 	return &st, nil
+}
+
+func fetchProfile(c *http.Client, url string) (*prof.Summary, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var s prof.Summary
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return &s, nil
 }
 
 // render lays out one full dashboard frame. It is a pure function of
@@ -188,4 +211,54 @@ func bar(frac float64, width int) string {
 	}
 	fill := int(frac*float64(width) + 0.5)
 	return "[" + strings.Repeat("#", fill) + strings.Repeat("-", width-fill) + "]"
+}
+
+// renderProfile lays out the profiler panel: the cluster-wide latency
+// budget ranked by attributed time, the critical link, and — for
+// parallel runs — per-partition balance. Nil (profiling disabled or
+// endpoint unreachable) renders nothing.
+func renderProfile(s *prof.Summary) string {
+	if s == nil || len(s.Budget) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	var total uint64
+	for _, p := range s.Budget {
+		total += p.TotalPS
+	}
+	fmt.Fprintf(&b, "PROFILE  phase          count       mean        p99   share\n")
+	for _, p := range s.Budget {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(p.TotalPS) / float64(total)
+		}
+		fmt.Fprintf(&b, "         %-12s %7d %10s %10s %6.1f%% %s\n",
+			p.Phase, p.Count, fmtPS(p.MeanPS), fmtPS(p.P99PS), share, bar(share/100, 10))
+	}
+	if len(s.CriticalPath) > 0 {
+		h := s.CriticalPath[0]
+		fmt.Fprintf(&b, "         critical link %d (%.1f%% of link time, dominant %s)\n",
+			h.Link, h.SharePct, h.Dominant)
+	}
+	if p := s.PDES; p != nil && len(p.Partitions) > 0 {
+		fmt.Fprintf(&b, "PDES     windows %d   occupancy %.2f   imbalance %.2f\n",
+			p.Windows, p.Occupancy, p.Imbalance)
+		for _, pt := range p.Partitions {
+			fmt.Fprintf(&b, "         part %-3d events %-10d busy %8.1fms  barrier %8.1fms\n",
+				pt.Partition, pt.Events, pt.BusyMS, pt.BarrierWaitMS)
+		}
+	}
+	return b.String()
+}
+
+// fmtPS renders a picosecond quantity with an adaptive unit.
+func fmtPS(ps float64) string {
+	switch {
+	case ps >= 1e6:
+		return fmt.Sprintf("%.2fus", ps/1e6)
+	case ps >= 1e3:
+		return fmt.Sprintf("%.1fns", ps/1e3)
+	default:
+		return fmt.Sprintf("%.0fps", ps)
+	}
 }

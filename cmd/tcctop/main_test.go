@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/monitor"
+	"repro/internal/prof"
+	"repro/internal/sim"
 )
 
 func testStatus() *monitor.Status {
@@ -98,5 +100,43 @@ func TestBar(t *testing.T) {
 		if got := bar(frac, 10); got != want {
 			t.Errorf("bar(%v) = %q, want %q", frac, got, want)
 		}
+	}
+}
+
+func TestRenderProfilePanel(t *testing.T) {
+	s := &prof.Summary{
+		Budget: []prof.PhaseStats{
+			{Phase: "link.ser", Count: 200, TotalPS: 4_000_000, MeanPS: 20_000, P99PS: 33_000},
+			{Phase: "mem.service", Count: 900, TotalPS: 12_000_000, MeanPS: 13_333, P99PS: 65_000},
+		},
+		CriticalPath: []prof.CriticalHop{
+			{Link: 3, TotalPS: 4_000_000, SharePct: 62.5, Dominant: "link.ser"},
+		},
+		PDES: &sim.ParallelSummary{
+			Windows:   40,
+			Occupancy: 0.81,
+			Imbalance: 1.2,
+			Partitions: []sim.PartitionSummary{
+				{Partition: 0, Events: 1000, BusyMS: 4.5, BarrierWaitMS: 0.3},
+				{Partition: 1, Events: 800, BusyMS: 3.6, BarrierWaitMS: 1.2},
+			},
+		},
+	}
+	out := renderProfile(s)
+	for _, want := range []string{
+		"PROFILE",
+		"link.ser",
+		"mem.service",
+		"critical link 3 (62.5% of link time, dominant link.ser)",
+		"PDES     windows 40   occupancy 0.81   imbalance 1.20",
+		"part 1",
+		"barrier",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile panel missing %q:\n%s", want, out)
+		}
+	}
+	if renderProfile(nil) != "" {
+		t.Errorf("nil summary should render nothing")
 	}
 }

@@ -10,7 +10,12 @@
 //
 // Usage:
 //
-//	tcctrace [-nodes N] [-rounds R] [-size B] [-format text|chrome|csv] [-o FILE]
+//	tcctrace [-nodes N] [-rounds R] [-size B] [-format text|chrome|csv] [-o FILE] [-profile]
+//
+// With -profile the run attaches the simulation profiler with phase
+// spans: chrome output gains per-link duration slices for every
+// packet's queue wait and serialization, and text output appends the
+// per-phase latency budget the profiler attributed.
 package main
 
 import (
@@ -31,6 +36,8 @@ func main() {
 	format := flag.String("format", "text", "output format: text, chrome or csv")
 	out := flag.String("o", "", "output file (default stdout)")
 	buf := flag.Int("buf", 1<<16, "event buffer capacity")
+	profile := flag.Bool("profile", false,
+		"attach the profiler: phase spans in the trace, latency budget in text output")
 	flag.Parse()
 
 	switch *format {
@@ -42,8 +49,11 @@ func main() {
 	topo, err := tccluster.Chain(*nodes)
 	check(err)
 	col := tccluster.NewCollector(*buf)
-	c, err := tccluster.New(topo, tccluster.DefaultConfig(),
-		tccluster.WithTracer(col))
+	opts := []tccluster.Option{tccluster.WithTracer(col)}
+	if *profile {
+		opts = append(opts, tccluster.WithProfile(tccluster.ProfileSpans()))
+	}
+	c, err := tccluster.New(topo, tccluster.DefaultConfig(), opts...)
 	check(err)
 
 	// Ping-pong between the two ends of the chain: every packet transits
@@ -106,6 +116,10 @@ func main() {
 		check(tccluster.WriteCSVTrace(w, events))
 	default:
 		check(writeText(w, c, events, *nodes, *rounds, *size))
+		if *profile {
+			fmt.Fprintln(w)
+			check(c.Profile().WriteText(w))
+		}
 	}
 	if col.Dropped() > 0 {
 		fmt.Fprintf(os.Stderr, "tcctrace: buffer kept %d of %d events (raise -buf)\n",

@@ -8,6 +8,7 @@ import (
 	"repro/internal/firmware"
 	"repro/internal/ht"
 	"repro/internal/nb"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/southbridge"
 	"repro/internal/topology"
@@ -261,11 +262,44 @@ func New(topo *topology.Topology, cfg Config) (*Cluster, error) {
 	for i := range c.machines {
 		c.nodes = append(c.nodes, &Node{idx: i, cluster: c, machine: c.machines[i]})
 	}
+	c.attachProfiler()
 	if err := c.setupParallel(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
+
+// attachProfiler hands pre-resolved phase-attribution handles to every
+// instrumented component. It runs after firmware boot so cold training
+// and boot traffic stay out of the latency budget, and before
+// setupParallel so handles survive the engine rebind (they are engine-
+// independent atomics). Internal links (southbridge, coherent chain)
+// are deliberately left unprofiled: the budget attributes the TCCluster
+// fabric.
+func (c *Cluster) attachProfiler() {
+	pr := c.cfg.Profiler
+	if pr == nil {
+		return
+	}
+	pr.Init(len(c.extLinks), c.topo.N())
+	for i, l := range c.extLinks {
+		l.SetProfiler(pr.Link(i), pr.Spans())
+	}
+	for i, m := range c.machines {
+		np := pr.Node(i)
+		for _, proc := range m.Procs {
+			proc.NB.SetProfiler(np)
+			for _, cr := range proc.Cores {
+				cr.SetProfiler(np)
+			}
+		}
+	}
+}
+
+// Profiler returns the profiler the cluster was built with, nil when
+// profiling is disabled. Layers above core (msg receivers, monitors)
+// reach their phase handles through this accessor.
+func (c *Cluster) Profiler() *prof.Profiler { return c.cfg.Profiler }
 
 func fillDefaults(cfg Config) Config {
 	d := DefaultConfig()

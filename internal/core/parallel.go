@@ -142,7 +142,9 @@ func (c *Cluster) setupParallel() error {
 			}
 			continue
 		}
-		toA, toB := &sim.Mailbox{}, &sim.Mailbox{}
+		// Mailbox labels feed the profiler's cross-partition traffic
+		// matrix: toA carries events pb publishes into pa, and vice versa.
+		toA, toB := &sim.Mailbox{From: pb, To: pa}, &sim.Mailbox{From: pa, To: pb}
 		inboxes[pa] = append(inboxes[pa], toA)
 		inboxes[pb] = append(inboxes[pb], toB)
 		l.Split(c.engs[pa], c.engs[pb], toA, toB, shard(pa), shard(pb))
@@ -151,6 +153,11 @@ func (c *Cluster) setupParallel() error {
 	runner, err := sim.NewParallel(c.engs, inboxes, look)
 	if err != nil {
 		return err
+	}
+	if pr := c.cfg.Profiler; pr != nil {
+		st := sim.NewParallelStats(p)
+		runner.SetStats(st)
+		pr.SetParallelStats(st)
 	}
 	runner.SetBarrierHook(func() {
 		if c.shards != nil {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/ht"
 	"repro/internal/nb"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -86,6 +87,14 @@ type Config struct {
 	// virtual-time results; this exists for paired benchmarking
 	// (tccbench -bench engine) and as a determinism cross-check.
 	LegacyEventQueue bool
+	// Profiler, when non-nil, receives packet-lifecycle phase
+	// observations from every instrumented layer (link queue/retry/
+	// serialization, northbridge pipeline, memory controller, CPU store
+	// path) and — on parallel runs — the PDES runtime accounting. The
+	// profiler is attached after firmware boot, so the latency budget
+	// covers workload traffic only. Nil disables profiling at zero cost
+	// beyond a nil check per potential observation.
+	Profiler *prof.Profiler
 	// Parallel partitions the cluster by supernode across up to this
 	// many worker goroutines after boot, synchronized by a conservative
 	// time-windowed barrier whose width is the minimum cross-partition

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/nb"
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
@@ -57,8 +58,9 @@ type wcBuf struct {
 	draining bool
 	line     uint64 // 64-byte-aligned base address
 	data     [LineSize]byte
-	mask     uint64 // per-byte valid bitmap
-	seq      uint64 // allocation order, for oldest-first eviction
+	mask     uint64   // per-byte valid bitmap
+	seq      uint64   // allocation order, for oldest-first eviction
+	t0       sim.Time // allocation time, for flush-latency attribution
 }
 
 // Core is one processor core issuing loads and stores through the MTRRs,
@@ -74,6 +76,8 @@ type Core struct {
 
 	wc       []wcBuf
 	wcSeq    uint64
+	prof     *prof.NodeProf
+	profD    sim.Time // counted-constant issue time (uncontended 64B store)
 	inflight int      // WC/UC posted writes awaiting downstream acceptance
 	stalled  []func() // stores waiting for a free WC buffer
 	ucFree   *ucRec   // free list of uncached-load records
@@ -126,6 +130,29 @@ func (c *Core) OnEvent(_ *sim.Engine, arg sim.EventArg) {
 // SetEngine rebinds the core onto a partition engine; called while
 // quiescent, before a parallel run starts.
 func (c *Core) SetEngine(e *sim.Engine) { c.eng = e }
+
+// SetProfiler installs this node's phase-attribution handle. Nil
+// disables profiling; every observation site is a single nil check.
+func (c *Core) SetProfiler(np *prof.NodeProf) {
+	c.prof = np
+	if np != nil {
+		// Issue fast path: an uncontended full-line (64-byte) store.
+		c.profD = c.issueTime(64)
+		np.SetConst(prof.NodeCPUIssue, c.profD)
+	}
+}
+
+// profIssue attributes one trip through the store-issue server: wait
+// behind earlier micro-ops plus the issue service itself.
+func (c *Core) profIssue(now, at sim.Time) {
+	if np := c.prof; np != nil {
+		if at-now == c.profD {
+			np.AddConst(prof.NodeCPUIssue)
+		} else {
+			np.Observe(prof.NodeCPUIssue, at-now)
+		}
+	}
+}
 
 // NewCore creates a core attached to node. The MTRR default type is
 // Uncacheable, as on real parts: firmware must explicitly map DRAM as WB
@@ -231,7 +258,9 @@ func (c *Core) storeWB(addr uint64, data []byte, retired func(error)) {
 	switch {
 	case d.Kind == nb.DecideLocalDRAM:
 		buf := append([]byte(nil), data...)
-		_, at := c.issue.Schedule(c.eng.Now(), c.issueTime(len(buf)))
+		now := c.eng.Now()
+		_, at := c.issue.Schedule(now, c.issueTime(len(buf)))
+		c.profIssue(now, at)
 		c.eng.At(at, func() {
 			line := addr &^ (LineSize - 1)
 			c.cache.Update(line, int(addr-line), buf)
@@ -241,7 +270,9 @@ func (c *Core) storeWB(addr uint64, data []byte, retired func(error)) {
 	case c.coherentRoute(d):
 		// Cross-socket coherent store: write-through over the fabric.
 		buf := append([]byte(nil), data...)
-		_, at := c.issue.Schedule(c.eng.Now(), c.issueTime(len(buf)))
+		now := c.eng.Now()
+		_, at := c.issue.Schedule(now, c.issueTime(len(buf)))
+		c.profIssue(now, at)
 		c.eng.At(at, func() {
 			line := addr &^ (LineSize - 1)
 			c.cache.Update(line, int(addr-line), buf)
@@ -273,7 +304,9 @@ func (c *Core) storeUC(addr uint64, data []byte, retired func(error)) {
 		c.cnt.UCStores++
 		chunk := append([]byte(nil), data[off:end]...)
 		a := addr + uint64(off)
-		_, at := c.issue.Schedule(c.eng.Now(), c.issueTime(len(chunk)))
+		now := c.eng.Now()
+		_, at := c.issue.Schedule(now, c.issueTime(len(chunk)))
+		c.profIssue(now, at)
 		c.eng.At(at, func() {
 			c.inflight++
 			c.node.CPUWrite(a, chunk, true, func(err error) {
@@ -293,7 +326,9 @@ func (c *Core) storeUC(addr uint64, data []byte, retired func(error)) {
 // full buffer immediately as one maximum-sized posted write.
 func (c *Core) storeWC(addr uint64, data []byte, retired func(error)) {
 	buf := append([]byte(nil), data...)
-	_, at := c.issue.Schedule(c.eng.Now(), c.issueTime(len(buf)))
+	now := c.eng.Now()
+	_, at := c.issue.Schedule(now, c.issueTime(len(buf)))
+	c.profIssue(now, at)
 	c.eng.At(at, func() { c.wcMerge(addr, buf, retired) })
 }
 
@@ -315,6 +350,7 @@ func (c *Core) wcMerge(addr uint64, data []byte, retired func(error)) {
 		b.mask = 0
 		c.wcSeq++
 		b.seq = c.wcSeq
+		b.t0 = c.eng.Now()
 	}
 	off := int(addr - line)
 	copy(b.data[off:], data)
@@ -393,6 +429,10 @@ func (c *Core) flushWCBuf(b *wcBuf) {
 }
 
 func (c *Core) freeWC(b *wcBuf) {
+	if np := c.prof; np != nil {
+		// Buffer lifetime: first merged store to last packet accepted.
+		np.Observe(prof.NodeWCFlush, c.eng.Now()-b.t0)
+	}
 	b.inUse = false
 	b.draining = false
 	b.mask = 0

@@ -3,6 +3,7 @@ package ht
 import (
 	"testing"
 
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
@@ -64,6 +65,38 @@ func TestLinkSendSteadyStateZeroAllocs(t *testing.T) {
 	gets, news := pool.Stats()
 	if news >= gets {
 		t.Fatalf("packet pool never recycled: %d gets, %d fresh", gets, news)
+	}
+}
+
+// TestLinkSendProfiledZeroAllocs pins the enabled-profiler cost
+// contract on the same path: attributing queue wait, serialization and
+// flight per packet must stay allocation-free too — histograms and
+// counters are fixed arrays written in place.
+func TestLinkSendProfiledZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	eng, l := newActiveLink(t)
+	pr := prof.New()
+	pr.Init(1, 0)
+	l.SetProfiler(pr.Link(0), false)
+	pool := &PacketPool{}
+	l.B().SetSink(func(p *Packet, done func()) {
+		done()
+		p.Release()
+	})
+	buf := make([]byte, 64)
+	for i := 0; i < 256; i++ {
+		sendOne(t, eng, l.A(), pool, buf)
+	}
+	allocs := testing.AllocsPerRun(300, func() {
+		sendOne(t, eng, l.A(), pool, buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("profiled link send allocated %.1f allocs/op, want 0", allocs)
+	}
+	if got := pr.Link(0).Phase(prof.LinkSer); got.Count < 500 {
+		t.Fatalf("profiler attributed only %d serializations", got.Count)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -304,6 +305,14 @@ type Link struct {
 	tracer    trace.Tracer
 	trc       [2]trace.Tracer // tracer per side; both equal unless Split
 	traceID   int
+
+	// Profiling: a nil handle keeps the transmit path at one extra nil
+	// check. Both sides share the handle but observe into per-side
+	// histogram rows, so a partition-split link's two transmit
+	// goroutines never write the same counters.
+	prof      *prof.LinkProf
+	profSpans bool
+	profSerD  sim.Time // counted-constant serialization time (64B posted write)
 }
 
 // Event opcodes carried in sim.EventArg.I. The low 16 bits select the
@@ -411,6 +420,28 @@ func (l *Link) SetTracer(tr trace.Tracer, id int) {
 	l.tracer = tr
 	l.trc = [2]trace.Tracer{tr, tr}
 	l.traceID = id
+}
+
+// SetProfiler installs the link's phase-attribution handle. spans
+// additionally emits trace.KindPhaseSpan events through the link's
+// tracer at each queue/serialization boundary. A nil handle (the
+// default) disables profiling at the cost of one nil check per packet.
+func (l *Link) SetProfiler(lp *prof.LinkProf, spans bool) {
+	l.prof = lp
+	l.profSpans = spans && lp != nil
+	if lp != nil {
+		lp.SetConst(prof.LinkFlight, l.cfg.Flight)
+		lp.SetConst(prof.LinkQueue, 0) // counted constant: zero-wait sends
+		// Serialization fast path: almost all traffic is the 64-byte
+		// posted write, so its wire time at the currently trained
+		// speed/width becomes the phase's counted constant. Odd-sized
+		// packets — and everything after a retrain changes the wire
+		// rate — take the histogram path instead.
+		if pkt, err := NewPostedWrite(0, make([]byte, 64)); err == nil {
+			l.profSerD = l.byteTime(EncodedLen(pkt))
+			lp.SetConst(prof.LinkSer, l.profSerD)
+		}
+	}
 }
 
 // Split rebinds the link's two sides onto separate partition engines.
@@ -587,6 +618,9 @@ func (p *Port) Send(pkt *Packet) error {
 		p.stats.sendErrors.Add(1)
 		return err
 	}
+	if l.prof != nil {
+		pkt.profT = l.engs[p.side].Now()
+	}
 	vc := pkt.Cmd.VC()
 	if p.waitq[vc].len() > 0 || !p.credits.CanSend(pkt) {
 		p.stats.creditStalls.Add(1)
@@ -666,7 +700,47 @@ func (p *Port) transmit(pkt *Packet) {
 			attempts += ser + l.faultPenalty
 		}
 	}
-	_, done := p.tx.Schedule(eng.Now(), attempts+ser)
+	start, done := p.tx.Schedule(eng.Now(), attempts+ser)
+	if lp := l.prof; lp != nil {
+		// start is when serialization begins (egress-server FIFO), so
+		// start - profT is everything the packet waited for: credits,
+		// VC ordering, and tx backlog. The dominant packet — sent on an
+		// idle link with credits in hand, serialized at the constant
+		// 64-byte wire time — collapses to one fused counter increment;
+		// everything else attributes phase by phase.
+		if wait := start - pkt.profT; wait == 0 && ser == l.profSerD {
+			lp.AddFast(p.side)
+		} else {
+			if wait == 0 {
+				lp.AddConst(p.side, prof.LinkQueue)
+			} else {
+				lp.Observe(p.side, prof.LinkQueue, wait)
+			}
+			if ser == l.profSerD {
+				lp.AddConst(p.side, prof.LinkSer)
+			} else {
+				lp.Observe(p.side, prof.LinkSer, ser)
+			}
+			lp.AddConst(p.side, prof.LinkFlight)
+		}
+		if attempts > 0 {
+			lp.Observe(p.side, prof.LinkRetry, attempts)
+		}
+		if l.profSpans {
+			if tr := l.trc[p.side]; tr != nil {
+				tr.Emit(trace.Event{
+					At: pkt.profT, Dur: start - pkt.profT, Kind: trace.KindPhaseSpan,
+					Node: -1, Link: l.traceID, Src: p.side, Dst: 1 - p.side,
+					Seq: seq, Label: "link.queue",
+				})
+				tr.Emit(trace.Event{
+					At: start, Dur: attempts + ser, Kind: trace.KindPhaseSpan,
+					Node: -1, Link: l.traceID, Src: p.side, Dst: 1 - p.side,
+					Seq: seq, Label: "link.ser",
+				})
+			}
+		}
+	}
 	p.stats.bytesSent.Add(uint64(wire))
 	p.stats.perVCSent[pkt.Cmd.VC()].Add(1)
 	l.emitTrace("tx", p.name, pkt)

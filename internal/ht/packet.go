@@ -12,7 +12,11 @@
 // compat bit, isoc) are omitted rather than modeled as dead weight.
 package ht
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
 
 // Command identifies an HT packet type. The numeric values follow the
 // 6-bit command encodings of the HT specification where one exists;
@@ -180,6 +184,12 @@ type Packet struct {
 	// CPU's write-combining model uses it to know when a buffer drains,
 	// which is how link backpressure reaches the store pipeline.
 	OnAccept func()
+
+	// profT is the profiler's phase-boundary stamp: the virtual time the
+	// packet entered the egress queue (Port.Send). Only written when the
+	// link carries a profiling handle; reset with the rest of the struct
+	// when a pooled packet recycles.
+	profT sim.Time
 
 	// Pool bookkeeping (see PacketPool). All zero for packets built by
 	// the package-level constructors, which remain heap-allocated.

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -60,6 +61,7 @@ type Monitor struct {
 	interval sim.Time
 	linkFn   func() []LinkStatus
 	autoDump string
+	profiler *prof.Profiler
 
 	recorder *FlightRecorder
 	watchdog *Watchdog
@@ -120,6 +122,16 @@ func WithLinkStatus(fn func() []LinkStatus) Option {
 func WithTracer(t trace.Tracer) Option {
 	return func(m *Monitor) { m.watchdog.SetTracer(t) }
 }
+
+// WithProfiler exposes a packet-lifecycle profiler over the /profile
+// endpoint. The profiler's histograms are atomics, so scraping mid-run
+// is safe and never perturbs the simulation.
+func WithProfiler(p *prof.Profiler) Option {
+	return func(m *Monitor) { m.profiler = p }
+}
+
+// Profiler returns the attached profiler, nil when none was installed.
+func (m *Monitor) Profiler() *prof.Profiler { return m.profiler }
 
 // New builds a Monitor over src. It does not listen anywhere until
 // Serve is called, and does not sample until its OnSample is wired into

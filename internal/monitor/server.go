@@ -14,6 +14,7 @@ import (
 //	/health        terse liveness/degradation summary
 //	/alerts        active alerts plus resolved history
 //	/dump          flight-recorder dump of the retained windows
+//	/profile       profiler latency budget (JSON; ?format=prometheus)
 //
 // Handlers never touch the simulation engine; they read atomically
 // maintained counters and mutex-guarded copies, so a scrape cannot
@@ -59,6 +60,20 @@ func newHTTPServer(m *Monitor, addr string) (*httpServer, error) {
 	mux.HandleFunc("/dump", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = m.recorder.WriteDump(w, "http request")
+	})
+	mux.HandleFunc("/profile", func(w http.ResponseWriter, r *http.Request) {
+		p := m.profiler
+		if p == nil {
+			http.Error(w, "profiling disabled (build the cluster with WithProfile)", http.StatusNotFound)
+			return
+		}
+		s := p.Summary()
+		if r.URL.Query().Get("format") == "prometheus" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = s.WritePrometheus(w)
+			return
+		}
+		writeJSON(w, s)
 	})
 
 	ln, err := net.Listen("tcp", addr)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/errs"
 	"repro/internal/kernel"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -79,6 +80,9 @@ func Open(os *kernel.OS, src, dst int, par Params) (*Sender, *Receiver, error) {
 	r := &Receiver{
 		eng: cl.EngineFor(dst), par: par, src: src, dst: dst,
 		ring: ringLocal, fc: fcRemote, bulk: bulkLocal,
+	}
+	if pr := cl.Profiler(); pr != nil {
+		r.prof = pr.Node(dst)
 	}
 	return s, r, nil
 }
@@ -549,6 +553,11 @@ type Receiver struct {
 	pollCB  func([]byte, error)
 	pollOff uint64
 	peekFn  func([]byte, error)
+
+	// Profiler handle for the receiving node, nil when profiling is off.
+	// pollT0 stamps Recv entry; delivery observes poll-to-delivery.
+	prof   *prof.NodeProf
+	pollT0 sim.Time
 }
 
 // Stats returns a copy of the receiver's counters.
@@ -578,6 +587,9 @@ func (r *Receiver) ReadBulk(off uint64, n int, cb func([]byte, error)) {
 func (r *Receiver) Recv(cb func([]byte, error)) {
 	r.stopped = false
 	r.pollCB = cb
+	if r.prof != nil {
+		r.pollT0 = r.eng.Now()
+	}
 	if r.peekFn == nil {
 		r.peekFn = r.handlePeek
 	}
@@ -679,6 +691,11 @@ func (r *Receiver) consume(off uint64, length int, peek []byte, cb func([]byte, 
 		r.fcUnposted += fs
 		r.stats.Messages++
 		r.stats.Bytes += uint64(length)
+		if np := r.prof; np != nil {
+			// Poll-to-delivery: Recv entry to payload handoff, covering
+			// the empty-ring polling tail plus the frame drain.
+			np.Observe(prof.NodeMsgPoll, r.eng.Now()-r.pollT0)
+		}
 		r.freeHeader(off, true)
 		cb(payload, nil)
 	}

@@ -3,6 +3,7 @@ package nb
 import (
 	"fmt"
 
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
@@ -104,6 +105,8 @@ type MemoryController struct {
 	reads   uint64
 	writes  uint64
 	recFree *mcRec
+	prof    *prof.NodeProf // shared with the owning northbridge
+	profD   sim.Time       // counted-constant service time (uncontended 64B access)
 }
 
 // Event opcodes carried in sim.EventArg.I; arg.Ptr is always an *mcRec.
@@ -219,8 +222,16 @@ func (mc *MemoryController) WriteAccepted(addr uint64, data []byte, accepted fun
 	rec.buf = append(rec.buf[:0], data...)
 	rec.accepted = accepted
 	rec.visible = visible
-	_, done := mc.port.Schedule(mc.eng.Now(), mc.xferTime(len(data)))
+	now := mc.eng.Now()
+	_, done := mc.port.Schedule(now, mc.xferTime(len(data)))
 	mc.writes++
+	if np := mc.prof; np != nil {
+		if d := done - now + mc.par.AccessLatency; d == mc.profD {
+			np.AddConst(prof.NodeMemService)
+		} else {
+			np.Observe(prof.NodeMemService, d)
+		}
+	}
 	if accepted != nil {
 		mc.eng.Schedule(done, mc, sim.EventArg{Ptr: rec, I: mcOpAccepted})
 	}
@@ -234,8 +245,16 @@ func (mc *MemoryController) Read(addr uint64, n int, cb func([]byte, error)) {
 		cb(nil, err)
 		return
 	}
-	_, done := mc.port.Schedule(mc.eng.Now(), mc.xferTime(n))
+	now := mc.eng.Now()
+	_, done := mc.port.Schedule(now, mc.xferTime(n))
 	mc.reads++
+	if np := mc.prof; np != nil {
+		if d := done - now + mc.par.AccessLatency; d == mc.profD {
+			np.AddConst(prof.NodeMemService)
+		} else {
+			np.Observe(prof.NodeMemService, d)
+		}
+	}
 	rec := mc.getRec()
 	rec.off, rec.rdN, rec.rdCB = off, n, cb
 	mc.eng.Schedule(done+mc.par.AccessLatency, mc, sim.EventArg{Ptr: rec, I: mcOpRead})

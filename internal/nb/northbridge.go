@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ht"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -133,6 +134,7 @@ type Northbridge struct {
 	log         func(string)
 	tracer      trace.Tracer
 	traceID     int
+	prof        *prof.NodeProf
 
 	// pool recycles CPU-originated requests and TgtDones. Serial runs
 	// give every northbridge its own pool; parallel runs inject one
@@ -331,6 +333,22 @@ func (n *Northbridge) SetTracer(tr trace.Tracer, id int) {
 	n.traceID = id
 }
 
+// SetProfiler installs this node's phase-attribution handle (and shares
+// it with the memory controller). Nil disables profiling; every
+// observation site is a single nil check.
+func (n *Northbridge) SetProfiler(np *prof.NodeProf) {
+	n.prof = np
+	n.mc.prof = np
+	if np != nil {
+		np.SetConst(prof.NodeNBHop, n.par.HopLatency)
+		np.SetConst(prof.NodeNBXbar, n.par.XBarService)
+		np.SetConst(prof.NodeNBBridge, n.par.IOBridgeLatency)
+		// Memory-controller fast path: an uncontended 64-byte access.
+		n.mc.profD = n.mc.xferTime(64) + n.mc.par.AccessLatency
+		np.SetConst(prof.NodeMemService, n.mc.profD)
+	}
+}
+
 func (n *Northbridge) logf(format string, args ...interface{}) {
 	if n.log != nil {
 		n.log(n.name + ": " + fmt.Sprintf(format, args...))
@@ -439,7 +457,16 @@ func (n *Northbridge) DecodeAddress(a uint64) Decision {
 // drained out of the northbridge.
 func (n *Northbridge) receive(idx int, pkt *ht.Packet, done func()) {
 	n.cnt.pktsFromLinks.Add(1)
-	_, at := n.xbar.Schedule(n.eng.Now(), n.par.XBarService)
+	now := n.eng.Now()
+	_, at := n.xbar.Schedule(now, n.par.XBarService)
+	if np := n.prof; np != nil {
+		if at == now+n.par.XBarService {
+			np.AddFastXbar() // uncontended pass: xbar service + routing hop
+		} else {
+			np.Observe(prof.NodeNBXbar, at-now)
+			np.AddConst(prof.NodeNBHop)
+		}
+	}
 	rec := n.getRec()
 	rec.pkt, rec.done, rec.from = pkt, done, idx
 	n.eng.Schedule(at+n.par.HopLatency, n, sim.EventArg{Ptr: rec, I: nbOpDispatch})
@@ -451,7 +478,16 @@ func (n *Northbridge) receive(idx int, pkt *ht.Packet, done func()) {
 func (n *Northbridge) InjectFromCPU(pkt *ht.Packet, done func()) {
 	n.cnt.pktsFromCPU.Add(1)
 	pkt.SrcNode = int(n.nodeID)
-	_, at := n.xbar.Schedule(n.eng.Now(), n.par.XBarService)
+	now := n.eng.Now()
+	_, at := n.xbar.Schedule(now, n.par.XBarService)
+	if np := n.prof; np != nil {
+		if at == now+n.par.XBarService {
+			np.AddFastXbar() // uncontended pass: xbar service + routing hop
+		} else {
+			np.Observe(prof.NodeNBXbar, at-now)
+			np.AddConst(prof.NodeNBHop)
+		}
+	}
 	rec := n.getRec()
 	rec.pkt, rec.done = pkt, done
 	n.eng.Schedule(at+n.par.HopLatency, n, sim.EventArg{Ptr: rec, I: nbOpInject})
@@ -503,6 +539,9 @@ func (n *Northbridge) deliverToDRAM(fromLink int, pkt *ht.Packet, done func()) {
 		// bridge before they may touch memory (paper §IV.C).
 		n.cnt.bridgedPackets.Add(1)
 		delay = n.par.IOBridgeLatency
+		if np := n.prof; np != nil {
+			np.AddConst(prof.NodeNBBridge)
+		}
 	}
 	rec := n.getRec()
 	rec.pkt, rec.done, rec.fromIO = pkt, done, fromIO
@@ -745,7 +784,16 @@ func (n *Northbridge) CPUWrite(addr uint64, data []byte, posted bool, completion
 func (n *Northbridge) CPURead(addr uint64, nBytes int, cb func([]byte, error)) {
 	d := n.DecodeAddress(addr)
 	if d.Kind == DecideLocalDRAM {
-		_, at := n.xbar.Schedule(n.eng.Now(), n.par.XBarService)
+		now := n.eng.Now()
+		_, at := n.xbar.Schedule(now, n.par.XBarService)
+		if np := n.prof; np != nil {
+			if at == now+n.par.XBarService {
+				np.AddFastXbar() // uncontended pass: xbar service + routing hop
+			} else {
+				np.Observe(prof.NodeNBXbar, at-now)
+				np.AddConst(prof.NodeNBHop)
+			}
+		}
 		rec := n.getRec()
 		rec.addr, rec.nBytes, rec.rdCB = addr, nBytes, cb
 		n.eng.Schedule(at+n.par.HopLatency, n, sim.EventArg{Ptr: rec, I: nbOpLocalRead})

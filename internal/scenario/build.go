@@ -135,6 +135,13 @@ func (s *Scenario) lower() (*buildParams, error) {
 		}
 		p.Opts = append(p.Opts, tccluster.WithMonitor(s.Monitor.Addr, mopts...))
 	}
+	if s.Profile != nil {
+		var popts []tccluster.ProfileOption
+		if s.Profile.Spans {
+			popts = append(popts, tccluster.ProfileSpans())
+		}
+		p.Opts = append(p.Opts, tccluster.WithProfile(popts...))
+	}
 	return p, nil
 }
 

@@ -21,6 +21,22 @@ type Result struct {
 	FinalVirtualPS int64 `json:"final_virtual_ps"`
 	// Clusters is how many clusters the run booted.
 	Clusters int `json:"clusters"`
+	// Profile is the primary cluster's profiling summary, present only
+	// when the spec carried a profile block. The budget and critical-
+	// path sections are deterministic in virtual time; the PDES section
+	// carries wall-clock numbers and is excluded from determinism
+	// comparisons.
+	Profile *tccluster.ProfileSummary `json:"profile,omitempty"`
+}
+
+// Fingerprint compares the deterministic portion of two results: event
+// counts, final virtual time and cluster count, ignoring the profile
+// (whose PDES section is wall-clock). The tccrun -check twin comparison
+// and the determinism gates use it.
+func (r *Result) Fingerprint(other *Result) bool {
+	return r.EventsFired == other.EventsFired &&
+		r.FinalVirtualPS == other.FinalVirtualPS &&
+		r.Clusters == other.Clusters
 }
 
 // workloadDef describes one registered workload kind.
@@ -190,6 +206,7 @@ func (rc *runCtx) result() *Result {
 	}
 	if rc.primary != nil {
 		r.FinalVirtualPS = int64(rc.primary.Now())
+		r.Profile = rc.primary.Profile()
 	}
 	return r
 }

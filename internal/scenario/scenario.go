@@ -48,6 +48,10 @@ type Scenario struct {
 	// Trace installs a bounded trace collector and optionally exports
 	// the events after the run.
 	Trace *TraceSpec `json:"trace,omitempty"`
+	// Profile enables the simulation profiler (WithProfile): the run's
+	// Result carries the per-phase latency budget and, on parallel
+	// runs, the PDES accounting.
+	Profile *ProfileSpec `json:"profile,omitempty"`
 	// Seed perturbs the cluster's stochastic models.
 	Seed uint64 `json:"seed,omitempty"`
 	// Parallel is the partition worker count (0 or 1 = serial; results
@@ -242,6 +246,13 @@ type TraceSpec struct {
 	Format string `json:"format,omitempty"`
 	// Output writes the collected events here after the run.
 	Output string `json:"output,omitempty"`
+}
+
+// ProfileSpec enables WithProfile.
+type ProfileSpec struct {
+	// Spans additionally emits per-packet phase spans into the tracer
+	// (requires a trace block to land anywhere).
+	Spans bool `json:"spans,omitempty"`
 }
 
 // Sweep expands a scenario into a grid: the cross product of every

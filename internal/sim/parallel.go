@@ -13,7 +13,10 @@
 // every partition may safely execute its events in [T, T+L].
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // maxTime is the largest representable virtual time, used as the window
 // bound when the horizon is unbounded.
@@ -44,6 +47,11 @@ type MailEntry struct {
 type Mailbox struct {
 	inflight []MailEntry
 	ready    []MailEntry
+
+	// From and To label the producer and consumer partitions for the
+	// profiler's traffic matrix. Purely descriptive; set by whoever
+	// wires the mailbox between partitions.
+	From, To int
 }
 
 // Post records an event for the consumer partition, stamped with the
@@ -98,6 +106,8 @@ type Parallel struct {
 	actionFire func(now Time)      // apply every action due at now
 
 	active []bool // scratch: partitions with work this window
+
+	stats *ParallelStats // nil = no runtime accounting (zero cost)
 }
 
 // NewParallel builds an executor over engs. inboxes[p] lists the
@@ -152,6 +162,14 @@ func (p *Parallel) Fired() uint64 {
 	}
 	return n
 }
+
+// SetStats installs runtime accounting. st must be sized for the
+// executor's partition count. Nil disables accounting; the only cost
+// when disabled is one nil check per window.
+func (p *Parallel) SetStats(st *ParallelStats) { p.stats = st }
+
+// Stats returns the installed runtime accounting, if any.
+func (p *Parallel) Stats() *ParallelStats { return p.stats }
 
 // SetBarrierHook installs fn to run in the coordinator's serial section
 // after every window (workers parked). Used to merge trace shards and
@@ -217,13 +235,21 @@ func (p *Parallel) run(deadline Time, bounded bool) {
 		}
 	}()
 
+	st := p.stats
 	for {
 		// Serial section: publish last window's mail, find the horizon.
+		var serialT0 time.Time
+		if st != nil {
+			serialT0 = time.Now()
+		}
 		tnext := maxTime
 		have := false
 		for pi := range p.engs {
 			p.active[pi] = false
 			for _, mb := range p.inboxes[pi] {
+				if st != nil && len(mb.inflight) > 0 {
+					st.addMail(mb.From, mb.To, len(mb.inflight))
+				}
 				mb.flip()
 				for i := range mb.ready {
 					if at := mb.ready[i].At; at < tnext {
@@ -264,9 +290,15 @@ func (p *Parallel) run(deadline Time, bounded bool) {
 				p.sampleFn(aat)
 			}
 			p.actionFire(aat)
+			if st != nil {
+				st.serial.Add(time.Since(serialT0).Nanoseconds())
+			}
 			continue
 		}
 		if !have || (bounded && tnext > deadline) {
+			if st != nil {
+				st.serial.Add(time.Since(serialT0).Nanoseconds())
+			}
 			break
 		}
 
@@ -285,6 +317,10 @@ func (p *Parallel) run(deadline Time, bounded bool) {
 		}
 
 		// Parallel section: partitions with work run concurrently.
+		if st != nil {
+			st.serial.Add(time.Since(serialT0).Nanoseconds())
+			st.resetWindow()
+		}
 		dispatched := 0
 		for pi := range p.engs {
 			if p.active[pi] {
@@ -294,6 +330,9 @@ func (p *Parallel) run(deadline Time, bounded bool) {
 		}
 		for i := 0; i < dispatched; i++ {
 			<-done
+		}
+		if st != nil {
+			st.noteWindow(p.active)
 		}
 
 		// Serial section: merge shards, repatriate pool releases, sample.
@@ -335,10 +374,21 @@ func (p *Parallel) run(deadline Time, bounded bool) {
 func (p *Parallel) worker(idx int, cmds chan Time, done chan int) {
 	eng := p.engs[idx]
 	for w := range cmds {
-		for _, mb := range p.inboxes[idx] {
-			mb.drainInto(eng)
+		if st := p.stats; st != nil {
+			t0 := time.Now()
+			f0 := eng.Fired()
+			for _, mb := range p.inboxes[idx] {
+				mb.drainInto(eng)
+			}
+			eng.runEvents(w)
+			st.winBusy[idx] = time.Since(t0).Nanoseconds()
+			st.winEvents[idx] = eng.Fired() - f0
+		} else {
+			for _, mb := range p.inboxes[idx] {
+				mb.drainInto(eng)
+			}
+			eng.runEvents(w)
 		}
-		eng.runEvents(w)
 		done <- idx
 	}
 }

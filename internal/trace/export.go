@@ -117,6 +117,20 @@ func WriteChrome(w io.Writer, events []Event) error {
 			named[pid] = fmt.Sprintf("node%d", ev.Node)
 			out = append(out, chromeEvent{Name: ev.Kind.String(), Ph: "i",
 				Ts: micros(int64(ev.At)), Pid: pid, Tid: tidMsg, S: "t"})
+		case KindPhaseSpan:
+			// Profiler phase spans render as complete slices on the link
+			// (or node) process, one lane per transmit direction.
+			pid, tid := nodePIDBase, tidMsg
+			if ev.Link >= 0 {
+				pid, tid = linkPIDBase+ev.Link, ev.Src
+				named[pid] = fmt.Sprintf("link%d", ev.Link)
+			} else if ev.Node >= 0 {
+				pid = nodePIDBase + ev.Node
+				named[pid] = fmt.Sprintf("node%d", ev.Node)
+			}
+			dur := micros(int64(ev.Dur))
+			out = append(out, chromeEvent{Name: ev.Label, Ph: "X",
+				Ts: micros(int64(ev.At)), Dur: &dur, Pid: pid, Tid: tid})
 		case KindAlert, KindAlertResolved:
 			// Alerts land on the lane of whatever they scope to: a link
 			// process when Link is set, a node process otherwise.

@@ -72,6 +72,12 @@ const (
 	// through its health state machine (Link = link id, Label = the new
 	// state: alive, degraded, dead, retraining).
 	KindLinkState
+	// KindPhaseSpan is a profiler-emitted duration span: one packet's
+	// stay in one lifecycle phase (Label = phase name, Dur = span
+	// length, At = span start). Emitted only under WithProfile(...,
+	// spans) and rendered as complete ("X") slices by the Chrome
+	// exporter.
+	KindPhaseSpan
 )
 
 func (k Kind) String() string {
@@ -104,6 +110,8 @@ func (k Kind) String() string {
 		return "alert-resolved"
 	case KindLinkState:
 		return "link-state"
+	case KindPhaseSpan:
+		return "phase-span"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -115,6 +123,7 @@ func (k Kind) String() string {
 // the tracer nil check.
 type Event struct {
 	At    sim.Time // virtual timestamp
+	Dur   sim.Time // span length (KindPhaseSpan only), else 0
 	Kind  Kind
 	Node  int    // supernode / rank index, -1 when not applicable
 	Link  int    // external link id, -1 when not applicable

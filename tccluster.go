@@ -47,6 +47,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/msg"
 	"repro/internal/pgas"
+	"repro/internal/prof"
 	"repro/internal/shm"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -119,6 +120,21 @@ type (
 	// MetricsSnapshot is a point-in-time copy of every counter, gauge
 	// and histogram — what Cluster.Metrics returns.
 	MetricsSnapshot = trace.Snapshot
+
+	// Profiler attributes packet lifecycle time to pipeline phases and
+	// accounts PDES runtime. Install one with WithProfile; read it back
+	// with Cluster.Profile.
+	Profiler = prof.Profiler
+	// ProfileOption customizes WithProfile (currently ProfileSpans).
+	ProfileOption = prof.Option
+	// ProfileSummary is the renderable latency budget a profiled run
+	// produces: per-phase histograms, per-link/per-node breakdowns, the
+	// critical-path ranking and (parallel runs) PDES accounting. It
+	// marshals to JSON and renders with WriteText/WritePrometheus.
+	ProfileSummary = prof.Summary
+	// ProfilePhaseStats is one phase's aggregate inside a
+	// ProfileSummary.
+	ProfilePhaseStats = prof.PhaseStats
 
 	// Monitor is the live-monitoring subsystem: /metrics HTTP endpoint,
 	// flight recorder, alert watchdog. Install one with WithMonitor.
@@ -295,6 +311,8 @@ type buildOptions struct {
 	monitorAddr string
 	monitorOpts []MonitorOption
 	faults      []FaultAction
+	profileOn   bool
+	profileOpts []ProfileOption
 }
 
 // WithKernelOptions selects the per-node OS configuration. The default
@@ -364,6 +382,39 @@ func WithMonitor(addr string, opts ...MonitorOption) Option {
 	}
 }
 
+// WithProfile enables the simulation profiler: every instrumented
+// layer attributes packet lifecycle time to its phase (tx-queue wait,
+// link serialization, retry stalls, northbridge crossbar/hop, IO
+// bridge, memory-controller service, CPU store issue, write-combining
+// flush, receiver poll-to-delivery) into lock-free histograms, and
+// parallel runs additionally account PDES runtime per partition
+// (busy/barrier wall time, events, window occupancy, the cross-
+// partition mailbox matrix). Profiling is observe-only: it never
+// schedules events, so a profiled run is event-for-event identical to
+// an unprofiled one. The profiler attaches after firmware boot, so the
+// budget covers workload traffic.
+//
+// Read results with Cluster.Profile; combined with WithMonitor the
+// summary is also served at /profile (JSON, ?format=prometheus).
+// ProfileSpans() additionally emits per-packet phase spans into the
+// tracer for Chrome-trace rendering (requires WithTracer):
+//
+//	c, err := tccluster.New(topo, cfg, tccluster.WithProfile())
+//	...run a workload...
+//	c.Profile().WriteText(os.Stdout)
+func WithProfile(opts ...ProfileOption) Option {
+	return func(b *buildOptions) {
+		b.profileOn = true
+		b.profileOpts = opts
+	}
+}
+
+// ProfileSpans makes a WithProfile cluster emit one trace span per
+// packet per phase (KindPhaseSpan), rendered as complete slices by
+// WriteChromeTrace. Spans ride the tracer, so WithTracer must be set
+// for them to land anywhere.
+var ProfileSpans = prof.WithSpans
+
 // WithFaults schedules a fault campaign against the cluster: each
 // action (LinkDegrade, LinkDown, LinkFlap, RetrainStorm, NodeCrash,
 // ...) applies at its absolute virtual time during Run/RunFor. Actions
@@ -425,6 +476,13 @@ func New(topo *Topology, cfg Config, opts ...Option) (*Cluster, error) {
 	for _, opt := range opts {
 		opt(&b)
 	}
+	if b.profileOn {
+		// Constructed here, not in the Option closure, so one Option
+		// value reused across New calls gives every cluster its own
+		// profiler (workloads that build serial/parallel twins depend on
+		// their budgets staying separate).
+		b.cfg.Profiler = prof.New(b.profileOpts...)
+	}
 	c, err := core.New(topo, b.cfg)
 	if err != nil {
 		return nil, err
@@ -444,6 +502,7 @@ func New(topo *Topology, cfg Config, opts ...Option) (*Cluster, error) {
 				return monitorLinkStatuses(c)
 			}),
 			monitor.WithTracer(b.cfg.Tracer),
+			monitor.WithProfiler(b.cfg.Profiler),
 		}, b.monitorOpts...)
 		cl.mon = monitor.New(c, mopts...)
 		c.SetSampleHook(cl.mon.Interval(), cl.mon.OnSample)
@@ -471,6 +530,19 @@ func monitorLinkStatuses(c *core.Cluster) []monitor.LinkStatus {
 // Monitor returns the live-monitoring subsystem, nil unless the cluster
 // was built WithMonitor.
 func (c *Cluster) Monitor() *Monitor { return c.mon }
+
+// Profile assembles the current profiling summary — the per-phase
+// latency budget, per-link/per-node breakdowns, critical-path ranking
+// and (parallel runs) PDES accounting. Nil unless the cluster was
+// built WithProfile. Safe to call mid-run: histograms are atomics.
+func (c *Cluster) Profile() *ProfileSummary {
+	pr := c.Cluster.Profiler()
+	if pr == nil {
+		return nil
+	}
+	s := pr.Summary()
+	return &s
+}
 
 // Faults returns the campaign injector, nil unless the cluster was
 // built WithFaults.
