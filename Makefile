@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt fmt-check vet build test race test-race bench bench-smoke bench-json bench-engine bench-parallel bench-faults bench-prof fuzz scenario-smoke
+.PHONY: all check fmt fmt-check vet build test race test-race bench bench-smoke bench-json bench-engine bench-engine-check bench-parallel bench-faults bench-prof fuzz scenario-smoke
 
 all: check
 
@@ -46,6 +46,15 @@ bench-json:
 # virtual time.
 bench-engine:
 	$(GO) run ./cmd/tccbench -bench engine -out BENCH_engine.json
+
+# CI regression gate: rerun the engine benchmark and fail when full-stack
+# ladder throughput (pingpong, posted-store) drops more than 15% below
+# the committed BENCH_engine.json. The baseline is read before the fresh
+# numbers overwrite the file, so the artifact CI uploads is current.
+# The threshold is deliberately loose — runner hardware differs from the
+# baseline machine — so the gate catches structural rot, not noise.
+bench-engine-check:
+	$(GO) run ./cmd/tccbench -bench engine -out BENCH_engine.json -baseline BENCH_engine.json
 
 # Regenerate the parallel-engine numbers: serial vs 1/2/4/8 workers on
 # Fig. 6/Fig. 7-shaped workloads. Fails if any worker count diverges

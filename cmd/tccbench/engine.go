@@ -28,6 +28,13 @@ type engineRun struct {
 	NsPerEvent     float64 `json:"ns_per_event"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	FinalVirtualNs float64 `json:"final_virtual_ns"`
+	// SimNsPerWallSec is virtual nanoseconds simulated per wall-clock
+	// second — the fixed-work throughput metric. Unlike events/sec it
+	// survives event-count changes: an optimization that elides events
+	// (doorbell wakeups replacing poll loops, fused pipeline stages)
+	// lowers raw events/sec while simulating the same workload faster,
+	// and this metric is the one that moves in the honest direction.
+	SimNsPerWallSec float64 `json:"sim_ns_per_wall_sec"`
 }
 
 type engineWorkload struct {
@@ -49,6 +56,7 @@ func measured(queue string, fired func() uint64, now func() sim.Time, body func(
 	runtime.GC()
 	var m0, m1 runtime.MemStats
 	startFired := fired()
+	startVirtual := now()
 	runtime.ReadMemStats(&m0)
 	t0 := time.Now()
 	body()
@@ -60,6 +68,9 @@ func measured(queue string, fired func() uint64, now func() sim.Time, body func(
 		Events:         events,
 		WallSeconds:    wall,
 		FinalVirtualNs: now().Nanos(),
+	}
+	if wall > 0 {
+		r.SimNsPerWallSec = (now() - startVirtual).Nanos() / wall
 	}
 	if events > 0 {
 		r.EventsPerSec = float64(events) / wall
@@ -103,8 +114,11 @@ func selfClockRun(legacy bool, events uint64) engineRun {
 }
 
 // pingpongRun is the Fig. 7 shape: message-library ping-pong between
-// two nodes, timing the run phase (boot events excluded).
-func pingpongRun(legacy bool, rounds int) engineRun {
+// two nodes, timing the run phase (boot events excluded). doorbell
+// selects the opt-in parked-receiver mode instead of the paper's
+// default spin polling — a different receive model that elides the
+// idle poll events entirely.
+func pingpongRun(legacy, doorbell bool, rounds int) engineRun {
 	queue := "ladder"
 	var opts []tccluster.Option
 	if legacy {
@@ -115,9 +129,11 @@ func pingpongRun(legacy bool, rounds int) engineRun {
 	check(err)
 	c, err := tccluster.New(topo, tccluster.DefaultConfig(), opts...)
 	check(err)
-	sAB, rAB, err := c.OpenChannel(0, 1, tccluster.DefaultMsgParams())
+	par := tccluster.DefaultMsgParams()
+	par.Doorbell = doorbell
+	sAB, rAB, err := c.OpenChannel(0, 1, par)
 	check(err)
-	sBA, rBA, err := c.OpenChannel(1, 0, tccluster.DefaultMsgParams())
+	sBA, rBA, err := c.OpenChannel(1, 0, par)
 	check(err)
 	var serve func()
 	serve = func() {
@@ -198,6 +214,22 @@ func postStoreRun(legacy bool, iters int) engineRun {
 	return r
 }
 
+// bestOf reruns a measurement and keeps the fastest run. The full-stack
+// workloads finish in milliseconds of wall time, so a single GC pause or
+// scheduler hiccup can halve one run's events/sec; the minimum-over-
+// repeats wall time is the stable statistic. Virtual time and event
+// counts are deterministic across repeats, so the paired determinism
+// check is unaffected by which repeat wins.
+func bestOf(n int, run func() engineRun) engineRun {
+	best := run()
+	for i := 1; i < n; i++ {
+		if r := run(); r.EventsPerSec > best.EventsPerSec {
+			best = r
+		}
+	}
+	return best
+}
+
 // checkPaired enforces the determinism contract on a full-stack pair:
 // both queues must fire the same number of events and land on the same
 // virtual time.
@@ -208,9 +240,52 @@ func checkPaired(w engineWorkload) {
 	}
 }
 
-func runEngineBench(out, cpuprofile, memprofile string) {
+// baselineTolerance is how far full-stack ladder throughput may fall
+// below the committed baseline before the CI regression gate fails the
+// run. Generous because CI runners and the baseline machine differ;
+// the gate catches order-of-magnitude rot, not percent-level noise.
+const baselineTolerance = 0.15
+
+// checkBaseline compares this run's full-stack ladder throughput
+// against a committed baseline report and returns an error when any
+// workload drops more than baselineTolerance below it. The synthetic
+// selfclock workload is exempt: it measures the bare queue, which the
+// paired speedup ratio already tracks.
+func checkBaseline(rep engineReport, base engineReport) error {
+	baseBy := make(map[string]engineWorkload, len(base.Workloads))
+	for _, w := range base.Workloads {
+		baseBy[w.Name] = w
+	}
+	for _, w := range rep.Workloads {
+		if w.Name == "selfclock" {
+			continue
+		}
+		b, ok := baseBy[w.Name]
+		if !ok || b.Ladder.EventsPerSec <= 0 {
+			continue
+		}
+		floor := b.Ladder.EventsPerSec * (1 - baselineTolerance)
+		if w.Ladder.EventsPerSec < floor {
+			return fmt.Errorf("engine bench: %s regressed: %.0f events/s is %.0f%% below the committed baseline %.0f (floor %.0f)",
+				w.Name, w.Ladder.EventsPerSec,
+				(1-w.Ladder.EventsPerSec/b.Ladder.EventsPerSec)*100,
+				b.Ladder.EventsPerSec, floor)
+		}
+	}
+	return nil
+}
+
+func runEngineBench(out, cpuprofile, memprofile, baseline string) {
 	if out == "" {
 		out = "BENCH_engine.json"
+	}
+	// Load the baseline before running (and before the output write, so
+	// -out and -baseline may name the same file).
+	var base engineReport
+	if baseline != "" {
+		data, err := os.ReadFile(baseline)
+		check(err)
+		check(json.Unmarshal(data, &base))
 	}
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
@@ -219,8 +294,17 @@ func runEngineBench(out, cpuprofile, memprofile string) {
 		defer func() { pprof.StopCPUProfile(); f.Close() }()
 	}
 
+	// Full-stack workloads are milliseconds of wall time each, so take
+	// best-of-5 to keep the recorded numbers (and the baseline gate fed
+	// by them) out of GC/scheduler noise. Selfclock runs long enough
+	// that a single measurement is already stable.
+	const repeats = 5
 	pair := func(name string, run func(legacy bool) engineRun) engineWorkload {
-		w := engineWorkload{Name: name, Heap: run(true), Ladder: run(false)}
+		w := engineWorkload{
+			Name:   name,
+			Heap:   bestOf(repeats, func() engineRun { return run(true) }),
+			Ladder: bestOf(repeats, func() engineRun { return run(false) }),
+		}
 		if w.Heap.EventsPerSec > 0 {
 			w.Speedup = w.Ladder.EventsPerSec / w.Heap.EventsPerSec
 		}
@@ -229,10 +313,24 @@ func runEngineBench(out, cpuprofile, memprofile string) {
 
 	rep := engineReport{Meta: stats.NewBenchMeta()}
 
-	w := pair("selfclock", func(legacy bool) engineRun { return selfClockRun(legacy, 2_000_000) })
+	w := engineWorkload{
+		Name:   "selfclock",
+		Heap:   selfClockRun(true, 2_000_000),
+		Ladder: selfClockRun(false, 2_000_000),
+	}
+	if w.Heap.EventsPerSec > 0 {
+		w.Speedup = w.Ladder.EventsPerSec / w.Heap.EventsPerSec
+	}
 	rep.Workloads = append(rep.Workloads, w)
 
-	w = pair("pingpong-64B", func(legacy bool) engineRun { return pingpongRun(legacy, 500) })
+	w = pair("pingpong-64B", func(legacy bool) engineRun { return pingpongRun(legacy, false, 500) })
+	checkPaired(w)
+	rep.Workloads = append(rep.Workloads, w)
+
+	// Same workload under the opt-in doorbell receive model: idle poll
+	// events are elided, so raw events/sec is incomparable with the
+	// spin-mode row — sim_ns_per_wall_sec is the metric to read here.
+	w = pair("pingpong-64B-doorbell", func(legacy bool) engineRun { return pingpongRun(legacy, true, 500) })
 	checkPaired(w)
 	rep.Workloads = append(rep.Workloads, w)
 
@@ -254,9 +352,15 @@ func runEngineBench(out, cpuprofile, memprofile string) {
 
 	fmt.Printf("tccbench engine (%s, GOMAXPROCS=%d)\n", rep.Meta.GoVersion, rep.Meta.GOMAXPROCS)
 	for _, w := range rep.Workloads {
-		fmt.Printf("  %-18s ladder %8.0f ev/s %7.1f ns/ev %6.2f allocs/ev | heap %8.0f ev/s | speedup %.2fx\n",
+		fmt.Printf("  %-18s ladder %8.0f ev/s %7.1f ns/ev %6.2f allocs/ev %8.0f sim-ns/s | heap %8.0f ev/s | speedup %.2fx\n",
 			w.Name, w.Ladder.EventsPerSec, w.Ladder.NsPerEvent, w.Ladder.AllocsPerEvent,
-			w.Heap.EventsPerSec, w.Speedup)
+			w.Ladder.SimNsPerWallSec, w.Heap.EventsPerSec, w.Speedup)
 	}
 	fmt.Printf("wrote %s\n", out)
+
+	if baseline != "" {
+		check(checkBaseline(rep, base))
+		fmt.Printf("baseline check passed: full-stack throughput within %.0f%% of %s\n",
+			baselineTolerance*100, baseline)
+	}
 }

@@ -11,7 +11,7 @@
 //	tccbench -bench bibw
 //	tccbench -bench allreduce [-nodes 8]
 //	tccbench -bench monitor  [-out BENCH_monitor.json]
-//	tccbench -bench engine   [-out BENCH_engine.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	tccbench -bench engine   [-out BENCH_engine.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-baseline BENCH_engine.json]
 //	tccbench -bench parallel [-out BENCH_parallel.json] [-nodes 8]
 //	tccbench -bench faults   [-out BENCH_faults.json]
 //	tccbench -bench prof     [-out BENCH_prof.json]
@@ -33,6 +33,7 @@ func main() {
 	out := flag.String("out", "", "JSON output path (monitor and engine benchmarks)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (engine benchmark)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file (engine benchmark)")
+	baseline := flag.String("baseline", "", "committed BENCH_engine.json to gate full-stack throughput against (engine benchmark)")
 	flag.Parse()
 
 	switch *bench {
@@ -47,7 +48,7 @@ func main() {
 	case "monitor":
 		runMonitorBench(*out)
 	case "engine":
-		runEngineBench(*out, *cpuprofile, *memprofile)
+		runEngineBench(*out, *cpuprofile, *memprofile, *baseline)
 	case "parallel":
 		n := *nodes
 		if n == 4 {

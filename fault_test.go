@@ -352,3 +352,56 @@ func TestAllreduceOverShrunkWorld(t *testing.T) {
 		t.Fatalf("shrunk allreduce: %d of 3 survivors completed", shrunk.Load())
 	}
 }
+
+// TestCampaignActionsInsideJumpedWindowFireExactly parks a booted,
+// fully idle cluster (no workload: every queue drains, so RunFor
+// crosses the gap by quiescence fast-forward) and scripts a link
+// down/up pair inside the gap. The campaign's link-state trace stamps
+// must land on the scripted virtual times exactly — the fast-forward
+// may not smear an action onto the deadline or a window boundary —
+// and identically under the serial and parallel executors.
+func TestCampaignActionsInsideJumpedWindowFireExactly(t *testing.T) {
+	const (
+		downAt = 3000 * tccluster.Microsecond
+		upAt   = 3500 * tccluster.Microsecond
+	)
+	run := func(opts ...tccluster.Option) []tccluster.TraceEvent {
+		t.Helper()
+		topo, err := tccluster.Chain(2)
+		mustOK(t, err)
+		col := tccluster.NewCollector(1 << 12)
+		opts = append(opts,
+			tccluster.WithTracer(col),
+			tccluster.WithFaults(
+				tccluster.LinkDownFor(0, downAt, upAt-downAt)))
+		c, err := tccluster.New(topo, tccluster.DefaultConfig(), opts...)
+		mustOK(t, err)
+		c.RunFor(6 * tccluster.Millisecond)
+		var states []tccluster.TraceEvent
+		for _, ev := range col.Events() {
+			if ev.Kind.String() == "link-state" {
+				states = append(states, ev)
+			}
+		}
+		return states
+	}
+	states := run()
+	// Down, re-seat (which starts a retrain), and the retrain completing.
+	if len(states) < 2 {
+		t.Fatalf("campaign emitted %d link-state events, want down+up at least", len(states))
+	}
+	if states[0].At != downAt || states[1].At != upAt {
+		t.Fatalf("link-state stamps %v/%v, want exactly %v/%v",
+			states[0].At, states[1].At, downAt, upAt)
+	}
+	pstates := run(tccluster.WithParallel(2))
+	if len(pstates) != len(states) {
+		t.Fatalf("parallel campaign emitted %d link-state events, serial %d",
+			len(pstates), len(states))
+	}
+	for i := range states {
+		if pstates[i].At != states[i].At {
+			t.Fatalf("parallel link-state %d at %v, serial %v", i, pstates[i].At, states[i].At)
+		}
+	}
+}

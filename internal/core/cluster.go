@@ -437,14 +437,14 @@ func (c *Cluster) Metrics() trace.Snapshot {
 }
 
 // SetSampleHook installs fn to be called from inside the simulation
-// loop the first time virtual time reaches or passes each multiple of
-// every. The hook rides the engine's clock probe, so it adds no events
-// of its own: installing it never keeps Run from draining, and a
-// cluster that stops scheduling work simply stops sampling. When the
-// clock jumps across several boundaries in one step (an idle gap), the
-// boundaries collapse into a single call — sampling cost is bounded by
-// event activity, never the other way around. A nil fn or non-positive
-// every uninstalls the hook.
+// loop at each multiple of every that the clock reaches or crosses.
+// The hook rides the engine's clock probe, so it adds no events of its
+// own: installing it never keeps Run from draining, and a cluster that
+// stops scheduling work simply stops sampling. When the clock
+// fast-forwards across several boundaries (an idle gap inside a
+// bounded run), each boundary fires its own call with the clock parked
+// exactly on it, so samples are stamped at exact multiples of every. A
+// nil fn or non-positive every uninstalls the hook.
 // On parallel runs the hook rides the window barrier instead: windows
 // are clamped to sample boundaries and fn runs in the coordinator's
 // serial section, after trace shards merge, with every worker parked.
@@ -624,6 +624,24 @@ func (n *Node) socketFor(off uint64) (*nb.MemoryController, uint64, error) {
 		return nil, 0, fmt.Errorf("core: offset %#x outside node memory (%#x)", off, n.MemSize())
 	}
 	return n.machine.Procs[s].NB.MemController(), off - uint64(s)*per, nil
+}
+
+// WatchWrites registers a doorbell on the node-local range
+// [off, off+size): fn fires, inside the store's DRAM-visibility event,
+// whenever a write overlapping the range lands in this node's memory
+// over the fabric. The message layer uses it to replace idle receive
+// polling with event-driven wake-ups. The range must lie within one
+// socket's memory slice. The returned function removes the watch.
+func (n *Node) WatchWrites(off, size uint64, fn func()) (func(), error) {
+	per := n.MemSize() / uint64(n.Sockets())
+	s := off / per
+	if size == 0 || int(s) >= n.Sockets() || (off+size-1)/per != s {
+		return nil, fmt.Errorf("core: watch [%#x,+%#x) outside one socket's memory (%#x per socket)", off, size, per)
+	}
+	nbr := n.machine.Procs[s].NB
+	lo := n.MemBase() + off
+	id := nbr.WatchWrites(lo, lo+size, fn)
+	return func() { nbr.Unwatch(id) }, nil
 }
 
 // PeekMem reads node-local memory contents without simulation time:

@@ -58,9 +58,11 @@ type wcBuf struct {
 	draining bool
 	line     uint64 // 64-byte-aligned base address
 	data     [LineSize]byte
-	mask     uint64   // per-byte valid bitmap
-	seq      uint64   // allocation order, for oldest-first eviction
-	t0       sim.Time // allocation time, for flush-latency attribution
+	mask     uint64      // per-byte valid bitmap
+	seq      uint64      // allocation order, for oldest-first eviction
+	t0       sim.Time    // allocation time, for flush-latency attribution
+	pending  int         // flush packets awaiting downstream acceptance
+	onPkt    func(error) // prebuilt per-buffer packet completion
 }
 
 // Core is one processor core issuing loads and stores through the MTRRs,
@@ -79,10 +81,89 @@ type Core struct {
 	prof     *prof.NodeProf
 	profD    sim.Time // counted-constant issue time (uncontended 64B store)
 	inflight int      // WC/UC posted writes awaiting downstream acceptance
-	stalled  []func() // stores waiting for a free WC buffer
+	stalled  []*stRec // stores waiting for a free WC buffer
+	stHead   int      // drained prefix of stalled (backing array reused)
 	ucFree   *ucRec   // free list of uncached-load records
+	stFree   *stRec   // free list of store-issue records
+	blkFree  *blkRec  // free list of block-store records
 
 	cnt Counters
+}
+
+// stRec carries one store from issue to its WC merge or UC emission:
+// the data is staged in an inline array and the record is pooled, so a
+// steady-state store allocates nothing. Stalled WC stores park the
+// same record on c.stalled until a buffer frees; UC stores step the
+// record through one posted write per 8-byte micro-op via the onUC
+// continuation (built once per record, survives recycling).
+type stRec struct {
+	next    *stRec
+	addr    uint64
+	n       int
+	off     int // UC emission progress
+	data    [LineSize]byte
+	retired func(error)
+	onUC    func(error)
+}
+
+func (c *Core) getSt() *stRec {
+	rec := c.stFree
+	if rec == nil {
+		return &stRec{}
+	}
+	c.stFree = rec.next
+	rec.next = nil
+	return rec
+}
+
+func (c *Core) putSt(rec *stRec) {
+	rec.retired = nil
+	rec.next = c.stFree
+	c.stFree = rec
+}
+
+// blkRec carries one StoreBlock through its per-line steps. The step
+// continuation is built once per record and survives recycling, so a
+// steady-state block store allocates nothing in the splitting layer.
+type blkRec struct {
+	next *blkRec
+	addr uint64
+	data []byte
+	off  int
+	done func(error)
+	step func(error)
+}
+
+func (c *Core) getBlk() *blkRec {
+	rec := c.blkFree
+	if rec == nil {
+		rec = &blkRec{}
+		rec.step = func(err error) {
+			if err != nil || rec.off >= len(rec.data) {
+				done := rec.done
+				c.putBlk(rec)
+				done(err)
+				return
+			}
+			off := rec.off
+			end := off + LineSize - int((rec.addr+uint64(off))%LineSize)
+			if end > len(rec.data) {
+				end = len(rec.data)
+			}
+			rec.off = end
+			c.Store(rec.addr+uint64(off), rec.data[off:end], rec.step)
+		}
+		return rec
+	}
+	c.blkFree = rec.next
+	rec.next = nil
+	return rec
+}
+
+func (c *Core) putBlk(rec *blkRec) {
+	rec.data, rec.done = nil, nil
+	rec.next = c.blkFree
+	c.blkFree = rec
 }
 
 // ucRec carries one in-flight uncached load: the caller's callback plus
@@ -104,7 +185,7 @@ func (c *Core) getUC() *ucRec {
 		rec = &ucRec{}
 		rec.done = func(data []byte, err error) {
 			rec.data, rec.err = data, err
-			c.eng.ScheduleAfter(c.par.UCReadOverhead, c, sim.EventArg{Ptr: rec})
+			c.eng.ScheduleAfter(c.par.UCReadOverhead, c, sim.EventArg{Ptr: rec, I: cpuOpUCLoad})
 		}
 		return rec
 	}
@@ -119,12 +200,34 @@ func (c *Core) putUC(rec *ucRec) {
 	c.ucFree = rec
 }
 
-// OnEvent completes an uncached load after its fixed read overhead.
+// Event opcodes carried in sim.EventArg.I.
+const (
+	cpuOpUCLoad  int64 = iota // uncached-load overhead elapsed; arg.Ptr is *ucRec
+	cpuOpWCStore              // store issue reached the WC stage; arg.Ptr is *stRec
+	cpuOpUCStore              // store issue reached the UC emit stage; arg.Ptr is *stRec
+)
+
+// OnEvent dispatches the core's typed events.
 func (c *Core) OnEvent(_ *sim.Engine, arg sim.EventArg) {
-	rec := arg.Ptr.(*ucRec)
-	cb, data, err := rec.cb, rec.data, rec.err
-	c.putUC(rec)
-	cb(data, err)
+	switch arg.I {
+	case cpuOpUCLoad:
+		rec := arg.Ptr.(*ucRec)
+		cb, data, err := rec.cb, rec.data, rec.err
+		c.putUC(rec)
+		cb(data, err)
+	case cpuOpWCStore:
+		c.wcMerge(arg.Ptr.(*stRec))
+	case cpuOpUCStore:
+		rec := arg.Ptr.(*stRec)
+		off := rec.off
+		end := off + 8
+		if end > rec.n {
+			end = rec.n
+		}
+		rec.off = end
+		c.inflight++
+		c.node.CPUWrite(rec.addr+uint64(off), rec.data[off:end], true, rec.onUC)
+	}
 }
 
 // SetEngine rebinds the core onto a partition engine; called while
@@ -164,7 +267,7 @@ func NewCore(eng *sim.Engine, node *nb.Northbridge, par Params) *Core {
 	if par.CacheLines <= 0 {
 		par.CacheLines = 4 << 20 / LineSize
 	}
-	return &Core{
+	c := &Core{
 		eng:   eng,
 		node:  node,
 		par:   par,
@@ -172,6 +275,19 @@ func NewCore(eng *sim.Engine, node *nb.Northbridge, par Params) *Core {
 		cache: NewCache(par.CacheLines),
 		wc:    make([]wcBuf, par.WCBuffers),
 	}
+	for i := range c.wc {
+		// Per-buffer flush completion, built once: the buffer is not
+		// reused until freeWC, so the captured pointer stays valid.
+		b := &c.wc[i]
+		b.onPkt = func(error) {
+			c.inflight--
+			b.pending--
+			if b.pending == 0 {
+				c.freeWC(b)
+			}
+		}
+	}
+	return c
 }
 
 // MTRR exposes the memory-type registers for firmware programming.
@@ -291,56 +407,61 @@ func (c *Core) storeWB(addr uint64, data []byte, retired func(error)) {
 // instructions are collected in the write combining buffer and sent out
 // as a single packet").
 func (c *Core) storeUC(addr uint64, data []byte, retired func(error)) {
-	var step func(off int)
-	step = func(off int) {
-		if off >= len(data) {
-			retired(nil)
-			return
+	rec := c.getSt()
+	rec.addr, rec.n, rec.off, rec.retired = addr, len(data), 0, retired
+	copy(rec.data[:], data)
+	if rec.onUC == nil {
+		rec.onUC = func(err error) {
+			c.inflight--
+			if err != nil || rec.off >= rec.n {
+				done := rec.retired
+				c.putSt(rec)
+				done(err)
+				return
+			}
+			c.ucIssue(rec)
 		}
-		end := off + 8
-		if end > len(data) {
-			end = len(data)
-		}
-		c.cnt.UCStores++
-		chunk := append([]byte(nil), data[off:end]...)
-		a := addr + uint64(off)
-		now := c.eng.Now()
-		_, at := c.issue.Schedule(now, c.issueTime(len(chunk)))
-		c.profIssue(now, at)
-		c.eng.At(at, func() {
-			c.inflight++
-			c.node.CPUWrite(a, chunk, true, func(err error) {
-				c.inflight--
-				if err != nil {
-					retired(err)
-					return
-				}
-				step(end)
-			})
-		})
 	}
-	step(0)
+	c.ucIssue(rec)
+}
+
+// ucIssue pushes rec's next 8-byte micro-op through the issue server;
+// the cpuOpUCStore event emits the posted write when issue completes.
+func (c *Core) ucIssue(rec *stRec) {
+	n := rec.n - rec.off
+	if n > 8 {
+		n = 8
+	}
+	c.cnt.UCStores++
+	now := c.eng.Now()
+	_, at := c.issue.Schedule(now, c.issueTime(n))
+	c.profIssue(now, at)
+	c.eng.Schedule(at, c, sim.EventArg{Ptr: rec, I: cpuOpUCStore})
 }
 
 // storeWC merges the store into a write-combining buffer, flushing a
-// full buffer immediately as one maximum-sized posted write.
+// full buffer immediately as one maximum-sized posted write. The data
+// is staged synchronously into a pooled record, so the caller's buffer
+// is free for reuse the moment storeWC returns.
 func (c *Core) storeWC(addr uint64, data []byte, retired func(error)) {
-	buf := append([]byte(nil), data...)
+	rec := c.getSt()
+	rec.addr, rec.n, rec.retired = addr, len(data), retired
+	copy(rec.data[:], data)
 	now := c.eng.Now()
-	_, at := c.issue.Schedule(now, c.issueTime(len(buf)))
+	_, at := c.issue.Schedule(now, c.issueTime(len(data)))
 	c.profIssue(now, at)
-	c.eng.At(at, func() { c.wcMerge(addr, buf, retired) })
+	c.eng.Schedule(at, c, sim.EventArg{Ptr: rec, I: cpuOpWCStore})
 }
 
-func (c *Core) wcMerge(addr uint64, data []byte, retired func(error)) {
-	line := addr &^ (LineSize - 1)
+func (c *Core) wcMerge(rec *stRec) {
+	line := rec.addr &^ (LineSize - 1)
 	b := c.findWC(line)
 	if b == nil {
 		// No buffer for this line and none free: flush the oldest
 		// partial buffer and retry when something drains.
 		c.flushOldest()
 		c.cnt.WCStallRetries++
-		c.stalled = append(c.stalled, func() { c.wcMerge(addr, data, retired) })
+		c.stalled = append(c.stalled, rec)
 		return
 	}
 	if !b.inUse {
@@ -352,11 +473,13 @@ func (c *Core) wcMerge(addr uint64, data []byte, retired func(error)) {
 		b.seq = c.wcSeq
 		b.t0 = c.eng.Now()
 	}
-	off := int(addr - line)
-	copy(b.data[off:], data)
-	for i := 0; i < len(data); i++ {
+	off := int(rec.addr - line)
+	copy(b.data[off:], rec.data[:rec.n])
+	for i := 0; i < rec.n; i++ {
 		b.mask |= 1 << (off + i)
 	}
+	retired := rec.retired
+	c.putSt(rec)
 	if b.mask == ^uint64(0) {
 		c.cnt.WCFullFlushes++
 		c.flushWCBuf(b)
@@ -405,26 +528,21 @@ func (c *Core) flushWCBuf(b *wcBuf) {
 	}
 	b.draining = true
 	c.cnt.WCFlushes++
-	runs := maskRuns(b.mask)
-	if len(runs) == 0 {
+	var runs [maxMaskRuns][2]int
+	nr := maskRuns(b.mask, &runs)
+	if nr == 0 {
 		c.freeWC(b)
 		return
 	}
-	pending := len(runs)
-	for _, r := range runs {
+	b.pending = nr
+	for _, r := range runs[:nr] {
 		// CPUWrite copies the data into its packet before returning, so
 		// the buffer's bytes can be handed over without a staging copy.
 		data := b.data[r[0]:r[1]]
 		addr := b.line + uint64(r[0])
 		c.inflight++
 		c.cnt.WCPacketsSent++
-		c.node.CPUWrite(addr, data, true, func(error) {
-			c.inflight--
-			pending--
-			if pending == 0 {
-				c.freeWC(b)
-			}
-		})
+		c.node.CPUWrite(addr, data, true, b.onPkt)
 	}
 }
 
@@ -437,17 +555,30 @@ func (c *Core) freeWC(b *wcBuf) {
 	b.draining = false
 	b.mask = 0
 	// Wake exactly one stalled store per freed buffer, preserving order.
-	if len(c.stalled) > 0 {
-		next := c.stalled[0]
-		c.stalled = c.stalled[1:]
-		next()
+	// The queue drains by head index so its backing array is reused — a
+	// stall-heavy store stream would otherwise reallocate it per store.
+	if c.stHead < len(c.stalled) {
+		next := c.stalled[c.stHead]
+		c.stalled[c.stHead] = nil
+		c.stHead++
+		if c.stHead == len(c.stalled) {
+			c.stHead = 0
+			c.stalled = c.stalled[:0]
+		}
+		c.wcMerge(next)
 	}
 }
 
+// maxMaskRuns bounds the runs in any 64-bit mask: alternating set and
+// clear bits. (Dword-granular store masks need at most 8, but sizing
+// for the general case keeps maskRuns total.)
+const maxMaskRuns = 32
+
 // maskRuns decomposes a byte-valid bitmap into [start,end) runs aligned
-// to dwords (stores are dword-granular, so runs always are).
-func maskRuns(mask uint64) [][2]int {
-	var runs [][2]int
+// to dwords (stores are dword-granular, so runs always are), filling
+// the caller's fixed array and returning the count — no allocation.
+func maskRuns(mask uint64, runs *[maxMaskRuns][2]int) int {
+	n := 0
 	i := 0
 	for i < 64 {
 		if mask&(1<<i) == 0 {
@@ -458,10 +589,11 @@ func maskRuns(mask uint64) [][2]int {
 		for j < 64 && mask&(1<<j) != 0 {
 			j++
 		}
-		runs = append(runs, [2]int{i, j})
+		runs[n] = [2]int{i, j}
+		n++
 		i = j
 	}
-	return runs
+	return n
 }
 
 // FlushWC flushes every write-combining buffer without fence semantics
@@ -551,31 +683,18 @@ func (c *Core) loadUC(addr uint64, n int, cb func([]byte, error)) {
 
 // StoreBlock stores an arbitrary dword-granular extent, splitting it
 // into per-line stores issued back to back. done fires when the last
-// store retires.
+// store retires. The splitting state rides a pooled record whose step
+// continuation is built once, so the block layer allocates nothing;
+// data must stay valid until done fires (each line's bytes are staged
+// synchronously when its store issues).
 func (c *Core) StoreBlock(addr uint64, data []byte, done func(error)) {
 	if len(data) == 0 {
 		done(nil)
 		return
 	}
-	var step func(off int)
-	step = func(off int) {
-		if off >= len(data) {
-			done(nil)
-			return
-		}
-		end := off + LineSize - int((addr+uint64(off))%LineSize)
-		if end > len(data) {
-			end = len(data)
-		}
-		c.Store(addr+uint64(off), data[off:end], func(err error) {
-			if err != nil {
-				done(err)
-				return
-			}
-			step(end)
-		})
-	}
-	step(0)
+	rec := c.getBlk()
+	rec.addr, rec.data, rec.off, rec.done = addr, data, 0, done
+	rec.step(nil)
 }
 
 // StreamDepth is how many outstanding line reads LoadStream pipelines:
@@ -601,6 +720,16 @@ func (c *Core) LoadStream(addr uint64, n int, done func([]byte, error)) {
 	if d := c.node.DecodeAddress(addr); d.Kind != nb.DecideLocalDRAM && !c.coherentRoute(d) {
 		c.cnt.StrandedOps++
 		done(nil, fmt.Errorf("%w: stream load from non-coherent address %#x", ErrStranded, addr))
+		return
+	}
+	if int(addr%LineSize)+n <= LineSize {
+		// Single-line extent: one read, no chunk bookkeeping. The pooled
+		// uncached-load record applies the same fixed read overhead, so
+		// short stream reads (a ring frame's tail) stay allocation-free.
+		c.cnt.Loads++
+		rec := c.getUC()
+		rec.cb = done
+		c.node.CPURead(addr, n, rec.done)
 		return
 	}
 	// Split into line-bounded chunks.

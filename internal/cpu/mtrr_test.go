@@ -144,7 +144,8 @@ func TestMaskRuns(t *testing.T) {
 		{1 << 63, [][2]int{{63, 64}}},
 	}
 	for _, c := range cases {
-		got := maskRuns(c.mask)
+		var runs [maxMaskRuns][2]int
+		got := runs[:maskRuns(c.mask, &runs)]
 		if len(got) != len(c.want) {
 			t.Errorf("maskRuns(%#x) = %v, want %v", c.mask, got, c.want)
 			continue
@@ -165,7 +166,8 @@ func TestMaskRunsReconstructProperty(t *testing.T) {
 			mask = mask*6364136223846793005 + 1442695040888963407
 			var rebuilt uint64
 			prevEnd := 0
-			for _, r := range maskRuns(mask) {
+			var runs [maxMaskRuns][2]int
+			for _, r := range runs[:maskRuns(mask, &runs)] {
 				if r[0] < prevEnd {
 					t.Fatalf("overlapping runs for %#x", mask)
 				}

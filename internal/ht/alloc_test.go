@@ -100,6 +100,63 @@ func TestLinkSendProfiledZeroAllocs(t *testing.T) {
 	}
 }
 
+// Satellite regression: read responses and broadcast fan-out — the two
+// packet classes that historically could not be pooled (payload escape,
+// multi-owner fan-out) — now recycle their structs too. Building and
+// releasing one of each must not allocate beyond the adopted payload
+// handoff, which this test supplies from outside the loop.
+func TestResponseAndBroadcastPoolZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	pool := &PacketPool{}
+	payload := make([]byte, 64)
+	cycle := func() {
+		p, err := pool.ReadResponse(3, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release()
+		b := pool.Broadcast(0xFEE0_0000)
+		c := pool.CopyOf(b)
+		c.Release()
+		b.Release()
+	}
+	for i := 0; i < 16; i++ { // warm the free list
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(300, cycle); allocs != 0 {
+		t.Fatalf("pooled response+broadcast cycle allocated %.1f allocs/op, want 0", allocs)
+	}
+	gets, news := pool.Stats()
+	if news >= gets {
+		t.Fatalf("packet pool never recycled: %d gets, %d fresh", gets, news)
+	}
+}
+
+// An adopted payload's ownership leaves with the consumer: recycling the
+// response struct must not hand the payload buffer to the next packet.
+func TestReadResponseAdoptionDetachesPayload(t *testing.T) {
+	pool := &PacketPool{}
+	payload := []byte{1, 2, 3, 4}
+	p, err := pool.ReadResponse(7, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p.Data[0] != &payload[0] {
+		t.Fatal("ReadResponse copied instead of adopting")
+	}
+	p.Release()
+	q, err := pool.PostedWrite(0x1000, []byte{9, 9, 9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload[0] != 1 || payload[1] != 2 {
+		t.Fatalf("pool reclaimed the adopted payload: %v", payload)
+	}
+	q.Release()
+}
+
 func TestPacketPoolRecyclesAndGuardsDoubleRelease(t *testing.T) {
 	pool := &PacketPool{}
 	p, err := pool.PostedWrite(0x1000, []byte{1, 2, 3, 4})

@@ -193,9 +193,14 @@ type Packet struct {
 
 	// Pool bookkeeping (see PacketPool). All zero for packets built by
 	// the package-level constructors, which remain heap-allocated.
+	// adopted marks a packet whose Data was handed over by its producer
+	// and escapes to a consumer callback (read responses): recycling
+	// restores the parked scratch buffer instead of reclaiming Data.
 	pool     *PacketPool
 	nextFree *Packet
 	pooled   bool
+	adopted  bool
+	scratch  []byte
 }
 
 // Release returns the packet to its pool, if it came from one. The

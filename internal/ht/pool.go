@@ -14,9 +14,12 @@ import "fmt"
 //     ownership transfers with the packet through queues and links.
 //   - The terminal consumer — whoever would otherwise drop the last
 //     reference — calls Release. Releasing twice panics.
-//   - Packets whose payload escapes to user callbacks (read responses)
-//     and packets fanned out to multiple links (broadcasts) must NOT
-//     come from a pool: their lifetime is not tracked.
+//   - A read response adopts its payload (ReadResponse): the Data slice
+//     escapes to the matching callback and is never reclaimed — put()
+//     detaches it and restores the packet's parked scratch buffer, so
+//     the struct recycles while the payload's ownership transfers on.
+//   - Broadcast fan-out takes one pooled copy per egress (CopyOf); each
+//     copy is released by its own terminal consumer.
 //   - Release on a non-pooled packet is a no-op, so terminal consumers
 //     can release unconditionally.
 type PacketPool struct {
@@ -40,12 +43,17 @@ func (pp *PacketPool) Get() *Packet {
 	return p
 }
 
-// put resets p and links it into the free list.
+// put resets p and links it into the free list. An adopted payload is
+// detached — its ownership escaped with the consumer callback — and the
+// scratch buffer parked at adoption time comes back as the reusable one.
 func (pp *PacketPool) put(p *Packet) {
 	if p.pooled {
 		panic(fmt.Sprintf("ht: packet %v released twice", p))
 	}
 	data := p.Data[:0]
+	if p.adopted {
+		data = p.scratch
+	}
 	*p = Packet{Data: data, pool: pp, pooled: true}
 	p.nextFree = pp.free
 	pp.free = p
@@ -109,4 +117,54 @@ func (pp *PacketPool) TgtDone(tag uint8) *Packet {
 	p.Cmd = CmdTgtDone
 	p.SrcTag = tag
 	return p
+}
+
+// ReadResponse builds a pooled read response that adopts data as its
+// payload — no copy; the caller hands ownership over, and the slice
+// travels on to whatever the matching table's callback does with it.
+// The packet's own reusable buffer is parked and restored on Release,
+// so the struct recycles even though the payload never comes back.
+func (pp *PacketPool) ReadResponse(tag uint8, data []byte) (*Packet, error) {
+	if len(data) == 0 || len(data) > MaxPayload || len(data)%DwordBytes != 0 {
+		return nil, fmt.Errorf("ht: response payload must be dword-granular 4..%d, got %d", MaxPayload, len(data))
+	}
+	p := pp.Get()
+	p.Cmd = CmdRdResp
+	p.SrcTag = tag
+	p.Count = uint8(len(data)/DwordBytes - 1)
+	p.scratch = p.Data
+	p.Data = data
+	p.adopted = true
+	if err := p.Validate(); err != nil {
+		p.Release()
+		return nil, err
+	}
+	return p, nil
+}
+
+// Broadcast builds a pooled broadcast (interrupt-class) packet.
+func (pp *PacketPool) Broadcast(addr uint64) *Packet {
+	p := pp.Get()
+	p.Cmd = CmdBroadcast
+	p.Addr = addr
+	return p
+}
+
+// CopyOf returns a pooled copy of p for fan-out forwarding: each egress
+// owns its copy outright, so the OnAccept bookkeeping of one path never
+// mutates a packet another partition is concurrently delivering. The
+// payload (empty for broadcasts, the only fan-out traffic) is copied
+// into the pooled buffer so the copy's lifetime is self-contained.
+func (pp *PacketPool) CopyOf(p *Packet) *Packet {
+	c := pp.Get()
+	scratch := c.Data
+	*c = *p
+	c.pool = pp
+	c.nextFree = nil
+	c.pooled = false
+	c.adopted = false
+	c.scratch = nil
+	c.OnAccept = nil
+	c.Data = append(scratch[:0], p.Data...)
+	return c
 }

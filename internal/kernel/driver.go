@@ -133,6 +133,21 @@ func (w *Window) Write(off uint64, data []byte, done func(error)) {
 // (the Sfence of §VI).
 func (w *Window) Sync(done func()) { w.core().Sfence(done) }
 
+// WatchWrites registers a doorbell on [off, off+size) of a local
+// window: fn fires whenever a remote store into the range becomes
+// visible in this node's DRAM. Remote windows refuse — a doorbell on
+// another node's memory would require reads across the link. The
+// returned function removes the watch.
+func (w *Window) WatchWrites(off, size uint64, fn func()) (func(), error) {
+	if w.kind != LocalWindow {
+		return nil, fmt.Errorf("kernel: write watch on a remote window")
+	}
+	if err := w.check(off, int(size)); err != nil {
+		return nil, err
+	}
+	return w.kernel.node.WatchWrites(w.base-w.kernel.node.MemBase()+off, size, fn)
+}
+
 // Read loads n bytes at window offset off. Remote windows refuse: reads
 // cannot cross a TCCluster link.
 func (w *Window) Read(off uint64, n int, cb func([]byte, error)) {

@@ -122,9 +122,34 @@ type Sender struct {
 	tracer   trace.Tracer
 
 	// Sends are serialized: a CPU core issues one store stream at a
-	// time, and ring offsets are claimed in issue order.
+	// time, and ring offsets are claimed in issue order. The queue is
+	// drained by head index so its backing array is reused, and the
+	// in-flight frame's state lives on the sender — one send at a time
+	// — so the write chain runs on continuations built once per sender
+	// instead of a closure tree per frame.
 	busy  bool
 	queue []queuedSend
+	qHead int
+
+	scratch    []byte // reusable frame image (unreliable mode only)
+	curPayload []byte // payload of the send awaiting reservation
+	curOff     uint64
+	curFS      uint64
+	curSeq     uint32
+	curLen     int
+	curFrame   []byte
+	curDone    func(error)
+	resNeed    uint64 // reserve() state: bytes needed (incl. wrap padding)
+	resFS      uint64
+	resCont    func(error)
+	resWait    func()
+	resRead    func([]byte, error)
+	afterRes   func(error)
+	wfSingle   func(error)
+	wfTail     func(error)
+	wfSync1    func()
+	wfHdr      func(error)
+	wfSync2    func()
 
 	// Reliable-mode state. unacked holds every frame whose sequence the
 	// receiver has not yet acknowledged, in sequence order; its store
@@ -138,6 +163,17 @@ type Sender struct {
 	timerGen   uint64
 	timerArmed bool
 	dead       bool // retransmit budget exhausted; channel abandoned
+
+	// Flow-control doorbell (Params.Doorbell, opt-in): instead of
+	// spinning uncached reads on the fc slot while the ring is full,
+	// the sender parks and the NB rings it when a store into the fc
+	// page becomes visible. fcDirty flags a ring that happened while a
+	// stall-path fc read was in flight, so the sender never parks past
+	// a wake it should have seen.
+	fcParked  func()
+	fcDirty   bool
+	fcUnwatch func()
+	fcNoBell  bool // watch registration failed: legacy spin polling
 }
 
 // relFrame is one unacknowledged reliable frame: enough to rewrite it
@@ -195,21 +231,30 @@ func (s *Sender) Send(payload []byte, done func(error)) {
 // drain executes queued sends one at a time so each claims its ring
 // offset in order.
 func (s *Sender) drain() {
-	if len(s.queue) == 0 {
+	if s.qHead >= len(s.queue) {
+		s.qHead = 0
+		s.queue = s.queue[:0]
 		s.busy = false
 		return
 	}
-	q := s.queue[0]
-	s.queue = s.queue[1:]
-	fs := frameSize(len(q.payload))
-	s.reserve(fs, func(err error) {
-		if err != nil {
-			q.done(err)
-			s.drain()
-			return
+	q := s.queue[s.qHead]
+	s.queue[s.qHead] = queuedSend{} // drop refs for the queue's lifetime
+	s.qHead++
+	s.curPayload, s.curDone = q.payload, q.done
+	if s.afterRes == nil {
+		s.afterRes = func(err error) {
+			payload, done := s.curPayload, s.curDone
+			s.curPayload = nil
+			if err != nil {
+				s.curDone = nil
+				done(err)
+				s.drain()
+				return
+			}
+			s.writeFrame(payload, done)
 		}
-		s.writeFrame(q.payload, q.done, s.drain)
-	})
+	}
+	s.reserve(frameSize(len(q.payload)), s.afterRes)
 }
 
 // deadErr is the error a dead-latched sender hands every completion.
@@ -220,54 +265,97 @@ func (s *Sender) deadErr() error {
 
 // reserve waits (polling flow control) until fs ring bytes are free,
 // inserting a wrap marker if the frame would straddle the ring end.
+// One reservation is in flight at a time (sends are serialized), so
+// the wait/read continuations are built once per sender.
 func (s *Sender) reserve(fs uint64, cont func(error)) {
-	ring := s.par.RingBytes
-	off := s.sent % ring
 	need := fs
-	if off+fs > ring {
-		need += ring - off // wrap padding also needs space
+	if off := s.sent % s.par.RingBytes; off+fs > s.par.RingBytes {
+		need += s.par.RingBytes - off // wrap padding also needs space
 	}
-	var wait func()
-	wait = func() {
-		if s.dead {
-			cont(s.deadErr())
-			return
-		}
-		if ring-(s.sent-s.consumed) >= need {
-			if off+fs > ring {
-				s.writeWrap(ring-off, func(err error) {
-					if err != nil {
-						cont(err)
-						return
-					}
-					cont(nil)
-				})
+	s.resFS, s.resNeed, s.resCont = fs, need, cont
+	if s.resWait == nil {
+		s.resWait = func() {
+			ring := s.par.RingBytes
+			off := s.sent % ring
+			if s.dead {
+				s.resCont(s.deadErr())
 				return
 			}
-			cont(nil)
-			return
+			if ring-(s.sent-s.consumed) >= s.resNeed {
+				if off+s.resFS > ring {
+					s.writeWrap(ring-off, s.resCont)
+					return
+				}
+				s.resCont(nil)
+				return
+			}
+			// Ring full: read the local UC flow-control slot. In doorbell
+			// mode the sender then parks — the NB resumes the wait the
+			// instant the receiver's next flow-control store becomes
+			// visible, so the stall costs one wake per fc-page write;
+			// otherwise the read loops back to back, the paper's
+			// uncached spin poll.
+			s.stats.FCStalls++
+			if s.tracer != nil {
+				s.tracer.Emit(trace.Event{
+					At: s.eng.Now(), Kind: trace.KindRingFull, Node: s.src,
+					Link: -1, Src: s.src, Dst: s.dst, Bytes: int(s.resNeed),
+				})
+			}
+			s.fcDirty = false
+			s.fc.Read(0, 8, s.resRead)
 		}
-		// Ring full: poll the local UC flow-control slot.
-		s.stats.FCStalls++
-		if s.tracer != nil {
-			s.tracer.Emit(trace.Event{
-				At: s.eng.Now(), Kind: trace.KindRingFull, Node: s.src,
-				Link: -1, Src: s.src, Dst: s.dst, Bytes: int(need),
-			})
-		}
-		s.fc.Read(0, 8, func(d []byte, err error) {
+		s.resRead = func(d []byte, err error) {
 			if err != nil {
-				cont(err)
+				s.resCont(err)
 				return
 			}
 			v := binary.LittleEndian.Uint64(d)
 			if v > s.consumed {
 				s.consumed = v
 			}
-			wait()
-		})
+			if s.par.RingBytes-(s.sent-s.consumed) >= s.resNeed || s.fcDirty || !s.ensureFCDoorbell() {
+				s.resWait() // progress, a write landed mid-read, or no doorbell
+				return
+			}
+			s.fcParked = s.resWait
+		}
 	}
-	wait()
+	s.resWait()
+}
+
+// ensureFCDoorbell lazily registers the sender's write watch on its
+// local flow-control page. False means the channel is not in doorbell
+// mode or watches are unavailable (the stall path falls back to the
+// paper's spin polling either way).
+func (s *Sender) ensureFCDoorbell() bool {
+	if !s.par.Doorbell || s.fcNoBell {
+		return false
+	}
+	if s.fcUnwatch != nil {
+		return true
+	}
+	un, err := s.fc.WatchWrites(0, kernel.PageSize, s.onFCDoorbell)
+	if err != nil {
+		s.fcNoBell = true
+		return false
+	}
+	s.fcUnwatch = un
+	return true
+}
+
+// onFCDoorbell runs inside the NB's store-visibility event whenever the
+// fc page is written (a flow-control update, or a cumulative ack in
+// reliable mode — a parked sender woken by an ack simply re-reads and
+// parks again).
+func (s *Sender) onFCDoorbell() {
+	if s.fcParked != nil {
+		w := s.fcParked
+		s.fcParked = nil
+		w()
+		return
+	}
+	s.fcDirty = true
 }
 
 // writeWrap emits a wrap-marker frame covering the remainder to the
@@ -292,65 +380,90 @@ func (s *Sender) writeWrap(remainder uint64, done func(error)) {
 	})
 }
 
-// writeFrame stores the frame and then calls next to continue the send
-// queue. done is the application completion: it fires with the store
-// pipeline in unreliable mode, and is parked on the unacked list until
-// the receiver's ack covers the frame in reliable mode.
-func (s *Sender) writeFrame(payload []byte, done func(error), next func()) {
+// writeFrame stores the frame and then continues the send queue. done
+// is the application completion: it fires with the store pipeline in
+// unreliable mode, and is parked on the unacked list until the
+// receiver's ack covers the frame in reliable mode. One frame is in
+// flight at a time, so its state lives on the sender and the store
+// chain runs on continuations built once; unreliable mode reuses a
+// scratch frame image (reliable mode allocates, since the image is
+// retained for retransmission).
+func (s *Sender) writeFrame(payload []byte, done func(error)) {
 	off := s.sent % s.par.RingBytes
 	fs := frameSize(len(payload))
 	s.seq++
-	seq := s.seq
-	var frame []byte
-	finish := func(err error) {
-		if err != nil {
-			done(err)
-			next()
-			return
-		}
-		s.sent += fs
-		s.stats.Messages++
-		s.stats.Bytes += uint64(len(payload))
-		if s.par.Reliable {
-			if s.dead {
-				done(s.deadErr())
-			} else {
-				s.unacked = append(s.unacked, relFrame{seq: seq, off: off, img: frame, done: done})
-				s.armTimer(s.par.AckTimeout)
-			}
-			next()
-			return
-		}
-		done(nil)
-		next()
+	s.curOff, s.curFS, s.curSeq, s.curLen, s.curDone = off, fs, s.seq, len(payload), done
+	if s.par.Reliable {
+		s.curFrame = buildFrame(payload, s.seq)
+	} else {
+		s.scratch = buildFrameInto(s.scratch[:0], payload, s.seq)
+		s.curFrame = s.scratch
 	}
+	s.ensureWriteChain()
 	addr := s.ring.Addr(off) // for line-crossing check only
-	frame = buildFrame(payload, seq)
 	if fs <= 64 && addr/64 == (addr+fs-1)/64 {
-		s.ring.Write(off, frame, func(err error) {
-			if err != nil {
-				finish(err)
-				return
-			}
-			s.ring.Sync(func() { finish(nil) })
-		})
+		s.ring.Write(off, s.curFrame, s.wfSingle)
 		return
 	}
-	s.ring.Write(off+headerBytes, frame[headerBytes:], func(err error) {
+	s.ring.Write(off+headerBytes, s.curFrame[headerBytes:], s.wfTail)
+}
+
+// ensureWriteChain lazily builds the frame-store continuations.
+func (s *Sender) ensureWriteChain() {
+	if s.wfSingle != nil {
+		return
+	}
+	s.wfSingle = func(err error) {
 		if err != nil {
-			finish(err)
+			s.finishFrame(err)
 			return
 		}
-		s.ring.Sync(func() {
-			s.ring.Write(off, frame[:headerBytes], func(err error) {
-				if err != nil {
-					finish(err)
-					return
-				}
-				s.ring.Sync(func() { finish(nil) })
-			})
-		})
-	})
+		s.ring.Sync(s.wfSync2)
+	}
+	s.wfTail = func(err error) {
+		if err != nil {
+			s.finishFrame(err)
+			return
+		}
+		s.ring.Sync(s.wfSync1)
+	}
+	s.wfSync1 = func() {
+		s.ring.Write(s.curOff, s.curFrame[:headerBytes], s.wfHdr)
+	}
+	s.wfHdr = func(err error) {
+		if err != nil {
+			s.finishFrame(err)
+			return
+		}
+		s.ring.Sync(s.wfSync2)
+	}
+	s.wfSync2 = func() { s.finishFrame(nil) }
+}
+
+// finishFrame completes the in-flight frame and re-enters the queue.
+func (s *Sender) finishFrame(err error) {
+	done, frame := s.curDone, s.curFrame
+	s.curDone, s.curFrame = nil, nil
+	if err != nil {
+		done(err)
+		s.drain()
+		return
+	}
+	s.sent += s.curFS
+	s.stats.Messages++
+	s.stats.Bytes += uint64(s.curLen)
+	if s.par.Reliable {
+		if s.dead {
+			done(s.deadErr())
+		} else {
+			s.unacked = append(s.unacked, relFrame{seq: s.curSeq, off: s.curOff, img: frame, done: done})
+			s.armTimer(s.par.AckTimeout)
+		}
+		s.drain()
+		return
+	}
+	done(nil)
+	s.drain()
 }
 
 // armTimer schedules the ack-progress timer d from now unless one is
@@ -554,17 +667,61 @@ type Receiver struct {
 	pollOff uint64
 	peekFn  func([]byte, error)
 
+	// Doorbell state (Params.Doorbell, opt-in). Instead of spinning
+	// uncached reads on an empty ring, the poll loop parks; the NB
+	// rings the doorbell inside the store-visibility event when a write
+	// into the ring lands in DRAM, and the receiver polls again right
+	// there — so an idle receiver schedules no events at all. dirty
+	// flags a ring that happened while a peek read was in flight,
+	// closing the race where the loop would park past fresh data.
+	parked  bool
+	dirty   bool
+	unwatch func()
+	noBell  bool // watch registration failed: legacy spin polling
+
 	// Profiler handle for the receiving node, nil when profiling is off.
 	// pollT0 stamps Recv entry; delivery observes poll-to-delivery.
 	prof   *prof.NodeProf
 	pollT0 sim.Time
+
+	// In-flight consume state. Recv is single-outstanding, so the frame
+	// being drained lives on the receiver and the tail-read, header-free
+	// and flow-control continuations are built once — no closures per
+	// delivered message. ackBuf/fcBuf are reusable store images: the CPU
+	// store path stages bytes synchronously, so they are free for reuse
+	// as soon as the Write call returns.
+	csOff     uint64
+	csFS      uint64
+	csLen     int
+	csPeek    []byte
+	csTail    func([]byte, error)
+	fhAcked   bool
+	fhDone    func(error)
+	fcNoop    func()
+	ackBuf    [8]byte
+	fcBuf     [8]byte
+	ackDone   func(error)
+	ackSynced func()
+	pfBusy    bool
+	pfCont    func()
+	pfDone    func(error)
 }
 
 // Stats returns a copy of the receiver's counters.
 func (r *Receiver) Stats() Stats { return r.stats }
 
-// Stop aborts any in-flight Recv poll loop at its next poll.
-func (r *Receiver) Stop() { r.stopped = true }
+// Stop aborts any in-flight Recv poll loop at its next poll. A loop
+// parked on the ring doorbell has no next poll, so it is failed
+// immediately instead.
+func (r *Receiver) Stop() {
+	r.stopped = true
+	if r.parked {
+		r.parked = false
+		if cb := r.pollCB; cb != nil {
+			cb(nil, fmt.Errorf("msg: receiver stopped"))
+		}
+	}
+}
 
 // ReadBulk reads n bytes from the rendezvous region at off, with
 // streaming loads (rendezvous payloads are bulk by definition).
@@ -593,7 +750,26 @@ func (r *Receiver) Recv(cb func([]byte, error)) {
 	if r.peekFn == nil {
 		r.peekFn = r.handlePeek
 	}
+	if r.par.Doorbell && r.par.PollInterval == 0 && r.unwatch == nil && !r.noBell {
+		if un, err := r.ring.WatchWrites(0, r.par.RingBytes, r.onDoorbell); err == nil {
+			r.unwatch = un
+		} else {
+			r.noBell = true
+		}
+	}
 	r.poll()
+}
+
+// onDoorbell runs inside the NB's store-visibility event whenever a
+// write into the ring lands in local DRAM: wake a parked poll loop, or
+// flag an active one so it re-polls before parking.
+func (r *Receiver) onDoorbell() {
+	if r.parked {
+		r.parked = false
+		r.poll()
+		return
+	}
+	r.dirty = true
 }
 
 // seqDelta compares sequence numbers with wraparound: >0 future, 0
@@ -605,6 +781,7 @@ func (r *Receiver) poll() {
 		r.pollCB(nil, fmt.Errorf("msg: receiver stopped"))
 		return
 	}
+	r.dirty = false // rings after this point must trigger a re-poll
 	ring := r.par.RingBytes
 	off := r.recvd % ring
 	peek := uint64(64)
@@ -618,11 +795,21 @@ func (r *Receiver) poll() {
 // OnEvent re-enters the poll loop after a poll-interval sleep.
 func (r *Receiver) OnEvent(*sim.Engine, sim.EventArg) { r.poll() }
 
-// again re-arms the poll loop; with a poll interval it sleeps by typed
-// event (the receiver is its own handler), not a per-iteration closure.
+// again re-arms the poll loop. With a poll interval it sleeps by typed
+// event (the receiver is its own handler); in doorbell mode it re-polls
+// only when a store landed during the last peek, otherwise it parks
+// until the NB rings — an empty ring costs zero events.
 func (r *Receiver) again() {
 	if r.par.PollInterval > 0 {
 		r.eng.ScheduleAfter(r.par.PollInterval, r, sim.EventArg{})
+		return
+	}
+	if r.unwatch != nil {
+		if r.dirty {
+			r.poll()
+			return
+		}
+		r.parked = true
 		return
 	}
 	r.poll()
@@ -680,58 +867,73 @@ func (r *Receiver) consume(off uint64, length int, peek []byte, cb func([]byte, 
 		return
 	}
 	r.expectSeq++
-	fs := frameSize(length)
-	// Deliver first (the paper extracts the data, then overwrites the
-	// slot): counters advance now so a chained Recv polls the next
-	// offset; the header overwrite and flow control proceed in the
-	// background, ordered so the sender only reuses the region after
-	// the slot is freed.
-	deliver := func(payload []byte) {
-		r.recvd += fs
-		r.fcUnposted += fs
-		r.stats.Messages++
-		r.stats.Bytes += uint64(length)
-		if np := r.prof; np != nil {
-			// Poll-to-delivery: Recv entry to payload handoff, covering
-			// the empty-ring polling tail plus the frame drain.
-			np.Observe(prof.NodeMsgPoll, r.eng.Now()-r.pollT0)
-		}
-		r.freeHeader(off, true)
-		cb(payload, nil)
-	}
+	r.csOff, r.csFS, r.csLen = off, frameSize(length), length
 	if headerBytes+length <= len(peek) {
-		payload := append([]byte(nil), peek[headerBytes:headerBytes+length]...)
-		deliver(payload)
+		// Short frame: the peek read holds the whole payload. The copy
+		// is the delivery allocation — ownership passes to the callback.
+		r.deliver(append([]byte(nil), peek[headerBytes:headerBytes+length]...), cb)
 		return
 	}
 	// Long frame: the tail is guaranteed visible (sender fenced payload
-	// before header), so drain it with pipelined streaming loads.
-	have := len(peek) - headerBytes
-	rest := length - have
-	r.ring.ReadStream(off+uint64(len(peek)), (rest+7)/8*8, func(tail []byte, err error) {
-		if err != nil {
-			cb(nil, err)
-			return
+	// before header), so drain it with pipelined streaming loads. peek
+	// is owned by this receiver (the load path hands its buffer over),
+	// so it parks on the receiver until the tail arrives.
+	r.csPeek = peek
+	if r.csTail == nil {
+		r.csTail = func(tail []byte, err error) {
+			peek, cb := r.csPeek, r.pollCB
+			r.csPeek = nil
+			if err != nil {
+				cb(nil, err)
+				return
+			}
+			payload := make([]byte, 0, r.csLen)
+			payload = append(payload, peek[headerBytes:]...)
+			payload = append(payload, tail[:r.csLen-(len(peek)-headerBytes)]...)
+			r.deliver(payload, cb)
 		}
-		payload := make([]byte, 0, length)
-		payload = append(payload, peek[headerBytes:]...)
-		payload = append(payload, tail[:rest]...)
-		deliver(payload)
-	})
+	}
+	rest := length - (len(peek) - headerBytes)
+	r.ring.ReadStream(off+uint64(len(peek)), (rest+7)/8*8, r.csTail)
+}
+
+// deliver hands one consumed frame's payload to the application.
+// Counters advance first (the paper extracts the data, then overwrites
+// the slot) so a chained Recv polls the next offset; the header
+// overwrite and flow control proceed in the background, ordered so the
+// sender only reuses the region after the slot is freed.
+func (r *Receiver) deliver(payload []byte, cb func([]byte, error)) {
+	r.recvd += r.csFS
+	r.fcUnposted += r.csFS
+	r.stats.Messages++
+	r.stats.Bytes += uint64(r.csLen)
+	if np := r.prof; np != nil {
+		// Poll-to-delivery: Recv entry to payload handoff, covering
+		// the empty-ring polling tail plus the frame drain.
+		np.Observe(prof.NodeMsgPoll, r.eng.Now()-r.pollT0)
+	}
+	r.freeHeader(r.csOff, true)
+	cb(payload, nil)
 }
 
 // freeHeader overwrites a consumed slot's header ("It then has to
 // overwrite the slot to free it", §IV.A) and posts flow control —
 // plus, for a consumed data frame in reliable mode, the cumulative
-// ack — behind it.
+// ack — behind it. The zero image is shared and the completion is
+// built once: freeing a slot allocates nothing.
 func (r *Receiver) freeHeader(off uint64, acked bool) {
-	r.ring.Write(off, make([]byte, headerBytes), func(error) {
-		if acked && r.par.Reliable {
-			r.ackReposts = 0
-			r.postAck()
+	r.fhAcked = acked
+	if r.fhDone == nil {
+		r.fcNoop = func() {}
+		r.fhDone = func(error) {
+			if r.fhAcked && r.par.Reliable {
+				r.ackReposts = 0
+				r.postAck()
+			}
+			r.postFC(false, r.fcNoop)
 		}
-		r.postFC(false, func() {})
-	})
+	}
+	r.ring.Write(off, zeroHeader[:], r.fhDone)
 }
 
 // postAck stores the cumulative consumed sequence number into the
@@ -740,15 +942,18 @@ func (r *Receiver) freeHeader(off uint64, acked bool) {
 // locally (§IV.A) — and like any posted store it can vanish on a dead
 // link; the sender's probe/retransmit timer covers that.
 func (r *Receiver) postAck() {
-	buf := make([]byte, 8)
-	binary.LittleEndian.PutUint64(buf, uint64(r.expectSeq))
+	binary.LittleEndian.PutUint64(r.ackBuf[:], uint64(r.expectSeq))
 	r.lastAckAt = r.eng.Now()
 	r.stats.AcksPosted++
-	r.fc.Write(ackOff, buf, func(err error) {
-		if err == nil {
-			r.fc.Sync(func() {})
+	if r.ackDone == nil {
+		r.ackSynced = func() {}
+		r.ackDone = func(err error) {
+			if err == nil {
+				r.fc.Sync(r.ackSynced)
+			}
 		}
-	})
+	}
+	r.fc.Write(ackOff, r.ackBuf[:], r.ackDone)
 }
 
 // repostAck re-posts the cumulative ack when the sender shows signs of
@@ -773,17 +978,39 @@ func (r *Receiver) postFC(force bool, done func()) {
 		done()
 		return
 	}
-	buf := make([]byte, 8)
-	binary.LittleEndian.PutUint64(buf, r.recvd)
 	r.fcUnposted = 0
 	r.stats.FCUpdates++
-	r.fc.Write(0, buf, func(err error) {
-		if err != nil {
-			done()
-			return
+	if r.pfBusy {
+		// A forced flush racing the background post: the built-once
+		// continuation is occupied, so this rare path takes a one-off
+		// image and closure.
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, r.recvd)
+		r.fc.Write(0, buf, func(err error) {
+			if err != nil {
+				done()
+				return
+			}
+			r.fc.Sync(done)
+		})
+		return
+	}
+	r.pfBusy = true
+	binary.LittleEndian.PutUint64(r.fcBuf[:], r.recvd)
+	r.pfCont = done
+	if r.pfDone == nil {
+		r.pfDone = func(err error) {
+			done := r.pfCont
+			r.pfCont = nil
+			r.pfBusy = false
+			if err != nil {
+				done()
+				return
+			}
+			r.fc.Sync(done)
 		}
-		r.fc.Sync(done)
-	})
+	}
+	r.fc.Write(0, r.fcBuf[:], r.pfDone)
 }
 
 // FlushFC forces a flow-control update (used when going idle).

@@ -69,12 +69,31 @@ func parseHeader(h []byte) (uint32, uint32) {
 
 // buildFrame lays out header+payload+padding as one store image.
 func buildFrame(payload []byte, seq uint32) []byte {
-	f := make([]byte, frameSize(len(payload)))
-	binary.LittleEndian.PutUint32(f[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(f[4:8], seq)
-	copy(f[headerBytes:], payload)
-	return f
+	return buildFrameInto(nil, payload, seq)
 }
+
+// buildFrameInto lays the frame out into dst's backing array (grown as
+// needed), so a steady-state sender reuses one scratch image.
+func buildFrameInto(dst []byte, payload []byte, seq uint32) []byte {
+	n := int(frameSize(len(payload)))
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	} else {
+		dst = dst[:n]
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	binary.LittleEndian.PutUint32(dst[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[4:8], seq)
+	copy(dst[headerBytes:], payload)
+	return dst
+}
+
+// zeroHeader is the shared all-zero slot header freeHeader stores: the
+// store path stages bytes synchronously, so a static image is safe to
+// share across receivers.
+var zeroHeader [headerBytes]byte
 
 // Params configure one unidirectional channel.
 type Params struct {
@@ -88,12 +107,27 @@ type Params struct {
 	// BulkBytes, if nonzero, allocates a one-sided rendezvous region the
 	// sender can Put into directly (§IV.A one-sided communication).
 	BulkBytes uint64
-	// PollInterval inserts an idle gap between receive polls. Zero polls
-	// back to back (one uncached DRAM read per iteration, the paper's
-	// mode); a larger value trades detection latency for memory-bus
-	// traffic — the "additional processor-memory bus overhead when
-	// polling" the paper concedes (§VI).
+	// PollInterval inserts an idle gap between receive polls. Zero (the
+	// default) polls back to back — one uncached DRAM read per
+	// iteration, the paper's mode, with its phase alignment and
+	// memory-bus contention faithfully simulated; a larger value trades
+	// detection latency for memory-bus traffic — the "additional
+	// processor-memory bus overhead when polling" the paper concedes
+	// (§VI).
 	PollInterval sim.Time
+	// Doorbell, when PollInterval is zero, replaces the spin loop with
+	// a parked receiver the northbridge wakes inside the
+	// store-visibility event when a write into the ring lands in DRAM,
+	// and lets a ring-full sender park on its flow-control page the
+	// same way. An idle endpoint then costs no events and no memory-bus
+	// traffic. This is a deliberate model change, not an elision of the
+	// spin loop: delivery pays the full post-visibility ring read
+	// (slightly later than a spin poll already in flight), and the
+	// spin loop's bus contention disappears — so latency answers shift
+	// by a few tens of ns against the paper's polling mode. Off by
+	// default for fidelity; simulations that poll-wait for long
+	// stretches run several times faster with it on.
+	Doorbell bool
 
 	// Reliable turns on end-to-end delivery over a fabric that can lose
 	// posted writes (dead links master-abort in-flight packets). The

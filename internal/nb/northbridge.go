@@ -130,6 +130,7 @@ type Northbridge struct {
 
 	coherency   CoherencyHook
 	onWrite     func(addr uint64, n int) // local-DRAM store visibility hook
+	watches     []writeWatch             // doorbell ranges (see WatchWrites)
 	onBroadcast func(p *ht.Packet)       // delivered broadcast (interrupts)
 	log         func(string)
 	tracer      trace.Tracer
@@ -145,6 +146,34 @@ type Northbridge struct {
 	pool    *ht.PacketPool
 	exile   func(*ht.Packet)
 	recFree *nbRec // free list of pipeline-stage records
+	cwFree  *cwRec // free list of posted-write completion records
+}
+
+// cwRec adapts a CPUWrite completion callback to a packet's OnAccept
+// hook. Records are pooled and the fire closure is built once per
+// record, so a steady-state posted store allocates nothing here.
+type cwRec struct {
+	next       *cwRec
+	completion func(error)
+	fire       func()
+}
+
+func (n *Northbridge) getCW() *cwRec {
+	rec := n.cwFree
+	if rec == nil {
+		rec = &cwRec{}
+		rec.fire = func() {
+			cb := rec.completion
+			rec.completion = nil
+			rec.next = n.cwFree
+			n.cwFree = rec
+			cb(nil)
+		}
+		return rec
+	}
+	n.cwFree = rec.next
+	rec.next = nil
+	return rec
 }
 
 // Event opcodes carried in sim.EventArg.I; arg.Ptr is always an *nbRec.
@@ -165,6 +194,7 @@ type nbRec struct {
 	done    func()
 	from    int
 	fromIO  bool
+	bridged bool // IO-bridge delay pre-paid in the dispatch event time
 	addr    uint64
 	nBytes  int
 	tag     uint8
@@ -196,22 +226,31 @@ func (n *Northbridge) putRec(rec *nbRec) {
 	n.recFree = rec
 }
 
-// nbNop is the shared no-op done for packets whose ingress buffer has
-// already been released.
-func nbNop() {}
-
 // OnEvent dispatches the northbridge's typed pipeline events.
 func (n *Northbridge) OnEvent(_ *sim.Engine, arg sim.EventArg) {
 	rec := arg.Ptr.(*nbRec)
 	switch arg.I {
 	case nbOpDispatch:
-		pkt, done, from := rec.pkt, rec.done, rec.from
+		pkt, done, from, bridged := rec.pkt, rec.done, rec.from, rec.bridged
+		rec.bridged = false
 		n.putRec(rec)
+		if bridged {
+			// The ingress path predicted local DRAM over a non-coherent
+			// link and folded the IO-bridge delay into this event's time.
+			// Re-decode in case the address map changed while the packet
+			// was in the crossbar; on a mispredict, fall back to the
+			// ordinary dispatch (the stale bridge delay is the cost of a
+			// mid-flight reconfiguration, not a correctness issue).
+			if d := n.DecodeAddress(pkt.Addr); d.Kind == DecideLocalDRAM {
+				n.deliverToDRAM(from, pkt, done, true)
+				return
+			}
+		}
 		n.dispatch(from, pkt, done)
 	case nbOpInject:
 		pkt, done := rec.pkt, rec.done
 		n.putRec(rec)
-		n.dispatch(-1, pkt, nbNop)
+		n.dispatch(-1, pkt, nil)
 		if done != nil {
 			done()
 		}
@@ -317,6 +356,50 @@ func (n *Northbridge) SetCoherencyHook(h CoherencyHook) { n.coherency = h }
 // SetWriteHook installs a callback fired when a store becomes visible in
 // local DRAM. The CPU/polling model uses it to wake pollers.
 func (n *Northbridge) SetWriteHook(fn func(addr uint64, nBytes int)) { n.onWrite = fn }
+
+// writeWatch is one registered doorbell range: fn fires whenever a
+// store overlapping [lo, hi) (global physical addresses) becomes
+// visible in this node's DRAM. A nil fn marks a free slot.
+type writeWatch struct {
+	lo, hi uint64
+	fn     func()
+}
+
+// WatchWrites registers a doorbell on [lo, hi): fn fires, inside the
+// store's visibility event, every time a write overlapping the range
+// lands in local DRAM. Unlike the single write hook (SetWriteHook),
+// watches are a registry — one per message-channel ring — and carry no
+// address payload: a doorbell only says "look at your ring". It
+// returns an id for Unwatch.
+func (n *Northbridge) WatchWrites(lo, hi uint64, fn func()) int {
+	for i := range n.watches {
+		if n.watches[i].fn == nil {
+			n.watches[i] = writeWatch{lo: lo, hi: hi, fn: fn}
+			return i
+		}
+	}
+	n.watches = append(n.watches, writeWatch{lo: lo, hi: hi, fn: fn})
+	return len(n.watches) - 1
+}
+
+// Unwatch removes a doorbell registered with WatchWrites.
+func (n *Northbridge) Unwatch(id int) {
+	if id >= 0 && id < len(n.watches) {
+		n.watches[id] = writeWatch{}
+	}
+}
+
+// notifyWatches rings every doorbell whose range a visible store
+// touches.
+func (n *Northbridge) notifyWatches(addr uint64, nBytes int) {
+	end := addr + uint64(nBytes)
+	for i := range n.watches {
+		w := &n.watches[i]
+		if w.fn != nil && addr < w.hi && end > w.lo {
+			w.fn()
+		}
+	}
+}
 
 // SetBroadcastHook installs the local broadcast consumer (the kernel's
 // interrupt entry point).
@@ -455,6 +538,13 @@ func (n *Northbridge) DecodeAddress(a uint64) Decision {
 // receive handles a packet arriving from link idx. done releases the
 // link-level receive buffer (flow-control credit) once the packet has
 // drained out of the northbridge.
+//
+// The crossbar traversal, routing hop and — for the dominant TCCluster
+// path, a request over a non-coherent link decoding to local DRAM —
+// the IO-bridge conversion are fused into a single pipeline event at
+// the final timestamp. The per-stage latencies still appear in the
+// profiler budgets as counted constants, so attribution is unchanged;
+// only the intermediate event-queue traffic disappears.
 func (n *Northbridge) receive(idx int, pkt *ht.Packet, done func()) {
 	n.cnt.pktsFromLinks.Add(1)
 	now := n.eng.Now()
@@ -469,7 +559,14 @@ func (n *Northbridge) receive(idx int, pkt *ht.Packet, done func()) {
 	}
 	rec := n.getRec()
 	rec.pkt, rec.done, rec.from = pkt, done, idx
-	n.eng.Schedule(at+n.par.HopLatency, n, sim.EventArg{Ptr: rec, I: nbOpDispatch})
+	t := at + n.par.HopLatency
+	if pkt.Cmd != ht.CmdBroadcast && pkt.Cmd.VC() != ht.VCResponse && !n.LinkIsCoherent(idx) {
+		if d := n.DecodeAddress(pkt.Addr); d.Kind == DecideLocalDRAM {
+			rec.bridged = true
+			t += n.par.IOBridgeLatency
+		}
+	}
+	n.eng.Schedule(t, n, sim.EventArg{Ptr: rec, I: nbOpDispatch})
 }
 
 // InjectFromCPU enters a CPU-originated packet into the system request
@@ -509,7 +606,7 @@ func (n *Northbridge) handleRequest(fromLink int, pkt *ht.Packet, done func()) {
 	d := n.DecodeAddress(pkt.Addr)
 	switch d.Kind {
 	case DecideLocalDRAM:
-		n.deliverToDRAM(fromLink, pkt, done)
+		n.deliverToDRAM(fromLink, pkt, done, false)
 	case DecideDirectLink, DecideRouteLink:
 		n.forward(fromLink, int(d.Link), pkt, done)
 	default:
@@ -522,30 +619,38 @@ func (n *Northbridge) handleRequest(fromLink int, pkt *ht.Packet, done func()) {
 		}
 		n.logf("master abort: %v", pkt)
 		pkt.Accept() // never hold a WC buffer hostage to a decode fault
-		done()
+		if done != nil {
+			done()
+		}
 		n.recycle(pkt) // terminal: the request dies here
 	}
 }
 
 // deliverToDRAM lands a request on the local memory controller, crossing
-// the IO bridge first when it arrived over a non-coherent link.
-func (n *Northbridge) deliverToDRAM(fromLink int, pkt *ht.Packet, done func()) {
+// the IO bridge first when it arrived over a non-coherent link. prepaid
+// means the ingress path already folded the bridge delay into the
+// dispatch event's time, so the controller is accessed in this event —
+// CPU-originated and coherent-link requests (delay zero) take the same
+// inline path.
+func (n *Northbridge) deliverToDRAM(fromLink int, pkt *ht.Packet, done func(), prepaid bool) {
 	n.cnt.pktsToDRAM.Add(1)
 	pkt.Accept() // data has left the store path into the memory complex
-	delay := sim.Time(0)
 	fromIO := fromLink >= 0 && !n.LinkIsCoherent(fromLink)
 	if fromIO {
 		// ncHT packets are converted to coherent packets by the IO
 		// bridge before they may touch memory (paper §IV.C).
 		n.cnt.bridgedPackets.Add(1)
-		delay = n.par.IOBridgeLatency
 		if np := n.prof; np != nil {
 			np.AddConst(prof.NodeNBBridge)
 		}
 	}
 	rec := n.getRec()
 	rec.pkt, rec.done, rec.fromIO = pkt, done, fromIO
-	n.eng.ScheduleAfter(delay, n, sim.EventArg{Ptr: rec, I: nbOpDRAM})
+	if fromIO && !prepaid {
+		n.eng.ScheduleAfter(n.par.IOBridgeLatency, n, sim.EventArg{Ptr: rec, I: nbOpDRAM})
+		return
+	}
+	n.dramAccess(rec)
 }
 
 // dramAccess lands rec's request on the memory controller. The packet's
@@ -583,13 +688,17 @@ func (n *Northbridge) dramAccess(rec *nbRec) {
 		// Posted-channel ordering markers: the model's posted channel
 		// is already strictly ordered, so these complete immediately.
 		n.putRec(rec)
-		done()
+		if done != nil {
+			done()
+		}
 		n.recycle(pkt)
 	default:
 		n.putRec(rec)
 		n.cnt.masterAborts.Add(1)
 		n.logf("unhandled request %v at DRAM", pkt)
-		done()
+		if done != nil {
+			done()
+		}
 		n.recycle(pkt)
 	}
 }
@@ -601,15 +710,25 @@ func (n *Northbridge) writeVisible(rec *nbRec, err error) {
 	if err != nil {
 		n.cnt.masterAborts.Add(1)
 		n.logf("DRAM write fault at %#x: %v", addr, err)
-	} else if n.onWrite != nil {
-		n.onWrite(addr, nBytes)
+	} else {
+		if n.onWrite != nil {
+			n.onWrite(addr, nBytes)
+		}
+		if len(n.watches) > 0 {
+			n.notifyWatches(addr, nBytes)
+		}
 	}
 }
 
 // npWriteVisible completes a non-posted write: answer with TgtDone.
 func (n *Northbridge) npWriteVisible(rec *nbRec, err error) {
-	if err == nil && n.onWrite != nil {
-		n.onWrite(rec.addr, rec.nBytes)
+	if err == nil {
+		if n.onWrite != nil {
+			n.onWrite(rec.addr, rec.nBytes)
+		}
+		if len(n.watches) > 0 {
+			n.notifyWatches(rec.addr, rec.nBytes)
+		}
 	}
 	resp := n.pool.TgtDone(rec.tag)
 	resp.SrcNode = int(n.nodeID)
@@ -617,22 +736,27 @@ func (n *Northbridge) npWriteVisible(rec *nbRec, err error) {
 	done := rec.done
 	n.putRec(rec)
 	n.routeResponse(resp)
-	done()
+	if done != nil {
+		done()
+	}
 }
 
-// dramReadDone completes a DRAM read: answer with a read response. The
-// response is deliberately not pooled — its payload escapes to whatever
-// callback the matching table holds.
+// dramReadDone completes a DRAM read: answer with a pooled read
+// response that adopts the controller's buffer — the payload escapes to
+// whatever callback the matching table holds, so recycling the packet
+// detaches it (ownership travels on with the data).
 func (n *Northbridge) dramReadDone(rec *nbRec, data []byte, err error) {
 	addr, done := rec.addr, rec.done
 	if err != nil {
 		n.putRec(rec)
 		n.cnt.masterAborts.Add(1)
 		n.logf("DRAM read fault at %#x: %v", addr, err)
-		done()
+		if done != nil {
+			done()
+		}
 		return
 	}
-	resp, rerr := ht.NewReadResponse(rec.tag, data)
+	resp, rerr := n.pool.ReadResponse(rec.tag, data)
 	if rerr != nil {
 		panic(rerr) // sizes were validated on the request
 	}
@@ -640,7 +764,9 @@ func (n *Northbridge) dramReadDone(rec *nbRec, data []byte, err error) {
 	resp.DstNode = rec.srcNode
 	n.putRec(rec)
 	n.routeResponse(resp)
-	done()
+	if done != nil {
+		done()
+	}
 }
 
 // routeResponse sends a response toward DstNode. Responses are routed
@@ -655,18 +781,21 @@ func (n *Northbridge) routeResponse(resp *ht.Packet) {
 			n.logf("%v", err)
 		}
 		// Terminal: the matching callback has consumed the response.
-		// (Read responses are unpooled — their Data may be retained —
-		// so this only recycles TgtDone-class completions.)
+		// Read responses adopted their payload, so recycling returns
+		// only the struct — the Data the callback may retain is never
+		// reclaimed by the pool.
 		n.recycle(resp)
 		return
 	}
 	link := n.route[resp.DstNode&0x7].RespLink
-	n.forward(-1, int(link), resp, nbNop)
+	n.forward(-1, int(link), resp, nil)
 }
 
 func (n *Northbridge) handleResponse(fromLink int, resp *ht.Packet, done func()) {
 	n.routeResponse(resp)
-	done()
+	if done != nil {
+		done()
+	}
 }
 
 // handleBroadcast delivers the broadcast locally and fans it out along
@@ -685,30 +814,42 @@ func (n *Northbridge) handleBroadcast(fromLink int, pkt *ht.Packet, done func())
 		if mask&(1<<l) == 0 || l == fromLink {
 			continue
 		}
-		// Fan out a private copy per egress: a broadcast crossing a
-		// partition boundary must not share OnAccept bookkeeping with
+		// Fan out a private pooled copy per egress: a broadcast crossing
+		// a partition boundary must not share OnAccept bookkeeping with
 		// copies still in flight on this side.
-		n.forward(fromLink, l, pkt.ForwardCopy(), nbNop)
+		n.forward(fromLink, l, n.pool.CopyOf(pkt), nil)
 	}
-	done()
+	if done != nil {
+		done()
+	}
+	// Terminal: the local delivery hook extracted what it needed and
+	// every egress took its own copy.
+	n.recycle(pkt)
 }
 
 // forward sends pkt out link idx. The ingress receive buffer is held
 // until the egress port ACCEPTS the packet into serialization (credits
 // granted), so backpressure propagates hop by hop through transit
 // nodes — a congested egress link fills the ingress buffers behind it.
+// done may be nil (CPU-originated and response traffic holds no ingress
+// buffer); the wrapper closure is only built when both an upstream
+// OnAccept and a credit release must fire.
 func (n *Northbridge) forward(fromLink, idx int, pkt *ht.Packet, done func()) {
 	prev := pkt.OnAccept
-	accept := func() {
+	accept := prev
+	if done != nil {
 		if prev != nil {
-			prev()
+			accept = func() { prev(); done() }
+		} else {
+			accept = done
 		}
-		done()
 	}
 	if idx < 0 || idx >= MaxLinks || n.links[idx] == nil {
 		n.cnt.deadLinkDrops.Add(1)
 		n.logf("drop %v: egress link %d not wired", pkt, idx)
-		accept()
+		if accept != nil {
+			accept()
+		}
 		n.recycle(pkt) // terminal: dropped (no-op for broadcast copies)
 		return
 	}
@@ -758,7 +899,9 @@ func (n *Northbridge) CPUWrite(addr uint64, data []byte, posted bool, completion
 		// Posted completion is downstream acceptance: the data left the
 		// store path toward a link serializer or the local memory
 		// complex. This is the point a write-combining buffer drains.
-		pkt.OnAccept = func() { completion(nil) }
+		rec := n.getCW()
+		rec.completion = completion
+		pkt.OnAccept = rec.fire
 		n.InjectFromCPU(pkt, nil)
 		return
 	}
@@ -816,6 +959,6 @@ func (n *Northbridge) CPURead(addr uint64, nBytes int, cb func([]byte, error)) {
 // CPUBroadcast issues a broadcast (interrupt-class) packet from the
 // local cores.
 func (n *Northbridge) CPUBroadcast(vector uint64) {
-	pkt := &ht.Packet{Cmd: ht.CmdBroadcast, Addr: vector &^ 0x3}
+	pkt := n.pool.Broadcast(vector &^ 0x3)
 	n.InjectFromCPU(pkt, nil)
 }

@@ -89,10 +89,15 @@ type funcHandler func()
 func (f funcHandler) OnEvent(*Engine, EventArg) { f() }
 
 // Probe observes the engine's virtual clock. An armed probe is invoked
-// the first time the clock advances to or past its wake time and
-// returns the next wake time (a time not after now disarms it). The
-// engine holds the wake time itself, so between wake-ups the hot path
-// pays one integer compare per executed event, never a dynamic call.
+// at its exact wake time: before the engine executes any event at or
+// past the wake, it parks the clock on the wake time and calls the
+// probe with now == wake. The probe returns the next wake time (a time
+// not after now disarms it). When a quiescence fast-forward jumps the
+// clock across several wake times, each one fires in order at its own
+// instant — a monitor sampling every 10µs across an 8ms idle gap sees
+// every boundary, stamped exactly. The engine holds the wake time
+// itself, so between wake-ups the hot path pays one nil check per
+// executed event, never a dynamic call.
 type Probe func(now Time) Time
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
@@ -117,6 +122,16 @@ type Engine struct {
 	curPri  uint64
 	ownRoot uint64
 	rootPri *uint64
+
+	// Parallel-window state (see parallel.go). winCap is the dynamic
+	// bound runEvents honors: it starts at the window deadline and
+	// shrinks when this partition posts cross-partition mail, capping
+	// how far the partition may run ahead of its own round-trip
+	// consequences. postLook2 is twice the executor's lookahead — the
+	// minimum virtual-time cost of any causal chain that leaves this
+	// partition and returns to it. Both are zero outside parallel runs.
+	winCap    Time
+	postLook2 Time
 
 	q      ladder       // default queue: arena-backed ladder
 	legacy *legacyQueue // non-nil selects the seed container/heap queue
@@ -224,24 +239,34 @@ func (e *Engine) SetProbe(p Probe, wake Time) {
 	e.probeAt = wake
 }
 
-// advanceTo moves the clock to t, firing an armed probe whose wake time
-// the jump crosses. A jump across several wake boundaries collapses
-// into one probe call, matching the Probe contract (the probe returns
-// its next wake relative to now).
-func (e *Engine) advanceTo(t Time) {
-	if e.probe != nil && t >= e.probeAt {
-		if next := e.probe(t); next > t {
-			e.probeAt = next
-		} else {
-			e.probe = nil
-		}
+// fireProbe invokes the armed probe at its exact wake time: the clock
+// is parked on the wake (never rewound) before the call, so the probe
+// observes Now() == wake and may schedule events, which land at or
+// after the wake like any other scheduling.
+func (e *Engine) fireProbe() {
+	wake := e.probeAt
+	if wake < e.now {
+		wake = e.now
 	}
-	e.now = t
+	e.now = wake
+	if next := e.probe(wake); next > wake {
+		e.probeAt = next
+	} else {
+		e.probe = nil
+	}
 }
 
 // Step executes the next pending event, advancing the clock to its
-// timestamp. It reports whether an event was executed.
+// timestamp. Armed probe wakes at or before that timestamp fire first,
+// each at its exact time. It reports whether an event was executed.
 func (e *Engine) Step() bool {
+	for e.probe != nil {
+		t, ok := e.nextTime()
+		if !ok || t < e.probeAt {
+			break
+		}
+		e.fireProbe() // may schedule new events: re-peek each round
+	}
 	var (
 		at  Time
 		pri uint64
@@ -264,7 +289,7 @@ func (e *Engine) Step() bool {
 		// reuses the slot it just vacated.
 		h, arg = e.q.release(en.ref)
 	}
-	e.advanceTo(at)
+	e.now = at
 	e.fired++
 	e.curPri, e.firing = pri, true
 	h.OnEvent(e, arg)
@@ -289,20 +314,25 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to the deadline. Events beyond the deadline stay pending. The
-// final jump to the deadline goes through advanceTo, so an armed probe
-// whose wake time lands between the last event and the deadline still
-// fires instead of silently missing its window.
+// final jump to the deadline is a quiescence fast-forward: it fires
+// every armed probe wake the jump crosses, each at its exact virtual
+// time, instead of silently skipping them — and a probe that schedules
+// new events at or before the deadline gets them executed too.
 func (e *Engine) RunUntil(deadline Time) {
 	e.halted = false
 	for !e.halted {
-		t, ok := e.nextTime()
-		if !ok || t > deadline {
-			break
+		if t, ok := e.nextTime(); ok && t <= deadline {
+			e.Step()
+			continue
 		}
-		e.Step()
+		if e.probe != nil && e.probeAt <= deadline {
+			e.fireProbe()
+			continue
+		}
+		break
 	}
 	if !e.halted && e.now < deadline {
-		e.advanceTo(deadline)
+		e.now = deadline
 	}
 }
 
@@ -313,12 +343,16 @@ func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
 // RunUntil, leaves the clock at the last fired event instead of jumping
 // to the deadline. The parallel executor uses it so a window bound
 // (which is a synchronization artifact, not a workload time) never
-// shows up in the final virtual time.
+// shows up in the final virtual time. The deadline is dynamic: posting
+// cross-partition mail shrinks it (via winCap) to the post time plus
+// twice the lookahead, the earliest instant a consequence of that mail
+// could return to this partition.
 func (e *Engine) runEvents(deadline Time) {
 	e.halted = false
+	e.winCap = deadline
 	for !e.halted {
 		t, ok := e.nextTime()
-		if !ok || t > deadline {
+		if !ok || t > e.winCap {
 			return
 		}
 		e.Step()
@@ -335,16 +369,25 @@ func (e *Engine) Halt() { e.halted = true }
 // engine exactly at an action's timestamp — after all events before it,
 // before any event at or after it — so a fault applies at the same
 // instant under the serial and parallel executors. Unlike RunUntil the
-// jump is a synchronization artifact: it goes through advanceTo so an
-// armed probe still fires, but no events run.
+// jump is a synchronization artifact: armed probe wakes the jump
+// crosses still fire at their exact times, but no events run (a probe
+// that schedules an event before t defeats the alignment and panics).
 func (e *Engine) AlignTo(t Time) {
 	if t <= e.now {
 		return
 	}
-	if next, ok := e.nextTime(); ok && next < t {
-		panic(fmt.Sprintf("sim: AlignTo(%v) would skip an event pending at %v", t, next))
+	for {
+		if next, ok := e.nextTime(); ok && next < t {
+			panic(fmt.Sprintf("sim: AlignTo(%v) would skip an event pending at %v", t, next))
+		}
+		if e.probe == nil || e.probeAt > t {
+			break
+		}
+		e.fireProbe()
 	}
-	e.advanceTo(t)
+	if e.now < t {
+		e.now = t
+	}
 }
 
 // WarpTo jumps an idle engine's clock forward to t without executing

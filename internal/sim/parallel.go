@@ -57,8 +57,16 @@ type Mailbox struct {
 // Post records an event for the consumer partition, stamped with the
 // producer engine's clock and current lineage priority. Only the
 // producer partition's goroutine may call Post, and only while its
-// window runs.
+// window runs. Posting shrinks the producer's dynamic window bound to
+// now + 2·lookahead: any causal chain triggered by this mail needs at
+// least two cross-partition hops to come back, so the producer must
+// not run past that horizon inside the current window.
 func (mb *Mailbox) Post(from *Engine, at Time, h Handler, arg EventArg) {
+	if from.postLook2 > 0 {
+		if cap := from.now + from.postLook2; cap < from.winCap {
+			from.winCap = cap
+		}
+	}
 	mb.inflight = append(mb.inflight, MailEntry{
 		At: at, SchedAt: from.now, Pri: from.eventPri(), H: h, Arg: arg,
 	})
@@ -89,8 +97,9 @@ func (mb *Mailbox) drainInto(e *Engine) {
 
 // Parallel advances a set of partition engines in conservative time
 // windows. It is driven from a single control goroutine (the same one
-// that owns the engines between runs); worker goroutines exist only
-// while a run is in progress.
+// that owns the engines between runs); worker goroutines are spawned
+// once, on the first run, and park on their command channels between
+// windows, so repeated runs pay no spawn cost.
 type Parallel struct {
 	engs    []*Engine
 	inboxes [][]*Mailbox // inboxes[p]: mailboxes consumed by partition p
@@ -106,6 +115,14 @@ type Parallel struct {
 	actionFire func(now Time)      // apply every action due at now
 
 	active []bool // scratch: partitions with work this window
+	nexts  []Time // scratch: per-partition earliest pending time
+	bounds []Time // scratch: per-partition window bound
+
+	// Persistent worker pool: spawned lazily on the first run and parked
+	// on their command channels between windows and between runs, so a
+	// run costs zero goroutine spawns.
+	cmds []chan Time
+	done chan int
 
 	stats *ParallelStats // nil = no runtime accounting (zero cost)
 }
@@ -130,11 +147,19 @@ func NewParallel(engs []*Engine, inboxes [][]*Mailbox, look Time) (*Parallel, er
 	for _, e := range engs[1:] {
 		e.SharePriorityCounter(engs[0])
 	}
+	// Arm the dynamic window cap: a partition that posts mail may not
+	// run past post-time + 2·look within the same window (see
+	// Mailbox.Post).
+	for _, e := range engs {
+		e.postLook2 = 2 * look
+	}
 	return &Parallel{
 		engs:    engs,
 		inboxes: inboxes,
 		look:    look,
 		active:  make([]bool, len(engs)),
+		nexts:   make([]Time, len(engs)),
+		bounds:  make([]Time, len(engs)),
 	}, nil
 }
 
@@ -217,23 +242,30 @@ func (p *Parallel) RunUntil(deadline Time) { p.run(deadline, true) }
 // RunFor advances the cluster by d picoseconds of virtual time.
 func (p *Parallel) RunFor(d Time) { p.run(p.Now()+d, true) }
 
-// run is the coordinator loop. Each iteration: flip mailboxes, find the
-// earliest pending timestamp T anywhere (events or undelivered mail),
-// execute the window [T, min(T+look, deadline, next sample)] on every
-// partition that has work, then run the serial barrier section.
+// run is the coordinator loop. Each iteration: flip mailboxes, find
+// each partition's earliest pending timestamp (events or undelivered
+// mail), then execute a per-partition window on every partition that
+// has work, then run the serial barrier section.
+//
+// Windows are adaptively widened per partition: partition p can only be
+// influenced by a peer q through mail posted at q's local clock plus at
+// least the cross-partition lookahead, so p may safely run to
+// min(next_q over q != p) + look — potentially far past the classical
+// global bound tnext+look. When every peer is idle the bound degenerates
+// to the run deadline: the lone active partition fast-forwards through
+// its remaining work in a single window instead of draining one
+// lookahead-sized window per iteration.
 func (p *Parallel) run(deadline Time, bounded bool) {
 	n := len(p.engs)
-	cmds := make([]chan Time, n)
-	done := make(chan int, n)
-	for i := 0; i < n; i++ {
-		cmds[i] = make(chan Time, 1)
-		go p.worker(i, cmds[i], done)
-	}
-	defer func() {
-		for _, c := range cmds {
-			close(c)
+	if p.cmds == nil {
+		p.cmds = make([]chan Time, n)
+		p.done = make(chan int, n)
+		for i := 0; i < n; i++ {
+			p.cmds[i] = make(chan Time, 1)
+			go p.worker(i, p.cmds[i], p.done)
 		}
-	}()
+	}
+	cmds, done := p.cmds, p.done
 
 	st := p.stats
 	for {
@@ -246,14 +278,15 @@ func (p *Parallel) run(deadline Time, bounded bool) {
 		have := false
 		for pi := range p.engs {
 			p.active[pi] = false
+			next := maxTime
 			for _, mb := range p.inboxes[pi] {
 				if st != nil && len(mb.inflight) > 0 {
 					st.addMail(mb.From, mb.To, len(mb.inflight))
 				}
 				mb.flip()
 				for i := range mb.ready {
-					if at := mb.ready[i].At; at < tnext {
-						tnext = at
+					if at := mb.ready[i].At; at < next {
+						next = at
 					}
 				}
 				if len(mb.ready) > 0 {
@@ -262,11 +295,15 @@ func (p *Parallel) run(deadline Time, bounded bool) {
 				}
 			}
 			if t, ok := p.engs[pi].nextTime(); ok {
-				if t < tnext {
-					tnext = t
+				if t < next {
+					next = t
 				}
 				p.active[pi] = true
 				have = true
+			}
+			p.nexts[pi] = next
+			if next < tnext {
+				tnext = next
 			}
 		}
 		// Scripted actions (fault campaigns) cut the timeline exactly at
@@ -283,11 +320,12 @@ func (p *Parallel) run(deadline Time, bounded bool) {
 			for _, e := range p.engs {
 				e.AlignTo(aat)
 			}
-			if p.sampleFn != nil && p.sampleNext <= aat {
-				for p.sampleNext <= aat {
-					p.sampleNext += p.sampleEvery
-				}
-				p.sampleFn(aat)
+			// Fire every sample boundary the jump crosses, each at its
+			// exact time (matching the serial engine's probe semantics).
+			for p.sampleFn != nil && p.sampleNext <= aat {
+				at := p.sampleNext
+				p.sampleNext += p.sampleEvery
+				p.sampleFn(at)
 			}
 			p.actionFire(aat)
 			if st != nil {
@@ -302,18 +340,47 @@ func (p *Parallel) run(deadline Time, bounded bool) {
 			break
 		}
 
-		w := tnext + p.look
-		if w < tnext { // overflow
-			w = maxTime
+		// First and second smallest per-partition horizons: partition
+		// pi's bound is the smallest next over its peers, which is m1
+		// unless pi itself is the unique holder of m1, then m2.
+		m1, m2, m1i := maxTime, maxTime, -1
+		for pi, t := range p.nexts {
+			if t < m1 {
+				m1, m2, m1i = t, m1, pi
+			} else if t < m2 {
+				m2 = t
+			}
 		}
-		if p.sampleFn != nil && p.sampleNext > tnext && w > p.sampleNext {
-			w = p.sampleNext
-		}
-		if aok && w >= aat {
-			w = aat - 1 // aat > tnext here, so the window stays non-empty
-		}
-		if bounded && w > deadline {
-			w = deadline
+
+		// wmin is the time every active partition is guaranteed to have
+		// reached after the window — the instant a pending sample hook
+		// observes a fully quiesced simulation.
+		wmin := maxTime
+		for pi := range p.engs {
+			if !p.active[pi] {
+				continue
+			}
+			other := m1
+			if pi == m1i {
+				other = m2
+			}
+			w := other + p.look
+			if w < other { // overflow (peers idle: other == maxTime)
+				w = maxTime
+			}
+			if p.sampleFn != nil && p.sampleNext > tnext && w > p.sampleNext {
+				w = p.sampleNext
+			}
+			if aok && w >= aat {
+				w = aat - 1 // aat > tnext here, so the window stays non-empty
+			}
+			if bounded && w > deadline {
+				w = deadline
+			}
+			p.bounds[pi] = w
+			if w < wmin {
+				wmin = w
+			}
 		}
 
 		// Parallel section: partitions with work run concurrently.
@@ -324,7 +391,7 @@ func (p *Parallel) run(deadline Time, bounded bool) {
 		dispatched := 0
 		for pi := range p.engs {
 			if p.active[pi] {
-				cmds[pi] <- w
+				cmds[pi] <- p.bounds[pi]
 				dispatched++
 			}
 		}
@@ -339,17 +406,20 @@ func (p *Parallel) run(deadline Time, bounded bool) {
 		if p.barrier != nil {
 			p.barrier()
 		}
-		if p.sampleFn != nil && p.sampleNext <= w {
-			for p.sampleNext <= w {
+		if p.sampleFn != nil && p.sampleNext <= wmin {
+			for p.sampleNext <= wmin {
 				p.sampleNext += p.sampleEvery
 			}
-			p.sampleFn(w)
+			p.sampleFn(wmin)
 		}
 	}
 
-	// Align every clock to the common end time, firing a final sample if
-	// the jump crosses a boundary (mirrors Engine.RunUntil's last
-	// advanceTo).
+	// Align every clock to the common end time. The jump is a
+	// quiescence fast-forward: every sample boundary it crosses fires
+	// its own call at its exact virtual time (mirrors the serial
+	// engine's exact-wake probe semantics), so an idle tail — e.g.
+	// doorbell receivers parked with no events pending — still produces
+	// the full monitor sample train.
 	target := p.Now()
 	if bounded && deadline > target {
 		target = deadline
@@ -360,17 +430,17 @@ func (p *Parallel) run(deadline Time, bounded bool) {
 	if p.barrier != nil {
 		p.barrier()
 	}
-	if p.sampleFn != nil && p.sampleNext <= target {
-		for p.sampleNext <= target {
-			p.sampleNext += p.sampleEvery
-		}
-		p.sampleFn(target)
+	for p.sampleFn != nil && p.sampleNext <= target {
+		at := p.sampleNext
+		p.sampleNext += p.sampleEvery
+		p.sampleFn(at)
 	}
 }
 
-// worker executes window deadlines for one partition until its command
-// channel closes. Draining the partition's inboxes happens here, inside
-// the window, so the coordinator's flip and the drain never overlap.
+// worker executes window deadlines for one partition for the lifetime
+// of the executor. Draining the partition's inboxes happens here,
+// inside the window, so the coordinator's flip and the drain never
+// overlap.
 func (p *Parallel) worker(idx int, cmds chan Time, done chan int) {
 	eng := p.engs[idx]
 	for w := range cmds {

@@ -196,8 +196,9 @@ func TestLegacyEngineSchedulingIntoPastPanics(t *testing.T) {
 	e.Run()
 }
 
-// Satellite fix: an armed probe whose wake time falls between the last
-// event and the RunUntil deadline must fire on the final clock jump.
+// An armed probe whose wake time falls between the last event and the
+// RunUntil deadline must fire on the final clock jump — at its exact
+// wake time, not at the deadline the fast-forward lands on.
 func TestRunUntilFiresProbeOnFinalClockJump(t *testing.T) {
 	for _, mk := range []func() *Engine{NewEngine, NewLegacyEngine} {
 		e := mk()
@@ -209,15 +210,18 @@ func TestRunUntilFiresProbeOnFinalClockJump(t *testing.T) {
 		e.At(10*Nanosecond, func() {})
 		e.RunUntil(80 * Nanosecond)
 		// The 10ns event is before the 50ns wake; the jump to the 80ns
-		// deadline crosses it and must fire the probe at the deadline.
-		if len(wakes) != 1 || wakes[0] != 80*Nanosecond {
-			t.Fatalf("wakes after first RunUntil = %v, want [80ns]", wakes)
+		// deadline crosses the wake, which fires exactly at 50ns.
+		if len(wakes) != 1 || wakes[0] != 50*Nanosecond {
+			t.Fatalf("wakes after first RunUntil = %v, want [50ns]", wakes)
 		}
-		// Probe re-armed at 180ns: an event-free run to 200ns fires it
-		// again on the deadline jump.
+		if e.Now() != 80*Nanosecond {
+			t.Fatalf("Now() = %v, want 80ns", e.Now())
+		}
+		// Probe re-armed at 150ns: an event-free run to 200ns fires it
+		// at 150ns on the deadline jump.
 		e.RunUntil(200 * Nanosecond)
-		if len(wakes) != 2 || wakes[1] != 200*Nanosecond {
-			t.Fatalf("wakes after second RunUntil = %v, want [80ns 200ns]", wakes)
+		if len(wakes) != 2 || wakes[1] != 150*Nanosecond {
+			t.Fatalf("wakes after second RunUntil = %v, want [50ns 150ns]", wakes)
 		}
 		if e.Now() != 200*Nanosecond {
 			t.Fatalf("Now() = %v, want 200ns", e.Now())
