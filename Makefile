@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt fmt-check vet build test race test-race bench bench-smoke bench-json bench-engine bench-engine-check bench-parallel bench-faults bench-prof fuzz scenario-smoke
+.PHONY: all check fmt fmt-check vet build test race test-race bench bench-smoke bench-json bench-engine bench-engine-check bench-parallel bench-parallel-check bench-faults bench-prof fuzz scenario-smoke
 
 all: check
 
@@ -57,11 +57,21 @@ bench-engine-check:
 	$(GO) run ./cmd/tccbench -bench engine -out BENCH_engine.json -baseline BENCH_engine.json
 
 # Regenerate the parallel-engine numbers: serial vs 1/2/4/8 workers on
-# Fig. 6/Fig. 7-shaped workloads. Fails if any worker count diverges
+# Fig. 6/Fig. 7-shaped chain workloads plus 256-node 16x16-torus
+# pingpong-mesh and ring-allreduce. Fails if any worker count diverges
 # from the serial run's final virtual time or event count. Speedups are
 # only meaningful relative to the recorded GOMAXPROCS/NumCPU.
 bench-parallel:
 	$(GO) run ./cmd/tccbench -bench parallel -out BENCH_parallel.json
+
+# CI regression gate, mirror of bench-engine-check: rerun the parallel
+# benchmark (best of 5 per configuration) and fail when any workload's
+# speedup_vs_serial drops more than 15% below the committed
+# BENCH_parallel.json. The gate is skipped when the runner has fewer
+# CPUs than the baseline machine — a smaller runner cannot reproduce
+# multi-core speedups, so the comparison would measure the hardware.
+bench-parallel-check:
+	$(GO) run ./cmd/tccbench -bench parallel -out BENCH_parallel.json -baseline BENCH_parallel.json -repeat 5
 
 # Regenerate the fault-campaign numbers: reliable-channel goodput and
 # recovery latency vs swept cable-outage duration, plus raw-protocol
@@ -78,12 +88,15 @@ bench-prof:
 
 # Smoke-run the scenario runner: the committed fault-recovery spec with
 # the serial-vs-parallel determinism gate, the committed 2x2 sweep grid
-# archiving one metadata-stamped result JSON per cell, and the profiled
-# allreduce spec whose result embeds the latency budget.
+# archiving one metadata-stamped result JSON per cell, the profiled
+# allreduce spec whose result embeds the latency budget, and the
+# 256-node torus ringshift sweep proving serial ≡ parallel byte-identity
+# at 2/4/8 workers under the graph-cut partitioner.
 scenario-smoke:
 	$(GO) run ./cmd/tccrun -check -out scenario-results scenarios/fault-recovery-chain4.json
 	$(GO) run ./cmd/tccrun -out scenario-results scenarios/allreduce-sweep.json
 	$(GO) run ./cmd/tccrun -check -out scenario-results scenarios/allreduce-chain16-profiled.json
+	$(GO) run ./cmd/tccrun -check -out scenario-results scenarios/torus256-parallel-sweep.json
 
 # Short fuzz of the message-library wire format (frame build/parse and
 # receiver-side header classification). The committed corpus runs on

@@ -12,7 +12,7 @@
 //	tccbench -bench allreduce [-nodes 8]
 //	tccbench -bench monitor  [-out BENCH_monitor.json]
 //	tccbench -bench engine   [-out BENCH_engine.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-baseline BENCH_engine.json]
-//	tccbench -bench parallel [-out BENCH_parallel.json] [-nodes 8]
+//	tccbench -bench parallel [-out BENCH_parallel.json] [-nodes 8] [-baseline BENCH_parallel.json] [-repeat 5]
 //	tccbench -bench faults   [-out BENCH_faults.json]
 //	tccbench -bench prof     [-out BENCH_prof.json]
 package main
@@ -33,7 +33,8 @@ func main() {
 	out := flag.String("out", "", "JSON output path (monitor and engine benchmarks)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (engine benchmark)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file (engine benchmark)")
-	baseline := flag.String("baseline", "", "committed BENCH_engine.json to gate full-stack throughput against (engine benchmark)")
+	baseline := flag.String("baseline", "", "committed benchmark JSON to gate against (engine and parallel benchmarks)")
+	repeat := flag.Int("repeat", 1, "attempts per configuration, best wall time kept (parallel benchmark)")
 	flag.Parse()
 
 	switch *bench {
@@ -54,7 +55,7 @@ func main() {
 		if n == 4 {
 			n = 8 // the -nodes default targets allreduce; parallel wants 8
 		}
-		runParallelBench(*out, n)
+		runParallelBench(*out, n, *baseline, *repeat)
 	case "faults":
 		runFaultsBench(*out)
 	case "prof":

@@ -403,6 +403,101 @@ func TestParallelMatchesSerialOnAllExampleTopologies(t *testing.T) {
 	}
 }
 
+// torusRun is the 256-node fabric workload behind the torus gate: a
+// short ring collective over row-major rank channels (cross-partition
+// doorbells and ring polling under any cut) plus one remote store per
+// node (the NB path). Sized to keep the gate under a few seconds while
+// still crossing every partition boundary both ways.
+func torusRun(t *testing.T, opts ...tccluster.Option) queueFingerprint {
+	t.Helper()
+	topo, err := tccluster.Torus(16, 16)
+	mustOK(t, err)
+	cfg := tccluster.DefaultConfig()
+	cfg.SocketsPerNode = 2 // torus nodes need 4 external links
+	c, err := tccluster.New(topo, cfg, opts...)
+	mustOK(t, err)
+	n := c.N()
+	senders := make([]*tccluster.Sender, n)
+	receivers := make([]*tccluster.Receiver, n)
+	for i := 0; i < n; i++ {
+		s, r, err := c.OpenChannel(i, (i+1)%n, tccluster.DefaultMsgParams())
+		mustOK(t, err)
+		senders[i] = s
+		receivers[(i+1)%n] = r
+	}
+	const steps = 3
+	var completed atomic.Int64
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 64)
+		buf[0] = byte(i)
+		send, recv := senders[i], receivers[i]
+		var step func(s int)
+		step = func(s int) {
+			if s >= steps {
+				completed.Add(1)
+				return
+			}
+			recv.Recv(func(d []byte, err error) {
+				mustOK(t, err)
+				for k := range buf {
+					buf[k] += d[k]
+				}
+				step(s + 1)
+			})
+			send.Send(buf, func(error) {})
+		}
+		step(0)
+	}
+	var stored atomic.Int64
+	for i := 0; i < n; i++ {
+		dst := (i + 16) % n // the node one torus row down
+		base := c.Node(dst).MemBase() + 8<<20
+		c.Node(i).Core().StoreBlock(base+uint64(i)*64, make([]byte, 64), func(err error) {
+			mustOK(t, err)
+			stored.Add(1)
+		})
+	}
+	c.Run()
+	if completed.Load() != int64(n) {
+		t.Fatalf("torus: %d of %d ring ranks completed", completed.Load(), n)
+	}
+	if stored.Load() != int64(n) {
+		t.Fatalf("torus: %d of %d stores retired", stored.Load(), n)
+	}
+	return fingerprint(c)
+}
+
+// TestParallelMatchesSerialTorus16x16 is the 256-node determinism gate
+// for the adaptive executor: the torus workload partitioned at 2, 4 and
+// 8 workers — under both partitioners — must reproduce the serial event
+// count, final virtual time, and per-link counters exactly.
+func TestParallelMatchesSerialTorus16x16(t *testing.T) {
+	serial := torusRun(t)
+	for _, workers := range []int{2, 4, 8} {
+		for _, part := range []struct {
+			name string
+			opts []tccluster.Option
+		}{
+			{"graph-cut", nil},
+			{"supernode", []tccluster.Option{tccluster.WithPartitioner(tccluster.PartitionBySupernode())}},
+		} {
+			opts := append([]tccluster.Option{tccluster.WithParallel(workers)}, part.opts...)
+			par := torusRun(t, opts...)
+			if par.fired != serial.fired {
+				t.Errorf("%d workers (%s): event count diverged: serial %d, parallel %d",
+					workers, part.name, serial.fired, par.fired)
+			}
+			if par.now != serial.now {
+				t.Errorf("%d workers (%s): final virtual time diverged: serial %v, parallel %v",
+					workers, part.name, serial.now, par.now)
+			}
+			if !reflect.DeepEqual(par.links, serial.links) {
+				t.Errorf("%d workers (%s): per-link counters diverged", workers, part.name)
+			}
+		}
+	}
+}
+
 func mustOK(t *testing.T, err error) {
 	t.Helper()
 	if err != nil {

@@ -24,10 +24,13 @@ func crossLatency(l *ht.Link) sim.Time {
 	return l.FlightTime() + l.SerializationTime(4)
 }
 
-// setupParallel splits the booted cluster into cfg.Parallel partitions of
-// contiguous address-ordered supernodes, each with its own event engine,
-// packet pool, and trace shard, joined by a conservative windowed barrier
-// (sim.Parallel) whose lookahead is the fastest cross-partition link.
+// setupParallel splits the booted cluster into cfg.Parallel partitions,
+// each with its own event engine, packet pool, and trace shard, joined
+// by a conservative windowed barrier (sim.Parallel). The partition map
+// comes from cfg.Partitioner (default: greedy graph-cut over the
+// external-link graph); the executor's global lookahead is the fastest
+// cross-partition link, and its per-pair lookahead matrix the fastest
+// link between each partition pair.
 //
 // It runs after firmware boot: construction and boot happen on a single
 // engine exactly as in serial mode, so the boot sequence — including its
@@ -53,13 +56,41 @@ func (c *Cluster) setupParallel() error {
 		}
 	}
 
-	// Contiguous blocks keep supernodes that share a board — and, in
-	// chain/mesh topologies, most of their traffic — in one partition.
+	// Derive the partition map from the external-link graph: edge
+	// affinity is inverse link latency (cutting a slow link costs
+	// little — its latency buys window width), node weight the node's
+	// core count as an event-rate proxy. The partition map never
+	// affects simulation results, only how they are computed; the
+	// parallel-vs-serial determinism gates prove it.
 	n := len(c.machines)
-	c.part = make([]int, n)
-	for i := range c.part {
-		c.part[i] = i * p / n
+	graph := PartitionGraph{Nodes: n, NodeW: make([]float64, n)}
+	for i, m := range c.machines {
+		w := 0
+		if m != nil {
+			for _, proc := range m.Procs {
+				w += len(proc.Cores)
+			}
+		}
+		graph.NodeW[i] = float64(w) // zero falls back to unit weight
 	}
+	for i, l := range c.extLinks {
+		lat := crossLatency(l)
+		graph.Edges = append(graph.Edges, PartitionEdge{
+			A: c.extEnds[i][0], B: c.extEnds[i][1], W: 1 / lat.Nanos(),
+		})
+	}
+	partitioner := c.cfg.Partitioner
+	if partitioner == nil {
+		partitioner = PartitionGraphCut()
+	}
+	assign, err := partitioner.Assign(graph, p)
+	if err != nil {
+		return fmt.Errorf("core: partitioner %s: %w", partitioner.Name(), err)
+	}
+	if err := validateAssignment(assign, n, p); err != nil {
+		return fmt.Errorf("core: partitioner %s: %w", partitioner.Name(), err)
+	}
+	c.part = assign
 
 	look := sim.Time(0)
 	for i, l := range c.extLinks {
@@ -154,8 +185,35 @@ func (c *Cluster) setupParallel() error {
 	if err != nil {
 		return err
 	}
+	// Per-pair lookahead: the fastest link between each partition pair.
+	// The executor closes it under composition, so partition windows
+	// widen to the actual influence distance instead of the single
+	// global minimum.
+	pair := make([][]sim.Time, p)
+	for i := range pair {
+		pair[i] = make([]sim.Time, p)
+	}
+	cutLinks := 0
+	cutWeight := 0.0
+	for i, l := range c.extLinks {
+		pa, pb := c.part[c.extEnds[i][0]], c.part[c.extEnds[i][1]]
+		if pa == pb {
+			continue
+		}
+		cutLinks++
+		lat := crossLatency(l)
+		cutWeight += 1 / lat.Nanos()
+		if pair[pa][pb] == 0 || lat < pair[pa][pb] {
+			pair[pa][pb] = lat
+			pair[pb][pa] = lat
+		}
+	}
+	if err := runner.SetPairLookahead(pair); err != nil {
+		return err
+	}
 	if pr := c.cfg.Profiler; pr != nil {
 		st := sim.NewParallelStats(p)
+		st.SetCut(partitioner.Name(), cutLinks, cutWeight)
 		runner.SetStats(st)
 		pr.SetParallelStats(st)
 	}

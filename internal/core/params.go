@@ -102,6 +102,13 @@ type Config struct {
 	// runs reach the same final virtual time and per-link counters as
 	// serial runs; only intra-window event interleaving differs.
 	Parallel int
+	// Partitioner picks how supernodes are grouped onto parallel
+	// partitions. Nil selects the greedy graph-cut partitioner
+	// (PartitionGraphCut); PartitionBySupernode restores the original
+	// contiguous by-index split. The choice never changes simulation
+	// results, only how much the partitions overlap in time. Ignored
+	// on serial runs.
+	Partitioner Partitioner
 }
 
 // DefaultConfig returns the prototype-faithful configuration.

@@ -220,6 +220,21 @@ func (s *Summary) WriteText(w io.Writer) error {
 	if s.PDES != nil {
 		ew.printf("pdes: %d windows, occupancy %.2f, imbalance %.2f, serial %.2fms, span %.2fms\n",
 			s.PDES.Windows, s.PDES.Occupancy, s.PDES.Imbalance, s.PDES.SerialMS, s.PDES.SpanMS)
+		if s.PDES.Partitioner != "" {
+			ew.printf("  cut: %s, %d links crossing, weight %.3f\n",
+				s.PDES.Partitioner, s.PDES.CutLinks, s.PDES.CutWeight)
+		}
+		ew.printf("  windows: %d dirty flips, %d widened past 2x lookahead, mean width %.1fns\n",
+			s.PDES.DirtyFlips, s.PDES.WideWindows, s.PDES.MeanWindowNs)
+		for _, b := range s.PDES.WindowWidthHist {
+			if b.UpToNs >= 1e15 {
+				// The overflow bucket: fast-forward windows bounded only
+				// by the run deadline, not by any peer.
+				ew.printf("    width unbounded: %d\n", b.Count)
+				continue
+			}
+			ew.printf("    width <= %.1fns: %d\n", b.UpToNs, b.Count)
+		}
 		for _, ps := range s.PDES.Partitions {
 			ew.printf("  partition %d: %d events, busy %.2fms, barrier wait %.2fms, %d active windows\n",
 				ps.Partition, ps.Events, ps.BusyMS, ps.BarrierWaitMS, ps.ActiveWindows)
@@ -270,6 +285,34 @@ func (s *Summary) WritePrometheus(w io.Writer) error {
 		ew.printf("# TYPE tcc_prof_pdes_partition_barrier_wait_ms gauge\n")
 		for _, ps := range p.Partitions {
 			ew.printf("tcc_prof_pdes_partition_barrier_wait_ms{partition=\"%d\"} %g\n", ps.Partition, ps.BarrierWaitMS)
+		}
+		ew.printf("# HELP tcc_prof_pdes_dirty_flips mailbox flips performed (dirty set)\n")
+		ew.printf("# TYPE tcc_prof_pdes_dirty_flips counter\n")
+		ew.printf("tcc_prof_pdes_dirty_flips %d\n", p.DirtyFlips)
+		ew.printf("# HELP tcc_prof_pdes_wide_windows windows widened past 2x lookahead\n")
+		ew.printf("# TYPE tcc_prof_pdes_wide_windows counter\n")
+		ew.printf("tcc_prof_pdes_wide_windows %d\n", p.WideWindows)
+		ew.printf("# HELP tcc_prof_pdes_mean_window_ns mean bounded window width (virtual ns)\n")
+		ew.printf("# TYPE tcc_prof_pdes_mean_window_ns gauge\n")
+		ew.printf("tcc_prof_pdes_mean_window_ns %g\n", p.MeanWindowNs)
+		if len(p.WindowWidthHist) > 0 {
+			ew.printf("# HELP tcc_prof_pdes_window_width_ns window width histogram (virtual ns, log2 buckets)\n")
+			ew.printf("# TYPE tcc_prof_pdes_window_width_ns histogram\n")
+			cum := uint64(0)
+			for _, b := range p.WindowWidthHist {
+				cum += b.Count
+				ew.printf("tcc_prof_pdes_window_width_ns_bucket{le=\"%g\"} %d\n", b.UpToNs, cum)
+			}
+			ew.printf("tcc_prof_pdes_window_width_ns_bucket{le=\"+Inf\"} %d\n", cum)
+			ew.printf("tcc_prof_pdes_window_width_ns_count %d\n", cum)
+		}
+		if p.Partitioner != "" {
+			ew.printf("# HELP tcc_prof_pdes_cut_links external links crossing the partition cut\n")
+			ew.printf("# TYPE tcc_prof_pdes_cut_links gauge\n")
+			ew.printf("tcc_prof_pdes_cut_links{partitioner=%q} %d\n", p.Partitioner, p.CutLinks)
+			ew.printf("# HELP tcc_prof_pdes_cut_weight total affinity weight of cut links\n")
+			ew.printf("# TYPE tcc_prof_pdes_cut_weight gauge\n")
+			ew.printf("tcc_prof_pdes_cut_weight{partitioner=%q} %g\n", p.Partitioner, p.CutWeight)
 		}
 		ew.printf("# HELP tcc_prof_pdes_mailbox_posts cross-partition events published\n")
 		ew.printf("# TYPE tcc_prof_pdes_mailbox_posts counter\n")

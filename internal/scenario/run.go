@@ -55,6 +55,7 @@ type workloadDef struct {
 // entry here is all a new workload needs.
 var workloads = map[string]workloadDef{
 	"pingpong":       {validate: validatePingpong, run: runPingpong},
+	"ringshift":      {validate: validateRingshift, run: runRingshift},
 	"allreduce":      {run: runAllreduce},
 	"cg":             {run: runCG},
 	"heat2d":         {run: runHeat2D},

@@ -58,3 +58,45 @@ func TestFaultRecoveryScenarioDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestRingshiftScenarioDeterminism runs the new all-node ring workload
+// on a small torus serially and in parallel: byte-identical output and
+// an equal fingerprint, the same contract the committed 16x16 sweep
+// spec relies on at 256 nodes.
+func TestRingshiftScenarioDeterminism(t *testing.T) {
+	spec := []byte(`{
+		"version": 1,
+		"name": "ringshift-gate",
+		"topology": {"kind": "torus", "width": 4, "height": 4},
+		"config": {"sockets_per_node": 2},
+		"workloads": [{"kind": "ringshift", "ringshift": {"steps": 3, "payload": 32}}]
+	}`)
+	base, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("parse spec: %v", err)
+	}
+	var refOut bytes.Buffer
+	refRes, err := base.Run(&refOut)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	if !bytes.Contains(refOut.Bytes(), []byte("16 ranks completed 3 shifts")) {
+		t.Fatalf("output missing completion line:\n%s", refOut.Bytes())
+	}
+	for _, par := range []int{2, 4} {
+		s := base.Clone()
+		s.Parallel = par
+		var out bytes.Buffer
+		res, err := s.Run(&out)
+		if err != nil {
+			t.Fatalf("parallel=%d run: %v", par, err)
+		}
+		if *res != *refRes {
+			t.Errorf("parallel=%d fingerprint diverged: serial %+v, parallel %+v", par, refRes, res)
+		}
+		if !bytes.Equal(refOut.Bytes(), out.Bytes()) {
+			t.Errorf("parallel=%d output diverged:\nserial:\n%s\nparallel:\n%s",
+				par, refOut.Bytes(), out.Bytes())
+		}
+	}
+}

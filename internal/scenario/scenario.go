@@ -57,6 +57,10 @@ type Scenario struct {
 	// Parallel is the partition worker count (0 or 1 = serial; results
 	// are identical either way).
 	Parallel int `json:"parallel,omitempty"`
+	// Partitioner picks the parallel partition map: "" or "graph-cut"
+	// for the greedy graph-cut default, "supernode" for the contiguous
+	// by-index split. Results are identical either way.
+	Partitioner string `json:"partitioner,omitempty"`
 	// Sweep, when present, expands this scenario into a grid of cells
 	// (see Cells). The swept fields override the base values above.
 	Sweep *Sweep `json:"sweep,omitempty"`
@@ -95,11 +99,12 @@ type ConfigSpec struct {
 // the block matching Kind may be set; all blocks are optional (nil
 // runs the kind's defaults, which reproduce the original example).
 type WorkloadSpec struct {
-	// Kind is pingpong | allreduce | cg | heat2d | pgas | collectives |
-	// failure-tour | fault-recovery.
+	// Kind is pingpong | allreduce | cg | heat2d | pgas | ringshift |
+	// collectives | failure-tour | fault-recovery.
 	Kind string `json:"kind"`
 
 	Pingpong      *PingpongParams      `json:"pingpong,omitempty"`
+	Ringshift     *RingshiftParams     `json:"ringshift,omitempty"`
 	Allreduce     *AllreduceParams     `json:"allreduce,omitempty"`
 	CG            *CGParams            `json:"cg,omitempty"`
 	Heat2D        *Heat2DParams        `json:"heat2d,omitempty"`
@@ -113,6 +118,17 @@ type WorkloadSpec struct {
 type PingpongParams struct {
 	// Rounds is the number of ping-pong exchanges (default 8).
 	Rounds int `json:"rounds,omitempty"`
+}
+
+// RingshiftParams shape the neighbor-ring shift workload: one channel
+// per node to its successor, lockstep receive-fold-forward steps. The
+// only scenario workload that spans every node without an all-pairs
+// channel fabric, so it is the one to reach for on large tori.
+type RingshiftParams struct {
+	// Steps is the shift count per rank (default 4).
+	Steps int `json:"steps,omitempty"`
+	// Payload is the block size in bytes (default 64).
+	Payload int `json:"payload,omitempty"`
 }
 
 // AllreduceParams shape the distributed-statistics workload.
@@ -328,6 +344,11 @@ func (s *Scenario) Validate() error {
 	if s.Parallel < 0 {
 		return badf("%s: negative parallel %d", s.Name, s.Parallel)
 	}
+	switch s.Partitioner {
+	case "", "graph-cut", "supernode":
+	default:
+		return badf("%s: unknown partitioner %q (want graph-cut or supernode)", s.Name, s.Partitioner)
+	}
 	if len(s.Workloads) == 0 {
 		return badf("%s: no workloads", s.Name)
 	}
@@ -387,6 +408,7 @@ func (w *WorkloadSpec) validateParams() error {
 		set  bool
 	}{
 		{"pingpong", w.Pingpong != nil},
+		{"ringshift", w.Ringshift != nil},
 		{"allreduce", w.Allreduce != nil},
 		{"cg", w.CG != nil},
 		{"heat2d", w.Heat2D != nil},

@@ -133,6 +133,14 @@ type Engine struct {
 	winCap    Time
 	postLook2 Time
 
+	// mailDirty lists the mailboxes this engine posted to since the
+	// last barrier. The coordinator flips exactly these at the next
+	// barrier instead of scanning the full partition-pair matrix; the
+	// slice is truncated (capacity kept) after every flip. Only the
+	// producer partition's goroutine appends, only the coordinator
+	// clears, and the two are ordered by the barrier handoff.
+	mailDirty []*Mailbox
+
 	q      ladder       // default queue: arena-backed ladder
 	legacy *legacyQueue // non-nil selects the seed container/heap queue
 }

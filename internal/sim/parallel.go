@@ -1,5 +1,5 @@
 // Conservative parallel execution: a set of partition engines advanced
-// in lockstep over global time windows whose width is the cross-partition
+// in lockstep over global time windows bounded by cross-partition
 // lookahead (the minimum latency any partition needs before it can be
 // influenced by another). Within a window every partition is causally
 // independent, so partitions run concurrently on worker goroutines;
@@ -7,14 +7,23 @@
 // only at window boundaries, under the coordinator's happens-before.
 //
 // The scheme is the classical synchronous conservative PDES barrier
-// (Chandy-Misra lookahead without null messages): with L the minimum
-// cross-partition latency and T the earliest pending timestamp anywhere,
-// no event before T+L anywhere can be affected by another partition, so
-// every partition may safely execute its events in [T, T+L].
+// (Chandy-Misra lookahead without null messages), sharpened in two
+// ways. First, the bound is per partition pair: partition p may run to
+// min over peers q of (next_q + dist(q, p)), where dist is the
+// all-pairs shortest cross-partition latency (Floyd-Warshall over the
+// partition quotient graph), not the single global minimum. Second, a
+// partition whose peers are all idle is unconstrained and fast-forwards
+// to the run deadline in one window — and snaps back to narrow windows
+// the moment a peer posts mail, because the post both caps the producer
+// (Mailbox.Post) and re-arms the consumer's horizon at the next
+// barrier. An idle consumer's clock stays parked until mail arrives, so
+// a post landing mid-widened-window is still delivered and executed at
+// its exact virtual time.
 package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 )
 
@@ -43,15 +52,35 @@ type MailEntry struct {
 // barrier (when neither worker is running); the consumer partition
 // drains ready into its engine at the start of the next window. All
 // handoffs are ordered by the barrier's channel synchronization, so no
-// mutex or atomic is needed on the Post path.
+// mutex or atomic is needed on the Post path. Both slices retain their
+// capacity across windows, so a steady-state run allocates nothing on
+// the mail path.
 type Mailbox struct {
 	inflight []MailEntry
 	ready    []MailEntry
+
+	// readyMin caches the earliest At over ready entries (maxTime when
+	// ready is empty), so the coordinator's horizon scan touches only
+	// one word per queued mailbox instead of every entry.
+	readyMin Time
 
 	// From and To label the producer and consumer partitions for the
 	// profiler's traffic matrix. Purely descriptive; set by whoever
 	// wires the mailbox between partitions.
 	From, To int
+
+	// Executor wiring, set by NewParallel: cons is the consuming
+	// partition (derived from the inboxes lists, independent of the
+	// descriptive From/To), idx the mailbox's global wiring order —
+	// the stable drain-order key that keeps seq tiebreaks for
+	// identical (at, sat, pri) entries bit-identical to a fixed
+	// inbox-scan drain. dirty marks membership in the producer
+	// engine's mailDirty list, queued membership in the consumer's
+	// readyBoxes list.
+	cons   int
+	idx    int
+	dirty  bool
+	queued bool
 }
 
 // Post records an event for the consumer partition, stamped with the
@@ -60,22 +89,34 @@ type Mailbox struct {
 // window runs. Posting shrinks the producer's dynamic window bound to
 // now + 2·lookahead: any causal chain triggered by this mail needs at
 // least two cross-partition hops to come back, so the producer must
-// not run past that horizon inside the current window.
+// not run past that horizon inside the current window. The first post
+// into a quiet mailbox also enrolls it in the producer's dirty list —
+// the coordinator flips only dirty mailboxes at the barrier.
 func (mb *Mailbox) Post(from *Engine, at Time, h Handler, arg EventArg) {
 	if from.postLook2 > 0 {
 		if cap := from.now + from.postLook2; cap < from.winCap {
 			from.winCap = cap
 		}
 	}
+	if !mb.dirty {
+		mb.dirty = true
+		from.mailDirty = append(from.mailDirty, mb)
+	}
 	mb.inflight = append(mb.inflight, MailEntry{
 		At: at, SchedAt: from.now, Pri: from.eventPri(), H: h, Arg: arg,
 	})
 }
 
-// flip publishes inflight entries to the consumer side. Coordinator
-// only. Ready entries not yet drained (because the previous run ended
-// before their partition's next window) are kept ahead of new ones.
+// flip publishes inflight entries to the consumer side and refreshes
+// readyMin. Coordinator only. Ready entries not yet drained (because
+// the previous run ended before their partition's next window) are kept
+// ahead of new ones.
 func (mb *Mailbox) flip() {
+	for i := range mb.inflight {
+		if at := mb.inflight[i].At; at < mb.readyMin {
+			mb.readyMin = at
+		}
+	}
 	if len(mb.ready) == 0 {
 		mb.inflight, mb.ready = mb.ready, mb.inflight
 		return
@@ -93,6 +134,7 @@ func (mb *Mailbox) drainInto(e *Engine) {
 		en.H, en.Arg = nil, EventArg{} // drop references for GC
 	}
 	mb.ready = mb.ready[:0]
+	mb.readyMin = maxTime
 }
 
 // Parallel advances a set of partition engines in conservative time
@@ -104,6 +146,13 @@ type Parallel struct {
 	engs    []*Engine
 	inboxes [][]*Mailbox // inboxes[p]: mailboxes consumed by partition p
 	look    Time
+
+	// dist[q][p] is the minimum cross-partition virtual latency of any
+	// causal chain from partition q to partition p (all-pairs shortest
+	// path over per-pair direct lookaheads; maxTime when unreachable,
+	// 0 on the diagonal). Nil selects the uniform fallback: every pair
+	// at distance look over a complete influence graph.
+	dist [][]Time
 
 	barrier func() // serial section at each window boundary
 
@@ -117,6 +166,13 @@ type Parallel struct {
 	active []bool // scratch: partitions with work this window
 	nexts  []Time // scratch: per-partition earliest pending time
 	bounds []Time // scratch: per-partition window bound
+
+	// readyBoxes[p] lists mailboxes holding undelivered ready entries
+	// for partition p, kept sorted by wiring order (Mailbox.idx) so the
+	// consumer drains them in the same fixed order a full inbox scan
+	// would. The coordinator enqueues at the barrier; the consumer
+	// truncates after draining, capacity retained.
+	readyBoxes [][]*Mailbox
 
 	// Persistent worker pool: spawned lazily on the first run and parked
 	// on their command channels between windows and between runs, so a
@@ -153,18 +209,92 @@ func NewParallel(engs []*Engine, inboxes [][]*Mailbox, look Time) (*Parallel, er
 	for _, e := range engs {
 		e.postLook2 = 2 * look
 	}
-	return &Parallel{
-		engs:    engs,
-		inboxes: inboxes,
-		look:    look,
-		active:  make([]bool, len(engs)),
-		nexts:   make([]Time, len(engs)),
-		bounds:  make([]Time, len(engs)),
-	}, nil
+	p := &Parallel{
+		engs:       engs,
+		inboxes:    inboxes,
+		look:       look,
+		active:     make([]bool, len(engs)),
+		nexts:      make([]Time, len(engs)),
+		bounds:     make([]Time, len(engs)),
+		readyBoxes: make([][]*Mailbox, len(engs)),
+	}
+	// Wire every mailbox to its consumer and stamp the global wiring
+	// order that fixes drain order across dirty-set handoffs. A mailbox
+	// handed over with entries already published is enqueued right away.
+	idx := 0
+	for pi, boxes := range inboxes {
+		for _, mb := range boxes {
+			mb.cons = pi
+			mb.idx = idx
+			idx++
+			mb.readyMin = maxTime
+			for i := range mb.ready {
+				if at := mb.ready[i].At; at < mb.readyMin {
+					mb.readyMin = at
+				}
+			}
+			if len(mb.ready) > 0 && !mb.queued {
+				mb.queued = true
+				p.enqueueReady(mb)
+			}
+		}
+	}
+	return p, nil
 }
 
-// Lookahead returns the window width the executor synchronizes on.
+// Lookahead returns the minimum cross-partition lookahead the executor
+// synchronizes on.
 func (p *Parallel) Lookahead() Time { return p.look }
+
+// SetPairLookahead installs the direct cross-partition latency matrix:
+// direct[q][p] is the minimum virtual latency of mail posted by
+// partition q for partition p, or 0 when q never posts to p directly.
+// The executor closes the matrix under composition (Floyd-Warshall), so
+// a partition's window bound accounts for multi-hop influence chains
+// through idle intermediates. Every finite direct entry must be at
+// least the executor's global lookahead — the producer-side window cap
+// (Mailbox.Post) is derived from it.
+func (p *Parallel) SetPairLookahead(direct [][]Time) error {
+	n := len(p.engs)
+	if len(direct) != n {
+		return fmt.Errorf("sim: pair lookahead matrix is %dx, want %dx%d", len(direct), n, n)
+	}
+	d := make([][]Time, n)
+	for i := range d {
+		if len(direct[i]) != n {
+			return fmt.Errorf("sim: pair lookahead row %d has %d entries, want %d", i, len(direct[i]), n)
+		}
+		d[i] = make([]Time, n)
+		for j := range d[i] {
+			w := direct[i][j]
+			switch {
+			case i == j:
+				d[i][j] = 0
+			case w <= 0:
+				d[i][j] = maxTime
+			case w < p.look:
+				return fmt.Errorf("sim: pair lookahead %v for %d->%d below global lookahead %v", w, i, j, p.look)
+			default:
+				d[i][j] = w
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := d[i][k]
+			if dik == maxTime {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if dkj := d[k][j]; dkj != maxTime && dik+dkj < d[i][j] {
+					d[i][j] = dik + dkj
+				}
+			}
+		}
+	}
+	p.dist = d
+	return nil
+}
 
 // Now returns the global virtual time: the maximum over partition
 // clocks. Between runs all clocks are aligned, so this equals each
@@ -242,19 +372,101 @@ func (p *Parallel) RunUntil(deadline Time) { p.run(deadline, true) }
 // RunFor advances the cluster by d picoseconds of virtual time.
 func (p *Parallel) RunFor(d Time) { p.run(p.Now()+d, true) }
 
-// run is the coordinator loop. Each iteration: flip mailboxes, find
-// each partition's earliest pending timestamp (events or undelivered
-// mail), then execute a per-partition window on every partition that
-// has work, then run the serial barrier section.
+// flipDirty publishes last window's mail: every mailbox posted to since
+// the previous barrier is flipped and enqueued on its consumer's
+// readyBoxes list, in wiring order. O(posts), independent of the
+// partition-pair count. Coordinator only, workers parked.
+func (p *Parallel) flipDirty(st *ParallelStats) {
+	flips := 0
+	for _, e := range p.engs {
+		if len(e.mailDirty) == 0 {
+			continue
+		}
+		for _, mb := range e.mailDirty {
+			mb.dirty = false
+			if st != nil {
+				st.addMail(mb.From, mb.To, len(mb.inflight))
+			}
+			mb.flip()
+			if !mb.queued && len(mb.ready) > 0 {
+				mb.queued = true
+				p.enqueueReady(mb)
+			}
+			flips++
+		}
+		e.mailDirty = e.mailDirty[:0]
+	}
+	if st != nil && flips > 0 {
+		st.dirtyFlips.Add(uint64(flips))
+	}
+}
+
+// enqueueReady inserts mb into its consumer's readyBoxes list, keeping
+// the list sorted by wiring order so drains replay the fixed scan order
+// and seq tiebreaks stay bit-identical to a serial run.
+func (p *Parallel) enqueueReady(mb *Mailbox) {
+	boxes := append(p.readyBoxes[mb.cons], mb)
+	i := len(boxes) - 1
+	for i > 0 && boxes[i-1].idx > mb.idx {
+		boxes[i] = boxes[i-1]
+		i--
+	}
+	boxes[i] = mb
+	p.readyBoxes[mb.cons] = boxes
+}
+
+// drainReady delivers every queued ready mailbox for partition idx into
+// its engine, in wiring order. Runs on the consumer partition's
+// goroutine at window start; safe against the coordinator's enqueue via
+// the window dispatch happens-before.
+func (p *Parallel) drainReady(idx int, eng *Engine) {
+	boxes := p.readyBoxes[idx]
+	if len(boxes) == 0 {
+		return
+	}
+	for i, mb := range boxes {
+		mb.drainInto(eng)
+		mb.queued = false
+		boxes[i] = nil
+	}
+	p.readyBoxes[idx] = boxes[:0]
+}
+
+// execWindow drains partition idx's pending mail and runs its events up
+// to bound w. Called from the partition's worker goroutine — or inline
+// on the coordinator when this is the only active partition, skipping
+// the channel round-trip entirely.
+func (p *Parallel) execWindow(idx int, w Time) {
+	eng := p.engs[idx]
+	if st := p.stats; st != nil {
+		t0 := time.Now()
+		f0 := eng.Fired()
+		p.drainReady(idx, eng)
+		eng.runEvents(w)
+		st.winBusy[idx] = time.Since(t0).Nanoseconds()
+		st.winEvents[idx] = eng.Fired() - f0
+	} else {
+		p.drainReady(idx, eng)
+		eng.runEvents(w)
+	}
+}
+
+// run is the coordinator loop. Each iteration: flip dirty mailboxes,
+// find each partition's earliest pending timestamp (events or
+// undelivered mail), then execute a per-partition window on every
+// partition that has work, then run the serial barrier section.
 //
-// Windows are adaptively widened per partition: partition p can only be
-// influenced by a peer q through mail posted at q's local clock plus at
-// least the cross-partition lookahead, so p may safely run to
-// min(next_q over q != p) + look — potentially far past the classical
-// global bound tnext+look. When every peer is idle the bound degenerates
-// to the run deadline: the lone active partition fast-forwards through
-// its remaining work in a single window instead of draining one
-// lookahead-sized window per iteration.
+// Windows are adaptively widened per partition pair: partition p can
+// only be influenced by a peer q through mail that costs at least
+// dist(q, p) of virtual latency from q's current horizon, so p may
+// safely run to min over q of (next_q + dist(q, p)) — potentially far
+// past the classical global bound tnext+look. When every peer is idle
+// (or unreachable) the bound degenerates to the run deadline: the lone
+// active partition fast-forwards through its remaining work in a single
+// window instead of draining one lookahead-sized window per iteration.
+// The producer-side cap (Mailbox.Post) covers the one influence the
+// matrix excludes — a chain leaving p and returning to it within the
+// same window.
 func (p *Parallel) run(deadline Time, bounded bool) {
 	n := len(p.engs)
 	if p.cmds == nil {
@@ -274,25 +486,20 @@ func (p *Parallel) run(deadline Time, bounded bool) {
 		if st != nil {
 			serialT0 = time.Now()
 		}
+		p.flipDirty(st)
 		tnext := maxTime
 		have := false
 		for pi := range p.engs {
 			p.active[pi] = false
 			next := maxTime
-			for _, mb := range p.inboxes[pi] {
-				if st != nil && len(mb.inflight) > 0 {
-					st.addMail(mb.From, mb.To, len(mb.inflight))
+			for _, mb := range p.readyBoxes[pi] {
+				if mb.readyMin < next {
+					next = mb.readyMin
 				}
-				mb.flip()
-				for i := range mb.ready {
-					if at := mb.ready[i].At; at < next {
-						next = at
-					}
-				}
-				if len(mb.ready) > 0 {
-					p.active[pi] = true
-					have = true
-				}
+			}
+			if next < maxTime {
+				p.active[pi] = true
+				have = true
 			}
 			if t, ok := p.engs[pi].nextTime(); ok {
 				if t < next {
@@ -340,15 +547,18 @@ func (p *Parallel) run(deadline Time, bounded bool) {
 			break
 		}
 
-		// First and second smallest per-partition horizons: partition
-		// pi's bound is the smallest next over its peers, which is m1
-		// unless pi itself is the unique holder of m1, then m2.
+		// First and second smallest per-partition horizons, for the
+		// uniform fallback (no pair matrix): partition pi's bound is the
+		// smallest next over its peers, which is m1 unless pi itself is
+		// the unique holder of m1, then m2.
 		m1, m2, m1i := maxTime, maxTime, -1
-		for pi, t := range p.nexts {
-			if t < m1 {
-				m1, m2, m1i = t, m1, pi
-			} else if t < m2 {
-				m2 = t
+		if p.dist == nil {
+			for pi, t := range p.nexts {
+				if t < m1 {
+					m1, m2, m1i = t, m1, pi
+				} else if t < m2 {
+					m2 = t
+				}
 			}
 		}
 
@@ -360,13 +570,36 @@ func (p *Parallel) run(deadline Time, bounded bool) {
 			if !p.active[pi] {
 				continue
 			}
-			other := m1
-			if pi == m1i {
-				other = m2
-			}
-			w := other + p.look
-			if w < other { // overflow (peers idle: other == maxTime)
+			var w Time
+			if p.dist != nil {
+				// Per-pair bound: the earliest instant any peer's pending
+				// work could influence pi.
 				w = maxTime
+				for qi, t := range p.nexts {
+					if qi == pi || t == maxTime {
+						continue
+					}
+					d := p.dist[qi][pi]
+					if d == maxTime {
+						continue
+					}
+					b := t + d
+					if b < t { // overflow
+						b = maxTime
+					}
+					if b < w {
+						w = b
+					}
+				}
+			} else {
+				other := m1
+				if pi == m1i {
+					other = m2
+				}
+				w = other + p.look
+				if w < other { // overflow (peers idle: other == maxTime)
+					w = maxTime
+				}
 			}
 			if p.sampleFn != nil && p.sampleNext > tnext && w > p.sampleNext {
 				w = p.sampleNext
@@ -383,20 +616,34 @@ func (p *Parallel) run(deadline Time, bounded bool) {
 			}
 		}
 
-		// Parallel section: partitions with work run concurrently.
+		// Parallel section: partitions with work run concurrently. A
+		// lone active partition runs inline on the coordinator — no
+		// channel round-trip, no worker wakeup.
 		if st != nil {
 			st.serial.Add(time.Since(serialT0).Nanoseconds())
 			st.resetWindow()
+			st.noteWidth(wmin-tnext, p.look)
 		}
-		dispatched := 0
+		dispatched, lone := 0, -1
 		for pi := range p.engs {
 			if p.active[pi] {
-				cmds[pi] <- p.bounds[pi]
+				if dispatched == 0 {
+					lone = pi
+				}
 				dispatched++
 			}
 		}
-		for i := 0; i < dispatched; i++ {
-			<-done
+		if dispatched == 1 {
+			p.execWindow(lone, p.bounds[lone])
+		} else {
+			for pi := range p.engs {
+				if p.active[pi] {
+					cmds[pi] <- p.bounds[pi]
+				}
+			}
+			for i := 0; i < dispatched; i++ {
+				<-done
+			}
 		}
 		if st != nil {
 			st.noteWindow(p.active)
@@ -438,27 +685,22 @@ func (p *Parallel) run(deadline Time, bounded bool) {
 }
 
 // worker executes window deadlines for one partition for the lifetime
-// of the executor. Draining the partition's inboxes happens here,
-// inside the window, so the coordinator's flip and the drain never
-// overlap.
+// of the executor. Draining the partition's queued mailboxes happens
+// here, inside the window, so the coordinator's flip and the drain
+// never overlap.
 func (p *Parallel) worker(idx int, cmds chan Time, done chan int) {
-	eng := p.engs[idx]
 	for w := range cmds {
-		if st := p.stats; st != nil {
-			t0 := time.Now()
-			f0 := eng.Fired()
-			for _, mb := range p.inboxes[idx] {
-				mb.drainInto(eng)
-			}
-			eng.runEvents(w)
-			st.winBusy[idx] = time.Since(t0).Nanoseconds()
-			st.winEvents[idx] = eng.Fired() - f0
-		} else {
-			for _, mb := range p.inboxes[idx] {
-				mb.drainInto(eng)
-			}
-			eng.runEvents(w)
-		}
+		p.execWindow(idx, w)
 		done <- idx
 	}
+}
+
+// widthBucket maps a window width in picoseconds to its log2 histogram
+// bucket (bucket k counts widths in [2^(k-1), 2^k), bucket 0 widths of
+// zero).
+func widthBucket(w Time) int {
+	if w <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(w))
 }

@@ -183,3 +183,172 @@ func TestWarpTo(t *testing.T) {
 	e.At(50*Nanosecond, func() {})
 	e.WarpTo(60 * Nanosecond)
 }
+
+// postOnce records its firing times and, the first time it runs with a
+// non-nil out, posts a single cross-partition event.
+type postOnce struct {
+	hops  []Time
+	out   *Mailbox
+	peer  Handler
+	delta Time
+}
+
+func (h *postOnce) OnEvent(e *Engine, _ EventArg) {
+	h.hops = append(h.hops, e.Now())
+	if h.out != nil {
+		h.out.Post(e, e.Now()+h.delta, h.peer, EventArg{})
+		h.out = nil
+	}
+}
+
+// TestParallelSnapBackExactDelivery is the adaptive-widening safety
+// gate: with one partition idle, the busy partition's windows widen far
+// past the lookahead (fast-forward), yet a cross-partition post made in
+// the middle of such a widened window must still be delivered and
+// executed at its exact virtual timestamp — the idle consumer's clock
+// stays parked until the mail arrives, and the producer's own window
+// snaps back to post time + 2·lookahead.
+func TestParallelSnapBackExactDelivery(t *testing.T) {
+	const (
+		look  = 10 * Nanosecond
+		delta = 13 * Nanosecond
+		postT = 5 * Microsecond
+	)
+	ea, eb := NewEngine(), NewEngine()
+	toB := &Mailbox{From: 0, To: 1}
+	rec := &postOnce{}
+	poster := &postOnce{out: toB, peer: rec, delta: delta}
+	// A long train of partition-A-local work around the post instant,
+	// so the post lands mid-fast-forward, not at a window edge.
+	filler := &postOnce{}
+	for i := 1; i <= 2000; i++ {
+		ea.Schedule(Time(i)*3*Nanosecond, filler, EventArg{})
+	}
+	ea.Schedule(postT, poster, EventArg{})
+	p, err := NewParallel([]*Engine{ea, eb}, [][]*Mailbox{nil, {toB}}, look)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetPairLookahead([][]Time{{0, look}, {look, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	st := NewParallelStats(2)
+	p.SetStats(st)
+	p.Run()
+
+	if len(rec.hops) != 1 || rec.hops[0] != postT+delta {
+		t.Fatalf("cross-partition event fired at %v, want exactly %v", rec.hops, postT+delta)
+	}
+	if len(filler.hops) != 2000 {
+		t.Fatalf("filler fired %d of 2000 events", len(filler.hops))
+	}
+	if ea.Now() != eb.Now() {
+		t.Fatalf("clocks unaligned after Run: %v vs %v", ea.Now(), eb.Now())
+	}
+	// The widening actually happened: with B idle, A's windows blow past
+	// 2x lookahead instead of draining 10ns at a time...
+	if st.wideWindows.Load() == 0 {
+		t.Fatalf("no window widened past 2x lookahead; fast-forward lever inactive")
+	}
+	// ...and the dirty set flipped exactly the one posted mailbox over
+	// the whole run, not one flip per mailbox per window.
+	if got := st.dirtyFlips.Load(); got != 1 {
+		t.Fatalf("dirty mailbox flips = %d, want exactly 1", got)
+	}
+}
+
+// TestParallelPairLookaheadChain runs two independent bounce pairs over
+// a three-partition line with very different cross-partition latencies
+// (A-B fast, B-C slow, A-C only via composition) and checks the result
+// against a single serial engine: the per-pair distance matrix must
+// change scheduling, never outcomes.
+func TestParallelPairLookaheadChain(t *testing.T) {
+	const (
+		lookAB = 10 * Nanosecond
+		lookBC = 100 * Nanosecond
+		dAB    = 13 * Nanosecond
+		dBC    = 120 * Nanosecond
+		nAB    = 30
+		nBC    = 10
+	)
+
+	// Serial reference: both bounces interleaved on one engine.
+	se := NewEngine()
+	sa := &serialRelay{delta: dAB}
+	sb := &serialRelay{delta: dAB, peer: sa}
+	sa.peer = sb
+	sb2 := &serialRelay{delta: dBC}
+	sc := &serialRelay{delta: dBC, peer: sb2}
+	sb2.peer = sc
+	se.Schedule(5*Nanosecond, sa, EventArg{I: nAB})
+	se.Schedule(7*Nanosecond, sb2, EventArg{I: nBC})
+	se.Run()
+
+	ea, eb, ec := NewEngine(), NewEngine(), NewEngine()
+	toA := &Mailbox{From: 1, To: 0}
+	toB := &Mailbox{From: 0, To: 1}
+	toB2 := &Mailbox{From: 2, To: 1}
+	toC := &Mailbox{From: 1, To: 2}
+	ra := &relay{out: toB, delta: dAB}
+	rb := &relay{out: toA, delta: dAB, peer: ra}
+	ra.peer = rb
+	rb2 := &relay{out: toC, delta: dBC}
+	rc := &relay{out: toB2, delta: dBC, peer: rb2}
+	rb2.peer = rc
+	ea.Schedule(5*Nanosecond, ra, EventArg{I: nAB})
+	eb.Schedule(7*Nanosecond, rb2, EventArg{I: nBC})
+	p, err := NewParallel(
+		[]*Engine{ea, eb, ec},
+		[][]*Mailbox{{toA}, {toB, toB2}, {toC}},
+		lookAB,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.SetPairLookahead([][]Time{
+		{0, lookAB, 0},
+		{lookAB, 0, lookBC},
+		{0, lookBC, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run()
+
+	for name, pair := range map[string][2][]Time{
+		"A":      {sa.hops, ra.hops},
+		"B-fast": {sb.hops, rb.hops},
+		"B-slow": {sb2.hops, rb2.hops},
+		"C":      {sc.hops, rc.hops},
+	} {
+		want, got := pair[0], pair[1]
+		if len(got) != len(want) {
+			t.Fatalf("%s fired %d hops, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s hop %d at %v, serial at %v", name, i, got[i], want[i])
+			}
+		}
+	}
+	if p.Fired() != se.Fired() {
+		t.Fatalf("fired diverged: parallel %d, serial %d", p.Fired(), se.Fired())
+	}
+	if p.Now() != se.Now() {
+		t.Fatalf("final time diverged: parallel %v, serial %v", p.Now(), se.Now())
+	}
+}
+
+// TestSetPairLookaheadValidation rejects malformed matrices.
+func TestSetPairLookaheadValidation(t *testing.T) {
+	p, err := NewParallel([]*Engine{NewEngine(), NewEngine()}, [][]*Mailbox{nil, nil}, 10*Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetPairLookahead([][]Time{{0, 10 * Nanosecond}}); err == nil {
+		t.Error("short matrix accepted")
+	}
+	if err := p.SetPairLookahead([][]Time{{0, Nanosecond}, {Nanosecond, 0}}); err == nil {
+		t.Error("pair lookahead below global lookahead accepted")
+	}
+}

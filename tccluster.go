@@ -360,6 +360,30 @@ func WithParallel(n int) Option {
 	return func(b *buildOptions) { b.cfg.Parallel = n }
 }
 
+// Partitioner decides how supernodes are grouped onto WithParallel
+// partitions; see core.Partitioner. Implementations must be
+// deterministic.
+type Partitioner = core.Partitioner
+
+// PartitionGraphCut returns the default partitioner for parallel runs:
+// a greedy graph-cut over the external-link graph that balances
+// expected event load while minimizing the affinity (inverse latency)
+// of cut links — fewer, slower cross-partition links mean less mailbox
+// traffic and wider conservative windows.
+func PartitionGraphCut() Partitioner { return core.PartitionGraphCut() }
+
+// PartitionBySupernode returns the original contiguous by-index
+// partitioner: node i goes to partition i*p/n, matching the paper's
+// supernode-chain physical order.
+func PartitionBySupernode() Partitioner { return core.PartitionBySupernode() }
+
+// WithPartitioner selects the partition map for WithParallel runs. The
+// partitioner only shapes how the work is distributed; results are
+// bit-identical across partitioners and worker counts.
+func WithPartitioner(p Partitioner) Option {
+	return func(b *buildOptions) { b.cfg.Partitioner = p }
+}
+
 // WithMonitor starts the live-monitoring subsystem on the cluster: an
 // HTTP server on addr exposing /metrics (Prometheus text), /metrics.json
 // (the document cmd/tcctop polls), /health, /alerts and /dump; a flight
