@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check fmt fmt-check vet build test race test-race bench bench-smoke bench-json bench-engine bench-engine-check bench-parallel bench-parallel-check bench-faults bench-prof fuzz scenario-smoke
+.PHONY: all check fmt fmt-check vet build test race test-race bench bench-smoke bench-json bench-engine bench-engine-check bench-parallel bench-parallel-check bench-faults bench-prof bench-serve bench-serve-check fuzz scenario-smoke
 
 all: check
 
@@ -86,22 +86,41 @@ bench-faults:
 bench-prof:
 	$(GO) run ./cmd/tccbench -bench prof -out BENCH_prof.json
 
+# Regenerate the serving-stack numbers: a steady-state chain16 cell
+# pushing >=1M simulated requests through the replicated KV service,
+# plus a crash cell where a mid-run NodeCrash forces replica failover
+# and the windowed goodput records the SLO dip and recovery. Fails if
+# any parallel worker count diverges from the serial run.
+bench-serve:
+	$(GO) run ./cmd/tccbench -bench serve -out BENCH_serve.json
+
+# CI regression gate, mirror of bench-parallel-check: rerun the serve
+# benchmark (best of 5) and fail when steady-state goodput throughput
+# drops more than 15% below the committed BENCH_serve.json. Skipped on
+# runners with fewer CPUs than the baseline machine.
+bench-serve-check:
+	$(GO) run ./cmd/tccbench -bench serve -out BENCH_serve.json -baseline BENCH_serve.json -repeat 5
+
 # Smoke-run the scenario runner: the committed fault-recovery spec with
 # the serial-vs-parallel determinism gate, the committed 2x2 sweep grid
 # archiving one metadata-stamped result JSON per cell, the profiled
-# allreduce spec whose result embeds the latency budget, and the
+# allreduce spec whose result embeds the latency budget, the
 # 256-node torus ringshift sweep proving serial ≡ parallel byte-identity
-# at 2/4/8 workers under the graph-cut partitioner.
+# at 2/4/8 workers under the graph-cut partitioner, and the chain16
+# serving spec whose node-crash campaign exercises replica failover.
 scenario-smoke:
 	$(GO) run ./cmd/tccrun -check -out scenario-results scenarios/fault-recovery-chain4.json
 	$(GO) run ./cmd/tccrun -out scenario-results scenarios/allreduce-sweep.json
 	$(GO) run ./cmd/tccrun -check -out scenario-results scenarios/allreduce-chain16-profiled.json
 	$(GO) run ./cmd/tccrun -check -out scenario-results scenarios/torus256-parallel-sweep.json
+	$(GO) run ./cmd/tccrun -check -out scenario-results scenarios/serve-chain16-crash.json
 
 # Short fuzz of the message-library wire format (frame build/parse and
-# receiver-side header classification). The committed corpus runs on
-# every plain `go test`; this target spends a little extra time looking
-# for new inputs.
+# receiver-side header classification) and the scenario serve block
+# (strict JSON decode + validation + config lowering). The committed
+# corpus runs on every plain `go test`; this target spends a little
+# extra time looking for new inputs.
 fuzz:
 	$(GO) test ./internal/msg -run=NONE -fuzz=FuzzFrameRoundTrip -fuzztime=10s
 	$(GO) test ./internal/msg -run=NONE -fuzz=FuzzHeaderClassification -fuzztime=10s
+	$(GO) test ./internal/scenario -run=NONE -fuzz=FuzzServeSpec -fuzztime=10s

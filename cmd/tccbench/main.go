@@ -15,6 +15,7 @@
 //	tccbench -bench parallel [-out BENCH_parallel.json] [-nodes 8] [-baseline BENCH_parallel.json] [-repeat 5]
 //	tccbench -bench faults   [-out BENCH_faults.json]
 //	tccbench -bench prof     [-out BENCH_prof.json]
+//	tccbench -bench serve    [-out BENCH_serve.json] [-baseline BENCH_serve.json] [-repeat 5]
 package main
 
 import (
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "latency", "latency | bw | bibw | allreduce | monitor | engine | parallel | faults | prof")
+	bench := flag.String("bench", "latency", "latency | bw | bibw | allreduce | monitor | engine | parallel | faults | prof | serve")
 	maxSize := flag.Int("max", 4096, "largest message size to sweep")
 	nodes := flag.Int("nodes", 4, "cluster size (allreduce; parallel defaults to 8)")
 	out := flag.String("out", "", "JSON output path (monitor and engine benchmarks)")
@@ -60,6 +61,8 @@ func main() {
 		runFaultsBench(*out)
 	case "prof":
 		runProfBench(*out)
+	case "serve":
+		runServeBench(*out, *baseline, *repeat)
 	default:
 		fmt.Fprintf(os.Stderr, "tccbench: unknown benchmark %q\n", *bench)
 		os.Exit(2)

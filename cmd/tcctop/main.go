@@ -97,8 +97,23 @@ func render(st *monitor.Status) string {
 	renderLinks(&b, st)
 	renderNodes(&b, st)
 	renderMPI(&b, st)
+	renderServe(&b, st)
 	renderAlerts(&b, st)
 	return b.String()
+}
+
+// renderServe lays out the serving panel: live request totals, the SLO
+// goodput, tail quantiles and failure detection, straight off the
+// service's monitor snapshot. Absent when no service is deployed.
+func renderServe(b *strings.Builder, st *monitor.Status) {
+	s := st.Serve
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(b, "SERVE requests %-10d completed %-10d shed %-7d timeouts %-6d dead %d\n",
+		s.Requests, s.Completed, s.Shed, s.Timeouts, s.DeadMarks)
+	fmt.Fprintf(b, "      goodput %s %5.1f%%   p50 %s   p99 %s   p999 %s\n\n",
+		bar(s.Goodput/100, 10), s.Goodput, fmtPS(s.P50PS), fmtPS(s.P99PS), fmtPS(s.P999PS))
 }
 
 // counterTotal sums counters matching name; pick filters by dimension.

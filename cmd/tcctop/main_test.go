@@ -42,6 +42,11 @@ func testStatus() *monitor.Status {
 					Bandwidth: 3.2e9},
 			},
 		},
+		Serve: &monitor.ServeStatus{
+			Requests: 24000, Completed: 23940, InSLO: 23400, Timeouts: 40,
+			Shed: 20, DeadMarks: 3,
+			P50PS: 850_000, P99PS: 2_100_000, P999PS: 2_600_000, Goodput: 97.5,
+		},
 		Alerts: []monitor.Alert{
 			{Rule: "dead-link", Message: "link 1: 12 send attempts, no deliveries",
 				RaisedAt: 1_500_000_000},
@@ -64,6 +69,10 @@ func TestRenderFullFrame(t *testing.T) {
 		"MPI   phase",
 		"barrier (2 ranks inside)",
 		"rendezvous 3",
+		"SERVE requests 24000",
+		"timeouts 40",
+		"p50 850.0ns",
+		"p99 2.10us",
 		"ALERTS (1 active, 2 total)",
 		"dead-link",
 	} {

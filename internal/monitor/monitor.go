@@ -62,6 +62,7 @@ type Monitor struct {
 	linkFn   func() []LinkStatus
 	autoDump string
 	profiler *prof.Profiler
+	serveFn  func() ServeStatus
 
 	recorder *FlightRecorder
 	watchdog *Watchdog
@@ -132,6 +133,41 @@ func WithProfiler(p *prof.Profiler) Option {
 
 // Profiler returns the attached profiler, nil when none was installed.
 func (m *Monitor) Profiler() *prof.Profiler { return m.profiler }
+
+// ServeStatus is the serving-service section of /metrics.json,
+// mirroring serve.Snapshot without importing serve (the root package
+// adapts between the two, like LinkStatus does for core).
+type ServeStatus struct {
+	Requests  uint64  `json:"requests"`
+	Completed uint64  `json:"completed"`
+	InSLO     uint64  `json:"in_slo"`
+	Timeouts  uint64  `json:"timeouts"`
+	Shed      uint64  `json:"shed"`
+	DeadMarks uint64  `json:"dead_marks"`
+	P50PS     float64 `json:"p50_ps"`
+	P99PS     float64 `json:"p99_ps"`
+	P999PS    float64 `json:"p999_ps"`
+	Goodput   float64 `json:"goodput_pct"`
+}
+
+// SetServeSource installs the serving-service snapshot source, called
+// from the HTTP goroutine on every Status assembly. fn must be safe to
+// call concurrently with the running simulation (serve's snapshots read
+// single-writer atomics only). A service is typically deployed after
+// the cluster — and thus the monitor — is built, so this is a setter
+// rather than an Option.
+func (m *Monitor) SetServeSource(fn func() ServeStatus) {
+	m.mu.Lock()
+	m.serveFn = fn
+	m.mu.Unlock()
+}
+
+// serveSource returns the installed serving snapshot source, if any.
+func (m *Monitor) serveSource() func() ServeStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.serveFn
+}
 
 // New builds a Monitor over src. It does not listen anywhere until
 // Serve is called, and does not sample until its OnSample is wired into

@@ -66,6 +66,7 @@ type Status struct {
 	Gauges      []GaugeJSON  `json:"gauges"`
 	Histograms  []HistJSON   `json:"histograms"`
 	Window      *WindowJSON  `json:"window,omitempty"` // latest closed window
+	Serve       *ServeStatus `json:"serve,omitempty"`  // serving service, when deployed
 	Alerts      []Alert      `json:"alerts"`
 	AlertsTotal uint64       `json:"alerts_total"`
 }
@@ -138,6 +139,10 @@ func (m *Monitor) Status() Status {
 	if w, ok := m.recorder.Last(); ok {
 		wj := windowToJSON(w)
 		st.Window = &wj
+	}
+	if fn := m.serveSource(); fn != nil {
+		ss := fn()
+		st.Serve = &ss
 	}
 	return st
 }

@@ -697,6 +697,7 @@ type Receiver struct {
 	csTail    func([]byte, error)
 	fhAcked   bool
 	fhDone    func(error)
+	fhNoop    func(error)
 	fcNoop    func()
 	ackBuf    [8]byte
 	fcBuf     [8]byte
@@ -844,7 +845,7 @@ func (r *Receiver) handlePeek(d []byte, err error) {
 		}
 		r.recvd += ring - off
 		r.fcUnposted += ring - off
-		r.freeHeader(off, false)
+		r.freeRegion(off, ring-off, false)
 		r.poll()
 	default:
 		switch delta := seqDelta(seq, r.expectSeq+1); {
@@ -912,19 +913,30 @@ func (r *Receiver) deliver(payload []byte, cb func([]byte, error)) {
 		// the empty-ring polling tail plus the frame drain.
 		np.Observe(prof.NodeMsgPoll, r.eng.Now()-r.pollT0)
 	}
-	r.freeHeader(r.csOff, true)
+	r.freeRegion(r.csOff, r.csFS, true)
 	cb(payload, nil)
 }
 
-// freeHeader overwrites a consumed slot's header ("It then has to
-// overwrite the slot to free it", §IV.A) and posts flow control —
+// freeRegion overwrites a consumed region's slot headers ("It then has
+// to overwrite the slot to free it", §IV.A) and posts flow control —
 // plus, for a consumed data frame in reliable mode, the cumulative
-// ack — behind it. The zero image is shared and the completion is
-// built once: freeing a slot allocates nothing.
-func (r *Receiver) freeHeader(off uint64, acked bool) {
+// ack — behind it. The zero image is shared and the completions are
+// built once: freeing a region allocates nothing.
+//
+// Every 64-byte slot boundary the region covers is cleared, not just
+// the frame's own header word. A multi-slot frame (or a skipped wrap
+// remainder) leaves payload bytes at interior slot boundaries, and on
+// the ring's next lap the receiver can peek one of those boundaries
+// after the sender's payload stores land but before its header store
+// does — a fresh slot must read as zero-length (empty), or stale
+// payload gets parsed as a header and reported as a sequence break.
+// The first lap gets this invariant for free from the virgin ring;
+// freeing every boundary preserves it on every lap after.
+func (r *Receiver) freeRegion(off, fs uint64, acked bool) {
 	r.fhAcked = acked
 	if r.fhDone == nil {
 		r.fcNoop = func() {}
+		r.fhNoop = func(error) {}
 		r.fhDone = func(error) {
 			if r.fhAcked && r.par.Reliable {
 				r.ackReposts = 0
@@ -932,6 +944,13 @@ func (r *Receiver) freeHeader(off uint64, acked bool) {
 			}
 			r.postFC(false, r.fcNoop)
 		}
+	}
+	// Interior boundaries first; the frame's own header slot carries the
+	// completion and is issued last, so flow control posts only after
+	// every free in the region has been issued before it in program
+	// order on the local store path.
+	for tail := fs; tail > frameAlign; tail -= frameAlign {
+		r.ring.Write(off+tail-frameAlign, zeroHeader[:], r.fhNoop)
 	}
 	r.ring.Write(off, zeroHeader[:], r.fhDone)
 }

@@ -87,6 +87,9 @@ const (
 	NodeWCFlush
 	// NodeMsgPoll is the message receiver's poll-to-delivery gap.
 	NodeMsgPoll
+	// NodeServe is a serving request's on-server residency: arrival to
+	// response posted (service time plus egress ring stalls).
+	NodeServe
 	// NumNodePhases sizes per-node phase arrays.
 	NumNodePhases
 )
@@ -108,6 +111,8 @@ func (p NodePhase) String() string {
 		return "cpu.wcflush"
 	case NodeMsgPoll:
 		return "msg.poll"
+	case NodeServe:
+		return "serve.request"
 	}
 	return "node.unknown"
 }

@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/errs"
+)
+
+// TestWorkloadRegistryRoundTrip drives every registered workload kind
+// through the full spec path: a minimal JSON spec naming the kind must
+// Parse (which validates), survive a marshal/re-parse round trip, and
+// keep its kind. The table is built from the registry itself, so a new
+// workload is covered the moment it is registered.
+func TestWorkloadRegistryRoundTrip(t *testing.T) {
+	for kind := range workloads {
+		t.Run(kind, func(t *testing.T) {
+			spec := fmt.Sprintf(`{
+				"version": 1,
+				"name": "roundtrip-%s",
+				"topology": {"kind": "chain", "nodes": 4},
+				"workloads": [{"kind": "%s"}]
+			}`, kind, kind)
+			s, err := Parse([]byte(spec))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if len(s.Workloads) != 1 || s.Workloads[0].Kind != kind {
+				t.Fatalf("kind lost in parse: %+v", s.Workloads)
+			}
+			data, err := json.Marshal(s)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			back, err := Parse(data)
+			if err != nil {
+				t.Fatalf("re-parse marshaled spec: %v", err)
+			}
+			if back.Workloads[0].Kind != kind {
+				t.Fatalf("kind lost in round trip: %+v", back.Workloads)
+			}
+		})
+	}
+}
+
+// TestUnknownWorkloadKind pins the failure mode for misspelled kinds:
+// ErrBadConfig, never a panic or a silent skip.
+func TestUnknownWorkloadKind(t *testing.T) {
+	for _, kind := range []string{"srve", "does-not-exist", ""} {
+		spec := fmt.Sprintf(`{
+			"version": 1,
+			"name": "unknown-kind",
+			"topology": {"kind": "chain", "nodes": 4},
+			"workloads": [{"kind": "%s"}]
+		}`, kind)
+		if _, err := Parse([]byte(spec)); !errors.Is(err, errs.ErrBadConfig) {
+			t.Errorf("kind %q: got %v, want ErrBadConfig", kind, err)
+		}
+	}
+}
+
+// TestMismatchedParamsBlock pins the other spec-rot failure mode: a
+// parameter block that does not match the declared kind is rejected
+// for every registered block.
+func TestMismatchedParamsBlock(t *testing.T) {
+	spec := `{
+		"version": 1,
+		"name": "mismatch",
+		"topology": {"kind": "chain", "nodes": 4},
+		"workloads": [{"kind": "pingpong", "serve": {"shards": 8}}]
+	}`
+	if _, err := Parse([]byte(spec)); !errors.Is(err, errs.ErrBadConfig) {
+		t.Errorf("mismatched block: got %v, want ErrBadConfig", err)
+	}
+}

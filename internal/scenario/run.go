@@ -63,6 +63,7 @@ var workloads = map[string]workloadDef{
 	"collectives":    {validate: validateCollectives, run: runCollectives},
 	"failure-tour":   {standalone: true, run: runFailureTour},
 	"fault-recovery": {validate: validateFaultRecovery, run: runFaultRecovery},
+	"serve":          {validate: validateServe, run: runServe},
 }
 
 // runCtx carries one scenario execution: the lazily built primary

@@ -59,6 +59,54 @@ func TestFaultRecoveryScenarioDeterminism(t *testing.T) {
 	}
 }
 
+// TestServeScenarioDeterminism is the committed serving spec's gate:
+// serve-chain16-crash must produce byte-identical output and an equal
+// fingerprint serially and at every parallel width. The spec crashes a
+// mid-chain node while the replicated KV service is under load, so the
+// gate covers placement, framing, routing, timeout-driven failover and
+// the latency histograms end to end. A trimmed request budget keeps
+// the test fast; `tccrun -check` exercises the full committed spec.
+func TestServeScenarioDeterminism(t *testing.T) {
+	data, err := os.ReadFile("../../scenarios/serve-chain16-crash.json")
+	if err != nil {
+		t.Fatalf("read spec: %v", err)
+	}
+	base, err := Parse(data)
+	if err != nil {
+		t.Fatalf("parse spec: %v", err)
+	}
+	// Trim the committed load for test speed, and pull the crash
+	// forward to match: traffic starts after ~6.3 ms of channel-mesh
+	// setup and 400 requests/node span ~0.8 ms, so 6.8 ms keeps the
+	// crash mid-traffic the way 8 ms is for the full 1500-request run.
+	base.Workloads[0].Serve.RequestsPerNode = 400
+	base.Faults[0].AtNS = 6_800_000
+	var refOut bytes.Buffer
+	refRes, err := base.Run(&refOut)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	if !bytes.Contains(refOut.Bytes(), []byte("failovers")) {
+		t.Fatalf("output missing failover line:\n%s", refOut.Bytes())
+	}
+	for _, par := range []int{2, 4} {
+		s := base.Clone()
+		s.Parallel = par
+		var out bytes.Buffer
+		res, err := s.Run(&out)
+		if err != nil {
+			t.Fatalf("parallel=%d run: %v", par, err)
+		}
+		if *res != *refRes {
+			t.Errorf("parallel=%d fingerprint diverged: serial %+v, parallel %+v", par, refRes, res)
+		}
+		if !bytes.Equal(refOut.Bytes(), out.Bytes()) {
+			t.Errorf("parallel=%d output diverged:\nserial:\n%s\nparallel:\n%s",
+				par, refOut.Bytes(), out.Bytes())
+		}
+	}
+}
+
 // TestRingshiftScenarioDeterminism runs the new all-node ring workload
 // on a small torus serially and in parallel: byte-identical output and
 // an equal fingerprint, the same contract the committed 16x16 sweep

@@ -100,7 +100,7 @@ type ConfigSpec struct {
 // runs the kind's defaults, which reproduce the original example).
 type WorkloadSpec struct {
 	// Kind is pingpong | allreduce | cg | heat2d | pgas | ringshift |
-	// collectives | failure-tour | fault-recovery.
+	// collectives | failure-tour | fault-recovery | serve.
 	Kind string `json:"kind"`
 
 	Pingpong      *PingpongParams      `json:"pingpong,omitempty"`
@@ -112,6 +112,7 @@ type WorkloadSpec struct {
 	Collectives   *CollectivesParams   `json:"collectives,omitempty"`
 	FailureTour   *FailureTourParams   `json:"failure_tour,omitempty"`
 	FaultRecovery *FaultRecoveryParams `json:"fault_recovery,omitempty"`
+	Serve         *ServeParams         `json:"serve,omitempty"`
 }
 
 // PingpongParams shape the quickstart echo workload.
@@ -416,6 +417,7 @@ func (w *WorkloadSpec) validateParams() error {
 		{"collectives", w.Collectives != nil},
 		{"failure-tour", w.FailureTour != nil},
 		{"fault-recovery", w.FaultRecovery != nil},
+		{"serve", w.Serve != nil},
 	}
 	for _, b := range blocks {
 		if b.set && b.kind != w.Kind {

@@ -1,0 +1,177 @@
+package scenario
+
+import (
+	"fmt"
+
+	tccluster "repro"
+)
+
+// ServeParams shape the serving workload: a replicated, shard-routed
+// KV/query service over the whole cluster, driven by per-node
+// open-loop clients. Zero fields keep the serve defaults.
+type ServeParams struct {
+	// Shards is the consistent-hash shard count (default 64).
+	Shards int `json:"shards,omitempty"`
+	// ReplicaN is replicas per shard (default 2, clamped to nodes).
+	ReplicaN int `json:"replica_n,omitempty"`
+	// Keyspace is the distinct-key count (default 1048576).
+	Keyspace uint64 `json:"keyspace,omitempty"`
+	// ValueBytes is the value payload size (default 128).
+	ValueBytes int `json:"value_bytes,omitempty"`
+	// ReadFraction is the read probability (default 0.9).
+	ReadFraction float64 `json:"read_fraction,omitempty"`
+	// RequestsPerNode is each node's arrival budget (default 1000).
+	RequestsPerNode int `json:"requests_per_node,omitempty"`
+	// MeanInterarrivalNS is the per-node mean arrival gap (default
+	// 2000 ns).
+	MeanInterarrivalNS int64 `json:"mean_interarrival_ns,omitempty"`
+	// Policy is round-robin | least-loaded | affinity (default
+	// round-robin).
+	Policy string `json:"policy,omitempty"`
+	// SLONS is the goodput latency bound (default 25000 ns).
+	SLONS int64 `json:"slo_ns,omitempty"`
+	// TimeoutNS declares a request lost (default 75000 ns).
+	TimeoutNS int64 `json:"timeout_ns,omitempty"`
+	// DeadAfter is consecutive timeouts before a client marks a server
+	// dead (default 3).
+	DeadAfter int `json:"dead_after,omitempty"`
+	// BucketBurst is the admission token-bucket depth (default 64).
+	BucketBurst int `json:"bucket_burst,omitempty"`
+	// BucketRate is the bucket refill rate in requests per second of
+	// virtual time (default 1e6; negative disables admission control).
+	BucketRate float64 `json:"bucket_rate,omitempty"`
+	// WindowNS is the goodput accounting window (default 100000 ns).
+	WindowNS int64 `json:"window_ns,omitempty"`
+	// Seed perturbs the arrival and key streams.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+func validateServe(s *Scenario, w *WorkloadSpec) error {
+	if s.Topology.NodeCount() < 2 {
+		return badf("%s: serve needs at least 2 nodes", s.Name)
+	}
+	p := w.Serve
+	if p == nil {
+		return nil
+	}
+	switch tccluster.ServePolicy(p.Policy) {
+	case "", tccluster.ServeRoundRobin, tccluster.ServeLeastLoaded, tccluster.ServeAffinity:
+	default:
+		return badf("%s: serve policy %q (want round-robin, least-loaded or affinity)",
+			s.Name, p.Policy)
+	}
+	if p.ReadFraction < 0 || p.ReadFraction > 1 {
+		return badf("%s: serve read fraction %v outside [0,1]", s.Name, p.ReadFraction)
+	}
+	if p.Shards < 0 || p.ReplicaN < 0 || p.ValueBytes < 0 || p.RequestsPerNode < 0 ||
+		p.DeadAfter < 0 || p.BucketBurst < 0 {
+		return badf("%s: negative serve parameter", s.Name)
+	}
+	if p.MeanInterarrivalNS < 0 || p.SLONS < 0 || p.TimeoutNS < 0 || p.WindowNS < 0 {
+		return badf("%s: negative serve timing", s.Name)
+	}
+	if p.SLONS > 0 && p.TimeoutNS > 0 && p.TimeoutNS < p.SLONS {
+		return badf("%s: serve timeout %dns below SLO %dns", s.Name, p.TimeoutNS, p.SLONS)
+	}
+	return nil
+}
+
+// serveConfig lowers the spec block onto the serve defaults.
+func serveConfig(p *ServeParams) tccluster.ServeConfig {
+	cfg := tccluster.DefaultServeConfig()
+	if p == nil {
+		return cfg
+	}
+	if p.Shards > 0 {
+		cfg.Shards = p.Shards
+	}
+	if p.ReplicaN > 0 {
+		cfg.ReplicaN = p.ReplicaN
+	}
+	if p.Keyspace > 0 {
+		cfg.Keyspace = p.Keyspace
+	}
+	if p.ValueBytes > 0 {
+		cfg.ValueBytes = p.ValueBytes
+	}
+	if p.ReadFraction > 0 {
+		cfg.ReadFraction = p.ReadFraction
+	}
+	if p.RequestsPerNode > 0 {
+		cfg.RequestsPerNode = p.RequestsPerNode
+	}
+	if p.MeanInterarrivalNS > 0 {
+		cfg.MeanInterarrival = tccluster.Time(p.MeanInterarrivalNS) * tccluster.Nanosecond
+	}
+	if p.Policy != "" {
+		cfg.Policy = tccluster.ServePolicy(p.Policy)
+	}
+	if p.SLONS > 0 {
+		cfg.SLO = tccluster.Time(p.SLONS) * tccluster.Nanosecond
+	}
+	if p.TimeoutNS > 0 {
+		cfg.Timeout = tccluster.Time(p.TimeoutNS) * tccluster.Nanosecond
+	}
+	if p.DeadAfter > 0 {
+		cfg.DeadAfter = p.DeadAfter
+	}
+	if p.BucketBurst > 0 {
+		cfg.BucketBurst = p.BucketBurst
+	}
+	if p.BucketRate != 0 {
+		cfg.BucketRate = p.BucketRate
+	}
+	if p.WindowNS > 0 {
+		cfg.Window = tccluster.Time(p.WindowNS) * tccluster.Nanosecond
+	}
+	cfg.Seed = p.Seed
+	return cfg
+}
+
+// runServe deploys the service over the scenario's cluster, drives the
+// open-loop clients to exhaustion (riding out whatever fault campaign
+// the spec scripts), and prints the merged report. Every line is
+// deterministic, so the serial/parallel byte-identity gates cover the
+// full serving pipeline: placement, framing, routing, admission,
+// timeout-driven failover and the latency histograms.
+func runServe(rc *runCtx, w *WorkloadSpec) error {
+	cfg := serveConfig(w.Serve)
+	c, err := rc.cluster()
+	if err != nil {
+		return err
+	}
+	out := rc.out
+	svc, err := c.NewService(cfg)
+	if err != nil {
+		return err
+	}
+	rcfg := svc.Config()
+	fmt.Fprintf(out, "serve: %d nodes, %d shards x%d replicas, policy %s, %d req/node\n",
+		c.N(), rcfg.Shards, rcfg.ReplicaN, rcfg.Policy, rcfg.RequestsPerNode)
+
+	start := c.Now()
+	svc.Start()
+	c.Run()
+	svc.Stop()
+	c.Run()
+	if err := rc.failed(); err != nil {
+		return err
+	}
+
+	r := svc.Report()
+	if r.Completed+r.Timeouts+r.Unroutable != r.Admitted {
+		return fmt.Errorf("serve: request accounting broken: completed %d + timeouts %d + unroutable %d != admitted %d",
+			r.Completed, r.Timeouts, r.Unroutable, r.Admitted)
+	}
+	if r.Bad != 0 {
+		return fmt.Errorf("serve: %d corrupt frames or responses", r.Bad)
+	}
+	fmt.Fprintf(out, "serve: %d requests (%d reads / %d writes), %d completed, %d shed, %d local fast-path\n",
+		r.Requests, r.Reads, r.Writes, r.Completed, r.Shed, r.Local)
+	fmt.Fprintf(out, "serve: p50 %.3fus p99 %.3fus p999 %.3fus, goodput %.2f%%\n",
+		r.P50PS/1e6, r.P99PS/1e6, r.P999PS/1e6, r.GoodputPct)
+	fmt.Fprintf(out, "serve: timeouts %d, failovers %d, dead-marks %d, replicas applied %d\n",
+		r.Timeouts, r.Failovers, r.DeadMarks, r.Replicas)
+	fmt.Fprintf(out, "serve: %v virtual time, checksum %#x\n", c.Now()-start, r.Checksum)
+	return nil
+}

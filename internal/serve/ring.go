@@ -1,0 +1,85 @@
+package serve
+
+import "sort"
+
+// mix64 is the splitmix64 finalizer: a cheap, well-mixed 64-bit hash
+// used for key->shard mapping, ring-point placement and deterministic
+// value synthesis. Pure function, so placement is identical on every
+// run and on both engines.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// ringPoints is how many virtual points each node contributes to the
+// hash ring. More points smooth the shard distribution; 32 keeps the
+// max/min owned-shard ratio tight even at 4 nodes.
+const ringPoints = 32
+
+// hashRing is the deterministic shard->replica placement: every node
+// hashes ringPoints virtual points onto a 64-bit circle, a shard hashes
+// to a position, and its replicas are the first ReplicaN distinct nodes
+// clockwise from there — pilosa's hasher generalized from mod-N to a
+// consistent ring, so a future node join/leave would only move the
+// shards adjacent to its points.
+type hashRing struct {
+	shards   int
+	replicas [][]int // shard -> replica nodes, primary first
+}
+
+type ringPoint struct {
+	pos  uint64
+	node int
+}
+
+func newHashRing(nodes, shards, replicaN int, seed uint64) *hashRing {
+	points := make([]ringPoint, 0, nodes*ringPoints)
+	for n := 0; n < nodes; n++ {
+		for v := 0; v < ringPoints; v++ {
+			points = append(points, ringPoint{
+				pos:  mix64(seed ^ mix64(uint64(n)<<20|uint64(v))),
+				node: n,
+			})
+		}
+	}
+	// Position collisions are astronomically unlikely but must not make
+	// placement depend on sort stability: break ties by node index.
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].pos != points[j].pos {
+			return points[i].pos < points[j].pos
+		}
+		return points[i].node < points[j].node
+	})
+
+	r := &hashRing{shards: shards, replicas: make([][]int, shards)}
+	for sh := 0; sh < shards; sh++ {
+		pos := mix64(seed + 0x5343 + uint64(sh))
+		start := sort.Search(len(points), func(i int) bool { return points[i].pos >= pos })
+		reps := make([]int, 0, replicaN)
+		for i := 0; len(reps) < replicaN && i < len(points); i++ {
+			cand := points[(start+i)%len(points)].node
+			dup := false
+			for _, got := range reps {
+				if got == cand {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				reps = append(reps, cand)
+			}
+		}
+		r.replicas[sh] = reps
+	}
+	return r
+}
+
+// shardOf maps a key to its shard.
+func (r *hashRing) shardOf(key uint64) int {
+	return int(mix64(key) % uint64(r.shards))
+}

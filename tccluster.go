@@ -48,6 +48,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/pgas"
 	"repro/internal/prof"
+	"repro/internal/serve"
 	"repro/internal/shm"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -95,6 +96,23 @@ type (
 	PGASConfig = pgas.Config
 	// Space is a partitioned global address space.
 	Space = pgas.Space
+
+	// ServeConfig shapes a replicated KV/query serving deployment
+	// (shards, replicas, arrival process, admission, routing policy,
+	// SLO).
+	ServeConfig = serve.Config
+	// Service is a sharded, replicated serving deployment over the
+	// cluster's message fabric; build one with NewService.
+	Service = serve.Service
+	// ServePolicy selects how serve clients spread reads over replicas.
+	ServePolicy = serve.Policy
+	// ServeReport is a completed serving run's merged outcome: latency
+	// quantiles, goodput, shed/timeout counters, the failover story.
+	ServeReport = serve.Report
+	// ServeWindow is one goodput accounting window of a ServeReport.
+	ServeWindow = serve.Window
+	// ServeSnapshot is the cheap mid-run view the monitor scrapes.
+	ServeSnapshot = serve.Snapshot
 
 	// LiveParams configure a live (goroutine) channel.
 	LiveParams = shm.Params
@@ -269,6 +287,25 @@ func DefaultMPIConfig() MPIConfig { return mpi.DefaultConfig() }
 
 // DefaultPGASConfig returns a small symmetric global space.
 func DefaultPGASConfig() PGASConfig { return pgas.DefaultConfig() }
+
+// DefaultServeConfig returns the serving defaults (64 shards, 2
+// replicas, 90% reads, 1M keys, round-robin routing, 25 us SLO).
+func DefaultServeConfig() ServeConfig { return serve.DefaultConfig() }
+
+// Serve routing policies.
+const (
+	ServeRoundRobin  = serve.PolicyRoundRobin
+	ServeLeastLoaded = serve.PolicyLeastLoaded
+	ServeAffinity    = serve.PolicyAffinity
+)
+
+// ValidateServeConfig checks cfg against an n-node deployment without
+// booting anything, returning the config with defaults filled in. The
+// scenario layer uses it to reject bad specs before cluster boot.
+func ValidateServeConfig(cfg ServeConfig, nodes int) (ServeConfig, error) {
+	err := cfg.Validate(nodes)
+	return cfg, err
+}
 
 // DefaultLiveParams returns the live backend's defaults.
 func DefaultLiveParams() LiveParams { return shm.DefaultParams() }
@@ -603,6 +640,31 @@ func (c *Cluster) NewWorld(cfg MPIConfig) (*World, error) {
 // nodes.
 func (c *Cluster) NewSpace(cfg PGASConfig) (*Space, error) {
 	return pgas.New(c.os, cfg)
+}
+
+// NewService deploys a sharded, replicated KV/query service over every
+// node: consistent-hash placement, a full channel mesh, per-node
+// open-loop clients with token-bucket admission. Call Service.Start,
+// drive the cluster, then read Service.Report. On a cluster built
+// WithMonitor the service's live snapshot appears in /metrics.json
+// (and the tcctop SERVE panel) automatically.
+func (c *Cluster) NewService(cfg ServeConfig) (*Service, error) {
+	s, err := serve.New(c.os, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if c.mon != nil {
+		c.mon.SetServeSource(func() monitor.ServeStatus {
+			sn := s.Snapshot()
+			return monitor.ServeStatus{
+				Requests: sn.Requests, Completed: sn.Completed,
+				InSLO: sn.InSLO, Timeouts: sn.Timeouts, Shed: sn.Shed,
+				DeadMarks: sn.DeadMarks, P50PS: sn.P50PS, P99PS: sn.P99PS,
+				P999PS: sn.P999PS, Goodput: sn.Goodput,
+			}
+		})
+	}
+	return s, nil
 }
 
 // NewLiveChannel creates a real-goroutine channel implementing the same
